@@ -1,0 +1,29 @@
+"""F2 — Fig. 2: Spearman correlations of the time-related metrics.
+
+Paper shapes: ActiveGrowthMonths tightly tied to its normalizations;
+birth volume strongly (anti-)related to the birth-to-top interval; top
+point vs top-to-end tail at rho ~ -1; birth vs top at rho ~ 0.61.
+"""
+
+from repro.analysis.records import measures_of
+from repro.mining.correlation import spearman_matrix
+from repro.analysis.records import MEASURE_NAMES
+from repro.report.render import render_correlations
+from repro.viz.heatmap import ascii_heatmap
+
+from benchmarks.conftest import record
+
+
+def test_fig2_correlations(benchmark, records, study):
+    matrix = benchmark(lambda: spearman_matrix(measures_of(records)))
+    assert matrix[("PointOfTopBand_pctPUP",
+                   "IntervalTopToEnd_pctPUP")] < -0.95
+    assert 0.4 < matrix[("PointOfBirth_pctPUP",
+                         "PointOfTopBand_pctPUP")] < 0.95
+    assert matrix[("ActiveGrowthMonths", "ActiveMonths_pctPUP")] > 0.8
+    # Higher birth volume -> shorter climb to the top band.
+    assert matrix[("BirthVolume_pctTotal",
+                   "IntervalBirthToTop_pctPUP")] < -0.4
+    heatmap = ascii_heatmap(MEASURE_NAMES, matrix)
+    record("fig2_correlations",
+           render_correlations(study) + "\n\n" + heatmap)

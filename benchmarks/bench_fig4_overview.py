@@ -1,0 +1,45 @@
+"""F4 — Fig. 4: per-pattern characteristics overview.
+
+Paper shapes per row: Flatliners all V0/V0/zero/full-tail; Radical Sign
+early tops; Stairway patterns without vaults; Smoking Funnel with fair
+interval and >3 growth months.
+"""
+
+from repro.labels.classes import (
+    IntervalBirthToTopClass,
+    IntervalTopToEndClass,
+)
+from repro.patterns.taxonomy import Pattern
+from repro.report.render import render_fig4_overview
+
+from benchmarks.conftest import record
+
+
+def _by_pattern(records):
+    groups = {}
+    for r in records:
+        groups.setdefault(r.pattern, []).append(r)
+    return groups
+
+
+def test_fig4_overview(benchmark, records, study):
+    text = benchmark(render_fig4_overview, study)
+    groups = _by_pattern(records)
+
+    flatliners = groups[Pattern.FLATLINER]
+    assert all(r.labeled.birth_timing.value == "v0" for r in flatliners)
+    assert all(r.labeled.interval_top_to_end
+               is IntervalTopToEndClass.FULL for r in flatliners)
+
+    funnels = [r for r in groups[Pattern.SMOKING_FUNNEL]
+               if not r.is_exception]
+    assert all(r.labeled.interval_birth_to_top
+               is IntervalBirthToTopClass.FAIR for r in funnels)
+    assert all(r.labeled.active_growth_months > 3 for r in funnels)
+
+    stairway = (groups[Pattern.QUANTUM_STEPS]
+                + groups[Pattern.REGULARLY_CURATED])
+    assert all(not r.labeled.has_single_vault
+               for r in stairway if not r.is_exception)
+
+    record("fig4_overview", text)

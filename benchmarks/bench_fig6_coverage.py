@@ -1,0 +1,23 @@
+"""F6 — Fig. 6: active-domain coverage / essential disjointedness.
+
+Paper shape: patterns occupy focused, almost-disjoint regions of the
+defining feature space; a couple of acknowledged shared spots exist; a
+large part of the full Cartesian product stays unpopulated.
+"""
+
+from repro.analysis.coverage import compute_coverage
+from repro.report.render import render_coverage
+
+from benchmarks.conftest import record
+
+
+def test_fig6_coverage(benchmark, records, study):
+    coverage = benchmark(compute_coverage, records)
+    assert coverage.populated_cells < coverage.total_cells_possible / 2
+    assert len(coverage.shared_cells) <= 4
+    # Every cell's population belongs overwhelmingly to one pattern.
+    for cell, patterns in coverage.cells.items():
+        total = sum(patterns.values())
+        dominant = max(patterns.values())
+        assert dominant / total >= 0.5, cell
+    record("fig6_coverage", render_coverage(study))

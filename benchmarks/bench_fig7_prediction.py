@@ -1,0 +1,36 @@
+"""F7 — Fig. 7: P(pattern | point of schema birth).
+
+Paper headlines: born in M0 -> 75 % completely frozen; born M1–M6 ->
+~53 % sharp focused evolution; born after M12 -> ~64 % sharp focused,
+~15 % Smoking Funnel. Side stats: 34 % born at M0, ~60 % within the
+first six months.
+"""
+
+import pytest
+
+from repro.analysis.prediction import compute_prediction
+from repro.patterns.taxonomy import Family, Pattern
+from repro.report.render import render_prediction
+
+from benchmarks.conftest import record
+
+
+def test_fig7_prediction(benchmark, records, study):
+    prediction = benchmark(compute_prediction, records)
+
+    assert prediction.frozen_probability(0) == pytest.approx(0.75,
+                                                             abs=0.08)
+    sharp_m1_6 = prediction.family_probability(
+        Family.BE_QUICK_OR_BE_DEAD, 1)
+    assert sharp_m1_6 == pytest.approx(0.53, abs=0.10)
+    sharp_late = prediction.family_probability(
+        Family.BE_QUICK_OR_BE_DEAD, 3)
+    assert sharp_late == pytest.approx(0.64, abs=0.10)
+    assert prediction.probability(Pattern.SMOKING_FUNNEL, 3) \
+        == pytest.approx(0.15, abs=0.06)
+
+    born = prediction.birth_distribution()
+    assert born[0] == pytest.approx(0.34, abs=0.05)
+    assert born[0] + born[1] == pytest.approx(0.60, abs=0.06)
+
+    record("fig7_prediction", render_prediction(study))

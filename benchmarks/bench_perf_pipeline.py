@@ -1,0 +1,81 @@
+"""PERF — throughput of the pipeline stages.
+
+Not a paper artifact: timings of the substrate (parser, builder, diff,
+heartbeat) and of the full study, so regressions are visible.
+"""
+
+import random
+
+from repro.corpus.ddlgen import DdlScribe
+from repro.corpus.generator import generate_corpus
+from repro.diff.engine import diff_schemas
+from repro.history.heartbeat import schema_heartbeat
+from repro.metrics.profile import ProjectProfile
+from repro.patterns.taxonomy import Pattern
+from repro.schema.builder import build_schema
+from repro.sqlddl.parser import parse_script
+from repro.study.pipeline import records_from_corpus, run_study
+
+
+def _big_dump(tables: int = 60) -> str:
+    rng = random.Random(13)
+    scribe = DdlScribe(rng)
+    scribe.begin_month()
+    scribe.apply_units(tables * 6, maintenance_bias=0.0, birth=True)
+    return scribe.snapshot_sql()
+
+
+DUMP = _big_dump()
+SCHEMA_A = build_schema(parse_script(DUMP))
+SCHEMA_B = build_schema(parse_script(_big_dump(50)))
+
+
+def test_perf_parse_large_dump(benchmark):
+    script = benchmark(parse_script, DUMP)
+    assert len(script.statements) >= 40
+
+
+def test_perf_build_schema(benchmark):
+    script = parse_script(DUMP)
+    schema = benchmark(build_schema, script)
+    assert schema.attribute_count >= 300
+
+
+def test_perf_diff_large_schemas(benchmark):
+    delta = benchmark(diff_schemas, SCHEMA_A, SCHEMA_B)
+    assert delta.total_affected > 0
+
+
+def test_perf_profile_one_project(benchmark, corpus):
+    project = max(corpus.projects, key=lambda p: len(p.history))
+    project.history._versions = None  # measure parsing too
+
+    def profile():
+        project.history._versions = None
+        return ProjectProfile.from_history(project.history)
+
+    result = benchmark(profile)
+    assert result.total_activity > 0
+
+
+def test_perf_heartbeat(benchmark, corpus):
+    project = corpus.projects[0]
+    series = benchmark(schema_heartbeat, project.history)
+    assert series.total > 0
+
+
+def test_perf_generate_small_corpus(benchmark):
+    population = {Pattern.FLATLINER: 2, Pattern.RADICAL_SIGN: 2,
+                  Pattern.SIESTA: 1}
+
+    def generate():
+        return generate_corpus(seed=8, population=population,
+                               with_exceptions=False)
+
+    result = benchmark(generate)
+    assert len(result) == 5
+
+
+def test_perf_full_study(benchmark, records):
+    results = benchmark(run_study, records)
+    assert results.total == 151

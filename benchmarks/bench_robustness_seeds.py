@@ -1,0 +1,63 @@
+"""ROB — robustness of the headline shapes across corpus seeds.
+
+The corpus is sampled; the reproduction's claims must not hinge on one
+lucky seed. This benchmark regenerates the full corpus under two
+alternative seeds and re-asserts the headline shapes on each.
+"""
+
+from repro.corpus.generator import generate_corpus
+from repro.patterns.taxonomy import Family, Pattern, family_of
+from repro.study.pipeline import records_from_corpus, run_study
+from repro.viz.tables import format_table
+
+from benchmarks.conftest import record
+
+_SEEDS = (1, 2)
+
+
+def _headlines(seed: int) -> dict:
+    results = run_study(records_from_corpus(generate_corpus(seed=seed)))
+    stats = results.stats34
+    by_family = {family: 0 for family in Family}
+    for record_ in results.records:
+        by_family[family_of(record_.pattern)] += 1
+    return {
+        "seed": seed,
+        "quick_family": by_family[Family.BE_QUICK_OR_BE_DEAD],
+        "stairway_family": by_family[Family.STAIRWAY_TO_HEAVEN],
+        "late_family": by_family[Family.SCARED_TO_FALL_ASLEEP_AGAIN],
+        "born_v0": stats.born_at_v0,
+        "zero_agm": stats.zero_active_growth,
+        "tree_errors": len(results.tree_misclassified),
+        "rho_top_tail": results.correlations[
+            ("PointOfTopBand_pctPUP", "IntervalTopToEnd_pctPUP")],
+        "frozen_at_m0": results.prediction.frozen_probability(0),
+    }
+
+
+def test_robustness_across_seeds(benchmark):
+    # One full-corpus study per seed is ~10 s; a single round suffices
+    # for a robustness check (this is not a timing-sensitive target).
+    rows = benchmark.pedantic(
+        lambda: [_headlines(seed) for seed in _SEEDS],
+        rounds=1, iterations=1)
+    for headline in rows:
+        # Families are fixed by the population; the measured shapes must
+        # reproduce under every seed.
+        assert headline["quick_family"] == 97
+        assert headline["stairway_family"] == 37
+        assert headline["late_family"] == 17
+        assert 45 <= headline["born_v0"] <= 58
+        assert headline["zero_agm"] >= 80
+        assert headline["tree_errors"] <= 6
+        assert headline["rho_top_tail"] < -0.95
+        assert 0.65 <= headline["frozen_at_m0"] <= 0.85
+
+    table_rows = [[h["seed"], h["born_v0"], h["zero_agm"],
+                   h["tree_errors"], f"{h['rho_top_tail']:.2f}",
+                   f"{h['frozen_at_m0']:.0%}"] for h in rows]
+    record("robustness_seeds", format_table(
+        ["seed", "born V0", "zero AGM", "tree errors",
+         "rho(top,tail)", "P(frozen|M0)"], table_rows,
+        title="Robustness — headline shapes under alternative corpus "
+              "seeds"))

@@ -1,0 +1,29 @@
+"""S34 — §3.4: statistical properties of the time-related measures.
+
+Paper: 52 born at V0; half born in the first 10 %; 2/3 with zero active
+growth months; 58 % with a vault; every measure non-normal (max p ~1e-9).
+"""
+
+from repro.analysis.normality import compute_normality
+from repro.analysis.stats_tables import compute_section34_stats
+from repro.report.render import render_section34
+
+from benchmarks.conftest import record
+
+
+def test_sec34_stats(benchmark, records, study):
+    stats = benchmark(compute_section34_stats, records)
+    assert 48 <= stats.born_at_v0 <= 56              # paper: 52
+    assert 65 <= stats.born_first_10pct <= 95        # paper: 74
+    assert 95 <= stats.born_first_25pct <= 115       # paper: 105
+    assert 55 <= stats.top_attained_first_25pct <= 75  # paper: 64
+    assert stats.zero_active_growth >= 80            # paper: 98
+    assert stats.at_most_one_active_growth >= 100    # paper: 115
+    assert 0.45 <= stats.vault_share <= 0.70         # paper: 58 %
+    assert stats.interval_birth_top_under_10pct >= 70  # paper: 88
+
+    normality = compute_normality(records)
+    assert normality.all_non_normal
+    assert normality.max_p_value < 1e-3
+
+    record("sec34_stats", render_section34(study))

@@ -1,0 +1,42 @@
+"""S52 — §5.2: pattern cohesion via Mean Distance to Centroid.
+
+Paper: MDC between 0.06 and 1.25 over 20-point vectors in [0, 1].
+"""
+
+from repro.mining.centroids import centroid_report
+from repro.patterns.taxonomy import Pattern
+from repro.report.render import render_section52
+
+from benchmarks.conftest import record
+
+
+def _groups(records):
+    groups = {}
+    for r in records:
+        groups.setdefault(r.pattern.value, []).append(r.profile.vector)
+    return groups
+
+
+def test_sec52_cohesion(benchmark, records, study):
+    report = benchmark(lambda: centroid_report(_groups(records)))
+    assert len(report.mdc) == 8
+    for pattern, mdc in report.mdc.items():
+        assert 0.0 <= mdc <= 1.6, pattern  # paper range: 0.06 .. 1.25
+    # Flatliners are maximally cohesive: every vector is all-ones.
+    assert report.mdc[Pattern.FLATLINER.value] < 0.3
+
+    # Family level (paper: families are pairwise different and
+    # internally cohesive).
+    from repro.analysis.families import compute_family_cohesion
+    families = compute_family_cohesion(records)
+    assert families.families_distinct
+    from repro.viz.tables import format_table
+    family_rows = [[name, families.sizes[name],
+                    families.report.mdc[name]]
+                   for name in sorted(families.sizes)]
+    family_table = format_table(
+        ["Family", "n", "MDC"], family_rows,
+        title=f"Family cohesion (min between-family centroid gap "
+              f"{families.min_between_gap:.2f})")
+    record("sec52_cohesion",
+           render_section52(study) + "\n\n" + family_table)

@@ -1,0 +1,46 @@
+"""S61 — §6.1: activity volume per pattern.
+
+Paper medians of post-birth change: Radical Sign 13, rest of Be-Quick <3,
+Siesta 17, Quantum Steps 22, Smoking Funnel 189, Regularly Curated 250;
+project durations similar across patterns.
+"""
+
+from repro.analysis.activity_relation import compute_activity_relation
+from repro.mining.bootstrap import bootstrap_median_ci
+from repro.patterns.taxonomy import Pattern
+from repro.report.render import render_section61
+
+from benchmarks.conftest import record
+
+
+def test_sec61_activity(benchmark, records, study):
+    result = benchmark(compute_activity_relation, records)
+    medians = {row.pattern: row.median_post_birth for row in result.rows}
+
+    assert medians[Pattern.FLATLINER] == 0
+    assert 5 <= medians[Pattern.RADICAL_SIGN] <= 25        # paper 13
+    assert medians[Pattern.SIGMOID] <= 10                  # paper < 3
+    assert medians[Pattern.LATE_RISER] <= 10               # paper < 3
+    assert 8 <= medians[Pattern.SIESTA] <= 35              # paper 17
+    assert 10 <= medians[Pattern.QUANTUM_STEPS] <= 45      # paper 22
+    assert medians[Pattern.SMOKING_FUNNEL] >= 90           # paper 189
+    assert medians[Pattern.REGULARLY_CURATED] >= 120       # paper 250
+
+    # Durations do not differ by an order of magnitude across patterns.
+    pups = [row.median_pup for row in result.rows]
+    assert max(pups) / min(pups) < 4
+
+    # Bootstrap CIs for the per-pattern medians (statistical-rigor
+    # extension over the paper, which reports point medians only).
+    ci_rows = []
+    for row in result.rows:
+        sample = [r.profile.totals.post_birth_activity
+                  for r in records if r.pattern is row.pattern]
+        ci = bootstrap_median_ci(sample, seed=1)
+        ci_rows.append([row.pattern.value, str(ci)])
+    from repro.viz.tables import format_table
+    ci_table = format_table(
+        ["Pattern", "median post-birth activity [95% CI]"], ci_rows,
+        title="Sec. 6.1 extension — bootstrap CIs for the medians")
+    record("sec61_activity",
+           render_section61(study) + "\n\n" + ci_table)

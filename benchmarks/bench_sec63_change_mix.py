@@ -1,0 +1,32 @@
+"""S63 — §6.3: mixture of change types per pattern.
+
+Paper shapes: change biased toward expansion; granule of change mostly
+whole tables; Be-Quick family frequently monothematic; the active
+patterns mix change kinds.
+"""
+
+from repro.analysis.change_mix import compute_change_mix
+from repro.diff.changes import ChangeKind
+from repro.patterns.taxonomy import Pattern
+from repro.report.render import render_section63
+
+from benchmarks.conftest import record
+
+
+def test_sec63_change_mix(benchmark, records, study):
+    mix = benchmark(compute_change_mix, records)
+
+    assert mix.overall_expansion_fraction > 0.6
+    assert mix.overall_table_granule_fraction > 0.5
+
+    flat = mix.row(Pattern.FLATLINER)
+    assert flat.monothematic_projects == flat.count
+
+    # Active patterns use several change kinds.
+    curated = mix.row(Pattern.REGULARLY_CURATED)
+    kinds_used = sum(1 for v in curated.kind_totals.values() if v > 0)
+    assert kinds_used >= 4
+    assert curated.kind_totals[ChangeKind.EJECTED] > 0
+    assert curated.kind_totals[ChangeKind.TYPE_CHANGED] > 0
+
+    record("sec63_change_mix", render_section63(study))

@@ -1,0 +1,20 @@
+"""T1 — Table 1: label distribution of the quantized metrics.
+
+Paper shape: Full birth volume 39; V0 births 52; 62 zero growth
+intervals; 98 zero active growth months.
+"""
+
+from repro.analysis.stats_tables import compute_table1
+from repro.report.render import render_table1
+
+from benchmarks.conftest import record
+
+
+def test_table1_quantization(benchmark, records, study):
+    result = benchmark(compute_table1, records)
+    assert result.total == 151
+    # The heavy-left skew of every label distribution must hold.
+    assert result.count("Time Point of Birth (%PUP)", "v0") >= 45
+    assert result.count("Active Months as %Growth", "zero") >= 80
+    assert result.count("Volume of Birth (%Total Change)", "full") >= 30
+    record("table1_quantization", render_table1(study))

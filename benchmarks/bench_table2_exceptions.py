@@ -1,0 +1,30 @@
+"""T2 — Table 2: population, exceptions and overlaps per pattern.
+
+Paper: 23/41/19/14/23/14/7/10 projects; exceptions 0/0/2/1/2/0/0/3;
+zero overlaps.
+"""
+
+from repro.patterns.classifier import ClassificationResult
+from repro.patterns.exceptions import exception_report
+from repro.patterns.taxonomy import PAPER_EXCEPTIONS, PAPER_POPULATION
+from repro.report.render import render_table2
+
+from benchmarks.conftest import record
+
+
+def _report(records):
+    return exception_report(
+        (r.labeled, ClassificationResult(pattern=r.pattern,
+                                         is_exception=r.is_exception))
+        for r in records)
+
+
+def test_table2_exceptions(benchmark, records, study):
+    result = benchmark(_report, records)
+    populations = {row[0]: row[1] for row in result.rows}
+    exceptions = {row[0]: row[2] for row in result.rows}
+    overlaps = {row[0]: row[3] for row in result.rows}
+    assert populations == PAPER_POPULATION
+    assert exceptions == PAPER_EXCEPTIONS
+    assert all(v == 0 for v in overlaps.values())
+    record("table2_exceptions", render_table2(study))

@@ -1,0 +1,118 @@
+"""Profile your own schema history from files on disk.
+
+Demonstrates the two supported on-disk history formats:
+
+1. a directory of timestamp-named ``.sql`` snapshots
+   (``2020-01-15.sql``, ``2020-06-02.sql``, ...), and
+2. a JSONL commit log (one commit per line).
+
+The example writes a sample history in both formats into a temporary
+directory, loads each back, profiles it, and renders an SVG chart next
+to this script.
+
+Run:  python examples/custom_history.py
+"""
+
+import tempfile
+from datetime import datetime
+from pathlib import Path
+
+from repro import quick_profile
+from repro.history import (
+    Commit,
+    SchemaHistory,
+    load_history_from_directory,
+    load_history_from_jsonl,
+    save_history_to_jsonl,
+    schema_heartbeat,
+)
+from repro.patterns import classify_with_tolerance
+from repro.viz import svg_chart
+
+SNAPSHOTS = {
+    "2020-01-15": """
+        CREATE TABLE accounts (id INT PRIMARY KEY, email VARCHAR(255));
+        CREATE TABLE sessions (
+          token VARCHAR(64) PRIMARY KEY,
+          account_id INT REFERENCES accounts (id)
+        );
+    """,
+    "2020-02-03": """
+        CREATE TABLE accounts (
+          id INT PRIMARY KEY,
+          email VARCHAR(255),
+          display_name VARCHAR(80)
+        );
+        CREATE TABLE sessions (
+          token VARCHAR(64) PRIMARY KEY,
+          account_id INT REFERENCES accounts (id),
+          expires_at TIMESTAMP
+        );
+    """,
+    "2021-04-20": """
+        CREATE TABLE accounts (
+          id INT PRIMARY KEY,
+          email VARCHAR(255),
+          display_name VARCHAR(80)
+        );
+        CREATE TABLE sessions (
+          token VARCHAR(64) PRIMARY KEY,
+          account_id INT REFERENCES accounts (id),
+          expires_at TIMESTAMP
+        );
+        CREATE TABLE audit_log (
+          id BIGINT PRIMARY KEY,
+          account_id INT,
+          action VARCHAR(40),
+          at TIMESTAMP
+        );
+    """,
+}
+
+
+def describe(history) -> None:
+    labeled = quick_profile(history)
+    marks = labeled.profile.landmarks
+    result = classify_with_tolerance(labeled)
+    print(f"  {history.project_name}: {marks.pup_months} months, "
+          f"birth M{marks.birth_month}, "
+          f"{labeled.profile.total_activity} affected attributes "
+          f"-> {result.pattern.value}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+
+        # Format 1: directory of timestamped snapshots.
+        snapshot_dir = base / "snapshots"
+        snapshot_dir.mkdir()
+        for date, ddl in SNAPSHOTS.items():
+            (snapshot_dir / f"{date}.sql").write_text(ddl)
+        from_dir = load_history_from_directory(snapshot_dir,
+                                               "dir-history")
+        print("loaded from .sql directory:")
+        describe(from_dir)
+
+        # Format 2: JSONL commit log (write one, read it back).
+        jsonl_path = base / "history.jsonl"
+        commits = [Commit(sha=date, timestamp=datetime.fromisoformat(date),
+                          ddl_text=ddl)
+                   for date, ddl in SNAPSHOTS.items()]
+        save_history_to_jsonl(
+            SchemaHistory("jsonl-history", commits,
+                          project_end=datetime(2022, 6, 30)),
+            jsonl_path)
+        from_jsonl = load_history_from_jsonl(jsonl_path)
+        print("loaded from JSONL commit log:")
+        describe(from_jsonl)
+
+        # Render the heartbeat as SVG next to this script.
+        out = Path(__file__).with_name("custom_history.svg")
+        out.write_text(svg_chart(schema_heartbeat(from_jsonl),
+                                 title=from_jsonl.project_name))
+        print(f"\nwrote chart: {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""The curator scenario of §6.2: predict evolution from the birth month.
+
+"Assume a curator who extracts the history of a software project and its
+relational database. Can the curator make an educated guess on how the
+schema will evolve?" — this example answers that question for a given
+birth month, using the Fig.-7 conditional probabilities computed on the
+study corpus.
+
+Run:  python examples/predict_evolution.py [birth_month]
+"""
+
+import sys
+
+from repro.analysis.prediction import BUCKET_LABELS, birth_bucket
+from repro.corpus import generate_corpus
+from repro.patterns.taxonomy import Family, REAL_PATTERNS, family_of
+from repro.study import records_from_corpus, run_study
+from repro.viz import format_table
+
+
+def main() -> None:
+    birth_month = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+
+    print("building the reference corpus (151 projects) ...")
+    results = run_study(records_from_corpus(generate_corpus()))
+    prediction = results.prediction
+    bucket = birth_bucket(birth_month)
+
+    print(f"\nSchema born in project month M{birth_month} "
+          f"-> bucket '{BUCKET_LABELS[bucket]}'\n")
+
+    rows = []
+    for pattern in sorted(
+            REAL_PATTERNS,
+            key=lambda p: -prediction.probability(p, bucket)):
+        probability = prediction.probability(pattern, bucket)
+        if probability == 0:
+            continue
+        family = family_of(pattern)
+        rows.append([pattern.value, family.value,
+                     f"{probability:.0%}"])
+    print(format_table(["Pattern", "Family", "P(pattern | birth)"],
+                       rows))
+
+    frozen = prediction.frozen_probability(bucket)
+    regular = prediction.family_probability(
+        Family.STAIRWAY_TO_HEAVEN, bucket)
+    late = prediction.family_probability(
+        Family.SCARED_TO_FALL_ASLEEP_AGAIN, bucket)
+
+    print("\nCurator's summary:")
+    print(f"  chance the schema freezes right away "
+          f"(Flatliner/Radical Sign): {frozen:.0%}")
+    print(f"  chance of steady, regular curation:  {regular:.0%}")
+    print(f"  chance of late-life schema change:   {late:.0%}")
+    if frozen >= 0.6:
+        print("  advice: invest in getting the initial schema right — "
+              "change after birth is unlikely.")
+    elif regular >= 0.35:
+        print("  advice: budget recurring time for schema migrations "
+              "and co-evolution of queries.")
+    else:
+        print("  advice: mixed regime — monitor the first months after "
+              "schema birth before planning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""What-if study: how do the corpus-level statistics shift when the
+population mix changes?
+
+The paper speculates (§7) that NoSQL schemas may be "more alive" in
+their evolutionary activity. The generator makes such what-if questions
+testable: build an alternative corpus whose population is skewed toward
+the active patterns (Regularly Curated / Smoking Funnel), run the same
+study, and compare the headline statistics side by side.
+
+Run:  python examples/what_if_mix.py
+"""
+
+from repro.corpus import generate_corpus
+from repro.patterns.taxonomy import Pattern
+from repro.study import compare_studies, records_from_corpus, run_study
+from repro.viz import format_table
+
+#: A hypothetical "lively-schema" population: same corpus size, but the
+#: Stairway/late families dominate instead of Be-Quick-or-Be-Dead.
+LIVELY_MIX = {
+    Pattern.FLATLINER: 8,
+    Pattern.RADICAL_SIGN: 15,
+    Pattern.SIGMOID: 8,
+    Pattern.LATE_RISER: 6,
+    Pattern.QUANTUM_STEPS: 38,
+    Pattern.REGULARLY_CURATED: 45,
+    Pattern.SMOKING_FUNNEL: 21,
+    Pattern.SIESTA: 10,
+}
+
+
+def headline(results) -> dict:
+    stats = results.stats34
+    return {
+        "projects": results.total,
+        "zero active growth months": stats.zero_active_growth,
+        "<=1 active growth months": stats.at_most_one_active_growth,
+        "vault share": f"{stats.vault_share:.0%}",
+        "High/Full volume at birth": stats.high_activity_at_birth,
+        "median activity (all projects)": int(sorted(
+            r.profile.total_activity for r in results.records
+        )[results.total // 2]),
+        "tree misclassified": len(results.tree_misclassified),
+    }
+
+
+def main() -> None:
+    print("running the paper-mix study ...")
+    paper = run_study(records_from_corpus(generate_corpus(seed=5)))
+    print("running the lively-mix what-if study ...")
+    lively = run_study(records_from_corpus(
+        generate_corpus(seed=5, population=LIVELY_MIX)))
+
+    paper_rows = headline(paper)
+    lively_rows = headline(lively)
+    rows = [[key, paper_rows[key], lively_rows[key]]
+            for key in paper_rows]
+    print()
+    print(format_table(["statistic", "paper mix", "lively mix"], rows,
+                       title="What-if — FOSS-like mix vs a lively-schema "
+                             "mix (same generator, same seed)"))
+
+    delta = compare_studies(paper, lively)
+    print("\nTyped deltas (compare_studies):")
+    print(f"  zero-AGM share:  {delta.zero_agm_share_delta:+.0%}")
+    print(f"  vault share:     {delta.vault_share_delta:+.0%}")
+    print(f"  median activity: {delta.median_activity_delta:+.0f}")
+    print(f"  livelier mix:    {delta.livelier}")
+
+    print(
+        "\nReading: with a lively population the aversion-to-change "
+        "signals\n(zero active growth months, vaults, at-birth volume) "
+        "collapse, while the\npattern definitions still separate "
+        "cleanly — the taxonomy itself is\nmix-independent, only the "
+        "population shares move.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "Time-Related Patterns Of Schema Evolution"
+(EDBT 2025).
+
+A complete toolchain for mining time-related patterns from relational
+schema histories:
+
+* :mod:`repro.sqlddl` — SQL DDL lexer/parser/writer (MySQL, PostgreSQL,
+  SQLite flavors);
+* :mod:`repro.schema` — logical schema model and builder;
+* :mod:`repro.diff` — affected-attribute diff engine;
+* :mod:`repro.history` — schema histories, monthly heartbeats;
+* :mod:`repro.metrics` — landmarks, activity measures, progress vectors;
+* :mod:`repro.labels` — Table-1 quantization;
+* :mod:`repro.patterns` — the 8 patterns / 3 families and the classifier;
+* :mod:`repro.mining` — decision tree, Spearman, centroids, clustering;
+* :mod:`repro.analysis` — one module per paper table/figure;
+* :mod:`repro.corpus` — the synthetic 151-project study corpus;
+* :mod:`repro.study` — the one-call study pipeline;
+* :mod:`repro.viz` — ASCII/SVG heartbeat charts and text tables.
+
+Quickstart::
+
+    from repro.corpus import generate_corpus
+    from repro.study import records_from_corpus, run_study
+
+    results = run_study(records_from_corpus(generate_corpus()))
+
+See ``examples/quickstart.py`` for a complete tour.
+"""
+
+from repro.errors import ReproError
+from repro.history.repository import SchemaHistory
+from repro.labels.quantization import LabeledProfile, label_profile
+from repro.metrics.profile import ProjectProfile
+from repro.patterns.classifier import classify, classify_with_tolerance
+from repro.patterns.taxonomy import Family, Pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Family",
+    "LabeledProfile",
+    "Pattern",
+    "ProjectProfile",
+    "ReproError",
+    "SchemaHistory",
+    "__version__",
+    "classify",
+    "classify_with_tolerance",
+    "label_profile",
+    "quick_profile",
+]
+
+
+def quick_profile(history: SchemaHistory) -> LabeledProfile:
+    """Measure and label one schema history in a single call.
+
+    Convenience wrapper: ``label_profile(ProjectProfile.from_history(h))``.
+    """
+    return label_profile(ProjectProfile.from_history(history))

@@ -1,0 +1,60 @@
+"""Study-level analyses: one module per paper artifact.
+
+Every analysis consumes a list of :class:`StudyRecord` (project +
+measured profile + labels + assigned pattern) and returns a typed result
+bundle the report/benchmark layer renders.
+
+* :mod:`repro.analysis.stats_tables` — Table 1 and the §3.4 statistics.
+* :mod:`repro.analysis.coverage` — Fig. 6 active-domain coverage.
+* :mod:`repro.analysis.prediction` — Fig. 7 birth-month probabilities.
+* :mod:`repro.analysis.activity_relation` — §6.1 activity medians.
+* :mod:`repro.analysis.change_mix` — §6.3 expansion/maintenance mixture.
+* :mod:`repro.analysis.normality` — §3.4.1 Shapiro–Wilk tests.
+"""
+
+from repro.analysis.records import StudyRecord, measures_of
+from repro.analysis.stats_tables import (
+    Table1Result,
+    Section34Stats,
+    compute_section34_stats,
+    compute_table1,
+)
+from repro.analysis.coverage import CoverageResult, compute_coverage
+from repro.analysis.prediction import PredictionResult, compute_prediction
+from repro.analysis.activity_relation import (
+    ActivityRelationResult,
+    compute_activity_relation,
+)
+from repro.analysis.change_mix import ChangeMixResult, compute_change_mix
+from repro.analysis.normality import NormalityResult, compute_normality
+from repro.analysis.coevolution import CoevolutionResult, compute_coevolution
+from repro.analysis.families import (
+    FamilyCohesionResult,
+    compute_family_cohesion,
+)
+from repro.analysis.table_level import TableLevelResult, compute_table_level
+
+__all__ = [
+    "ActivityRelationResult",
+    "CoevolutionResult",
+    "FamilyCohesionResult",
+    "TableLevelResult",
+    "compute_coevolution",
+    "compute_family_cohesion",
+    "compute_table_level",
+    "ChangeMixResult",
+    "CoverageResult",
+    "NormalityResult",
+    "PredictionResult",
+    "Section34Stats",
+    "StudyRecord",
+    "Table1Result",
+    "compute_activity_relation",
+    "compute_change_mix",
+    "compute_coverage",
+    "compute_normality",
+    "compute_prediction",
+    "compute_section34_stats",
+    "compute_table1",
+    "measures_of",
+]

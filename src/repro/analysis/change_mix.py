@@ -1,0 +1,131 @@
+"""Mixture of change types per pattern (paper §6.3).
+
+The paper observes: change is biased toward expansion, done mostly at the
+granule of whole tables; the Be-Quick-or-Be-Dead family is frequently
+monothematic (a single change kind) due to its tiny volumes, while the
+more active patterns mix change types.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.records import StudyRecord
+from repro.diff.changes import ChangeKind
+from repro.errors import AnalysisError
+from repro.patterns.taxonomy import Pattern, REAL_PATTERNS
+
+
+@dataclass(frozen=True)
+class ChangeMixRow:
+    """Per-pattern change-type mixture.
+
+    Attributes:
+        pattern: the pattern.
+        count: projects in the pattern.
+        kind_totals: summed events per change kind across the pattern.
+        median_expansion_fraction: median per-project expansion share.
+        table_granule_fraction: share of events that are whole-table
+            births/deletions (the paper's "granule of change is mostly
+            the entire table").
+        monothematic_projects: projects whose *post-birth* change uses a
+            single change kind (or none at all).
+    """
+
+    pattern: Pattern
+    count: int
+    kind_totals: dict[ChangeKind, int]
+    median_expansion_fraction: float
+    table_granule_fraction: float
+    monothematic_projects: int
+
+
+@dataclass(frozen=True)
+class ChangeMixResult:
+    """§6.3 mixture rows plus corpus-wide aggregates.
+
+    Attributes:
+        rows: one row per populated pattern.
+        overall_expansion_fraction: expansion share over all events.
+        overall_table_granule_fraction: whole-table share of all events.
+    """
+
+    rows: tuple[ChangeMixRow, ...]
+    overall_expansion_fraction: float
+    overall_table_granule_fraction: float
+
+    def row(self, pattern: Pattern) -> ChangeMixRow | None:
+        """Row of one pattern, or None when it has no projects."""
+        for row in self.rows:
+            if row.pattern is pattern:
+                return row
+        return None
+
+
+_TABLE_GRANULE = (ChangeKind.BORN_WITH_TABLE,
+                  ChangeKind.DELETED_WITH_TABLE)
+
+
+def _is_monothematic(record: StudyRecord) -> bool:
+    """True when the project's post-birth change uses <= 1 change kind."""
+    series = record.profile.heartbeat
+    if series.breakdowns is None:
+        return True
+    birth = record.profile.birth_month
+    kinds_used = set()
+    for month, breakdown in enumerate(series.breakdowns):
+        if month == birth:
+            continue
+        for kind, count in breakdown.by_kind:
+            if count:
+                kinds_used.add(kind)
+    return len(kinds_used) <= 1
+
+
+def compute_change_mix(records: Sequence[StudyRecord]) -> ChangeMixResult:
+    """Compute the §6.3 change-type mixture.
+
+    Raises:
+        AnalysisError: for an empty corpus.
+    """
+    if not records:
+        raise AnalysisError("empty corpus")
+    rows: list[ChangeMixRow] = []
+    grand_totals = {kind: 0 for kind in ChangeKind}
+    for pattern in REAL_PATTERNS:
+        members = [r for r in records if r.pattern is pattern]
+        if not members:
+            continue
+        kind_totals = {kind: 0 for kind in ChangeKind}
+        fractions: list[float] = []
+        for record in members:
+            breakdown = record.profile.totals.breakdown
+            for kind, count in breakdown.by_kind:
+                kind_totals[kind] += count
+                grand_totals[kind] += count
+            fractions.append(breakdown.expansion_fraction)
+        total_events = sum(kind_totals.values())
+        table_events = sum(kind_totals[k] for k in _TABLE_GRANULE)
+        rows.append(ChangeMixRow(
+            pattern=pattern,
+            count=len(members),
+            kind_totals=kind_totals,
+            median_expansion_fraction=statistics.median(fractions),
+            table_granule_fraction=(table_events / total_events
+                                    if total_events else 0.0),
+            monothematic_projects=sum(1 for r in members
+                                      if _is_monothematic(r)),
+        ))
+    grand_total = sum(grand_totals.values())
+    grand_table = sum(grand_totals[k] for k in _TABLE_GRANULE)
+    grand_expansion = sum(count for kind, count in grand_totals.items()
+                          if kind.is_expansion)
+    return ChangeMixResult(
+        rows=tuple(rows),
+        overall_expansion_fraction=(grand_expansion / grand_total
+                                    if grand_total else 0.0),
+        overall_table_granule_fraction=(grand_table / grand_total
+                                        if grand_total else 0.0),
+    )

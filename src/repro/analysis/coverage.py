@@ -1,0 +1,94 @@
+"""Active-domain coverage of the pattern definitions (paper Fig. 6).
+
+The paper plots which combinations of the defining class-based metrics
+are actually populated, and by which patterns — the visual argument for
+essential disjointedness. This module computes that map and the derived
+disjointedness facts (cells shared by more than one pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.records import StudyRecord
+from repro.errors import AnalysisError
+from repro.patterns.taxonomy import Pattern
+
+#: A coverage cell: the four defining features, AGM bucketed the way the
+#: definitions use it (0, 1–3, >3).
+CoverageCell = tuple[str, str, str, str]
+
+
+def agm_bucket(months: int) -> str:
+    """Bucket active growth months the way the definitions split them."""
+    if months == 0:
+        return "0"
+    if months <= 3:
+        return "1-3"
+    return ">3"
+
+
+def cell_of(record: StudyRecord) -> CoverageCell:
+    """The active-domain cell of one record."""
+    labeled = record.labeled
+    return (
+        labeled.birth_timing.value,
+        labeled.top_band_timing.value,
+        labeled.interval_birth_to_top.value,
+        agm_bucket(labeled.active_growth_months),
+    )
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """The populated region of the defining-feature space.
+
+    Attributes:
+        cells: cell -> {pattern: project count}.
+        total_cells_possible: cardinality of the full Cartesian product.
+    """
+
+    cells: dict[CoverageCell, dict[Pattern, int]]
+    total_cells_possible: int
+
+    @property
+    def populated_cells(self) -> int:
+        """Number of cells that contain at least one project."""
+        return len(self.cells)
+
+    @property
+    def shared_cells(self) -> dict[CoverageCell, dict[Pattern, int]]:
+        """Cells populated by more than one pattern (the paper's few
+        acknowledged overlap spots)."""
+        return {cell: patterns for cell, patterns in self.cells.items()
+                if len(patterns) > 1}
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Share of the feature space that is populated."""
+        return self.populated_cells / self.total_cells_possible
+
+    def dominant_pattern(self, cell: CoverageCell) -> Pattern:
+        """The most populous pattern of a cell."""
+        patterns = self.cells[cell]
+        return max(patterns, key=lambda p: (patterns[p], p.value))
+
+
+def compute_coverage(records: Sequence[StudyRecord]) -> CoverageResult:
+    """Build the Fig.-6 coverage map.
+
+    Raises:
+        AnalysisError: for an empty corpus.
+    """
+    if not records:
+        raise AnalysisError("empty corpus")
+    cells: dict[CoverageCell, dict[Pattern, int]] = {}
+    for record in records:
+        cell = cell_of(record)
+        bucket = cells.setdefault(cell, {})
+        bucket[record.pattern] = bucket.get(record.pattern, 0) + 1
+    # 4 birth classes x 4 top classes x 5 interval classes x 3 AGM buckets.
+    total_possible = 4 * 4 * 5 * 3
+    return CoverageResult(cells=cells,
+                          total_cells_possible=total_possible)

@@ -1,0 +1,64 @@
+"""Family-level cohesion and separation (paper §4 / §5.2 claims).
+
+The paper argues the three families are "pairwise different, and
+internally cohesive". This analysis quantifies that at the family
+level: centroids of the 20-point vectors per family, within-family mean
+distance, and the pairwise centroid gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.records import StudyRecord
+from repro.errors import AnalysisError
+from repro.mining.centroids import CentroidReport, centroid_report
+from repro.patterns.taxonomy import Family, family_of
+
+
+@dataclass(frozen=True)
+class FamilyCohesionResult:
+    """Family-level cohesion/separation statistics.
+
+    Attributes:
+        report: the underlying centroid report keyed by family value.
+        sizes: projects per family.
+        min_between_gap: smallest centroid distance between families.
+        max_within_mdc: largest within-family mean distance.
+    """
+
+    report: CentroidReport
+    sizes: dict[str, int]
+    min_between_gap: float
+    max_within_mdc: float
+
+    @property
+    def families_distinct(self) -> bool:
+        """True when every family pair is separated by a positive gap."""
+        return self.min_between_gap > 0.0
+
+
+def compute_family_cohesion(records: Sequence[StudyRecord]
+                            ) -> FamilyCohesionResult:
+    """Compute family centroids, MDC and pairwise gaps.
+
+    Raises:
+        AnalysisError: when fewer than two families are populated.
+    """
+    groups: dict[str, list] = {}
+    for record in records:
+        family = family_of(record.pattern)
+        if family is None:
+            continue
+        groups.setdefault(family.value, []).append(record.profile.vector)
+    if len(groups) < 2:
+        raise AnalysisError("need at least two populated families")
+    report = centroid_report(groups)
+    gaps = report.pairwise_centroid_distances()
+    return FamilyCohesionResult(
+        report=report,
+        sizes=dict(report.sizes),
+        min_between_gap=min(gaps.values()),
+        max_within_mdc=max(report.mdc.values()),
+    )

@@ -1,0 +1,96 @@
+"""Birth-month conditional pattern probabilities (paper Fig. 7, §6.2).
+
+"Given only the month of schema birth, what will the schema's evolution
+look like?" — the paper's preliminary prediction attempt. The analysis
+buckets projects by the absolute birth month (M0, M1–M6, M7–M12, later)
+and reports P(pattern | bucket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.records import StudyRecord
+from repro.errors import AnalysisError
+from repro.patterns.taxonomy import Pattern, REAL_PATTERNS, family_of, Family
+
+#: Bucket labels, in order.
+BUCKET_LABELS: tuple[str, ...] = ("Born M0", "Born [M1..M6]",
+                                  "Born [M7..M12]", "Not born till M12")
+
+
+def birth_bucket(birth_month: int) -> int:
+    """Map an absolute birth month to its Fig.-7 bucket index."""
+    if birth_month == 0:
+        return 0
+    if birth_month <= 6:
+        return 1
+    if birth_month <= 12:
+        return 2
+    return 3
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """The Fig.-7 table.
+
+    Attributes:
+        counts: pattern -> per-bucket project counts (length 4).
+        bucket_totals: projects per bucket.
+        total: corpus size.
+    """
+
+    counts: dict[Pattern, tuple[int, int, int, int]]
+    bucket_totals: tuple[int, int, int, int]
+    total: int
+
+    def probability(self, pattern: Pattern, bucket: int) -> float:
+        """P(pattern | birth bucket); 0.0 for an empty bucket."""
+        total = self.bucket_totals[bucket]
+        if total == 0:
+            return 0.0
+        return self.counts.get(pattern, (0, 0, 0, 0))[bucket] / total
+
+    def overall_probability(self, pattern: Pattern) -> float:
+        """Unconditional P(pattern)."""
+        return sum(self.counts.get(pattern, (0, 0, 0, 0))) / self.total
+
+    def frozen_probability(self, bucket: int) -> float:
+        """P(completely frozen | bucket): Flatliner or Radical Sign —
+        the paper's 75 %-if-born-in-M0 headline."""
+        return (self.probability(Pattern.FLATLINER, bucket)
+                + self.probability(Pattern.RADICAL_SIGN, bucket))
+
+    def family_probability(self, family: Family, bucket: int) -> float:
+        """P(pattern family | bucket)."""
+        return sum(self.probability(p, bucket) for p in REAL_PATTERNS
+                   if family_of(p) is family)
+
+    def birth_distribution(self) -> tuple[float, float, float, float]:
+        """Share of projects born in each bucket (the paper's side
+        observation: 34 % at M0, 60 % within 6 months, ...)."""
+        return tuple(t / self.total for t in self.bucket_totals)
+
+
+def compute_prediction(records: Sequence[StudyRecord]) -> PredictionResult:
+    """Build the Fig.-7 table from study records.
+
+    Raises:
+        AnalysisError: for an empty corpus.
+    """
+    if not records:
+        raise AnalysisError("empty corpus")
+    counts: dict[Pattern, list[int]] = {p: [0, 0, 0, 0]
+                                        for p in REAL_PATTERNS}
+    bucket_totals = [0, 0, 0, 0]
+    for record in records:
+        bucket = birth_bucket(record.profile.birth_month)
+        bucket_totals[bucket] += 1
+        if record.pattern in counts:
+            counts[record.pattern][bucket] += 1
+    return PredictionResult(
+        counts={p: tuple(v) for p, v in counts.items()},
+        bucket_totals=tuple(bucket_totals),
+        total=len(records),
+    )

@@ -1,0 +1,67 @@
+"""The study record: one classified, labeled, measured project."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.labels.quantization import LabeledProfile
+from repro.metrics.profile import ProjectProfile
+from repro.patterns.taxonomy import Pattern
+
+
+@dataclass(frozen=True)
+class StudyRecord:
+    """One project as it enters the analyses.
+
+    Attributes:
+        name: project name.
+        pattern: the pattern the project is assigned to (ground truth for
+            generated corpora — mirroring the paper's manual annotation —
+            or the tolerant classification for external histories).
+        labeled: the labeled profile.
+        is_exception: True when the assignment violates the pattern's
+            formal definition.
+    """
+
+    name: str
+    pattern: Pattern
+    labeled: LabeledProfile
+    is_exception: bool = False
+
+    @property
+    def profile(self) -> ProjectProfile:
+        """The measured profile."""
+        return self.labeled.profile
+
+
+#: Names of the time-related measures used in Fig. 2 and §3.4.1, in the
+#: order the paper discusses them.
+MEASURE_NAMES: tuple[str, ...] = (
+    "BirthVolume_pctTotal",
+    "PointOfBirth_pctPUP",
+    "PointOfTopBand_pctPUP",
+    "IntervalBirthToTop_pctPUP",
+    "IntervalTopToEnd_pctPUP",
+    "ActiveGrowthMonths",
+    "ActiveMonths_pctGrowth",
+    "ActiveMonths_pctPUP",
+)
+
+
+def measures_of(records: Sequence[StudyRecord]
+                ) -> dict[str, list[float]]:
+    """Extract the Fig.-2 measure vectors from study records."""
+    out: dict[str, list[float]] = {name: [] for name in MEASURE_NAMES}
+    for record in records:
+        marks = record.profile.landmarks
+        out["BirthVolume_pctTotal"].append(marks.birth_volume_fraction)
+        out["PointOfBirth_pctPUP"].append(marks.birth_pct)
+        out["PointOfTopBand_pctPUP"].append(marks.top_band_pct)
+        out["IntervalBirthToTop_pctPUP"].append(
+            marks.interval_birth_to_top_pct)
+        out["IntervalTopToEnd_pctPUP"].append(marks.interval_top_to_end_pct)
+        out["ActiveGrowthMonths"].append(float(marks.active_growth_months))
+        out["ActiveMonths_pctGrowth"].append(marks.active_pct_growth)
+        out["ActiveMonths_pctPUP"].append(marks.active_pct_pup)
+    return out

@@ -1,0 +1,145 @@
+"""Table 1 (label distribution) and the §3.4 statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.records import StudyRecord
+from repro.errors import AnalysisError
+from repro.labels.classes import (
+    ActiveGrowthClass,
+    ActivePupClass,
+    BirthTimingClass,
+    BirthVolumeClass,
+    IntervalBirthToTopClass,
+    IntervalTopToEndClass,
+    TopBandTimingClass,
+)
+
+#: The Table-1 metric rows, in paper order: (row key, enum, attribute of
+#: LabeledProfile holding the label).
+TABLE1_ROWS: tuple[tuple[str, type, str], ...] = (
+    ("Volume of Birth (%Total Change)", BirthVolumeClass, "birth_volume"),
+    ("Time Point of Birth (%PUP)", BirthTimingClass, "birth_timing"),
+    ("Time Point of Top Band (%PUP)", TopBandTimingClass,
+     "top_band_timing"),
+    ("Interval Birth-To-TopBand (%PUP)", IntervalBirthToTopClass,
+     "interval_birth_to_top"),
+    ("Interval TopBand-To-End (%PUP)", IntervalTopToEndClass,
+     "interval_top_to_end"),
+    ("Active Months as %Growth", ActiveGrowthClass, "active_growth"),
+    ("Active Months as %PUP", ActivePupClass, "active_pup"),
+)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Per-metric label counts over the corpus (the paper's Table 1).
+
+    Attributes:
+        rows: metric row key -> {label value: project count}.
+        total: number of projects.
+    """
+
+    rows: dict[str, dict[str, int]]
+    total: int
+
+    def count(self, row: str, label: str) -> int:
+        """Projects carrying ``label`` on metric ``row``."""
+        return self.rows[row].get(label, 0)
+
+
+def compute_table1(records: Sequence[StudyRecord]) -> Table1Result:
+    """Count label memberships per metric (Table 1).
+
+    Raises:
+        AnalysisError: for an empty corpus.
+    """
+    if not records:
+        raise AnalysisError("empty corpus")
+    rows: dict[str, dict[str, int]] = {}
+    for key, enum_cls, attr in TABLE1_ROWS:
+        counts = {member.value: 0 for member in enum_cls}
+        for record in records:
+            counts[getattr(record.labeled, attr).value] += 1
+        rows[key] = counts
+    return Table1Result(rows=rows, total=len(records))
+
+
+@dataclass(frozen=True)
+class Section34Stats:
+    """The headline statistics of §3.4 (and the abstract).
+
+    Attributes:
+        total: corpus size.
+        born_at_v0: projects whose schema is born at month 0.
+        born_first_10pct: schemata born in the first 10 % of time
+            (paper: ~half the corpus).
+        born_first_25pct: born at V0 or before 25 % of the PUP
+            (paper: ~105 of 151).
+        top_attained_first_25pct: projects reaching the top band at V0 or
+            before 25 % of the PUP (paper: 64, i.e. 42 %).
+        high_activity_at_birth: projects at High or Full volume of birth
+            (paper: 83).
+        full_activity_at_birth: projects at Full volume (paper: 39).
+        vault_share: fraction of projects with a vault (paper: 58 %).
+        zero_active_growth: projects with zero active growth months
+            (paper: 98, i.e. 2/3).
+        at_most_one_active_growth: projects with <= 1 active growth month
+            (paper: 115, i.e. 76 %).
+        interval_birth_top_under_10pct: projects whose growth interval is
+            under 10 % of the PUP (paper: 88).
+        interval_birth_top_zero: projects with a zero growth interval
+            (paper: 62).
+    """
+
+    total: int
+    born_at_v0: int
+    born_first_10pct: int
+    born_first_25pct: int
+    top_attained_first_25pct: int
+    high_activity_at_birth: int
+    full_activity_at_birth: int
+    vault_share: float
+    zero_active_growth: int
+    at_most_one_active_growth: int
+    interval_birth_top_under_10pct: int
+    interval_birth_top_zero: int
+
+
+def compute_section34_stats(records: Sequence[StudyRecord]
+                            ) -> Section34Stats:
+    """Compute the §3.4 headline statistics.
+
+    Raises:
+        AnalysisError: for an empty corpus.
+    """
+    if not records:
+        raise AnalysisError("empty corpus")
+    total = len(records)
+    marks = [r.profile.landmarks for r in records]
+    labels = [r.labeled for r in records]
+    return Section34Stats(
+        total=total,
+        born_at_v0=sum(1 for m in marks if m.birth_month == 0),
+        born_first_10pct=sum(1 for m in marks if m.birth_pct <= 0.10),
+        born_first_25pct=sum(1 for m in marks if m.birth_pct <= 0.25),
+        top_attained_first_25pct=sum(
+            1 for m in marks if m.top_band_pct <= 0.25),
+        high_activity_at_birth=sum(
+            1 for l in labels
+            if l.birth_volume in (BirthVolumeClass.HIGH,
+                                  BirthVolumeClass.FULL)),
+        full_activity_at_birth=sum(
+            1 for l in labels if l.birth_volume is BirthVolumeClass.FULL),
+        vault_share=sum(1 for m in marks if m.has_vault) / total,
+        zero_active_growth=sum(
+            1 for m in marks if m.active_growth_months == 0),
+        at_most_one_active_growth=sum(
+            1 for m in marks if m.active_growth_months <= 1),
+        interval_birth_top_under_10pct=sum(
+            1 for m in marks if m.interval_birth_to_top_pct < 0.10),
+        interval_birth_top_zero=sum(
+            1 for m in marks if m.interval_birth_to_top_months == 0),
+    )

@@ -1,0 +1,307 @@
+"""Command-line interface: ``repro-schema`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``generate`` — build the synthetic 151-project corpus and save it.
+* ``study`` — run the full study (optionally on a saved corpus) and
+  print every paper table/figure.
+* ``profile`` — measure, label and classify one schema history
+  (directory of .sql files or a JSONL commit log).
+* ``chart`` — render a history's heartbeat as ASCII or SVG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import report
+from repro.corpus.dataset import load_corpus, save_corpus
+from repro.corpus.generator import DEFAULT_SEED, generate_corpus
+from repro.errors import ReproError
+from repro.history.heartbeat import schema_heartbeat
+from repro.history.repository import (
+    load_history_from_directory,
+    load_history_from_jsonl,
+)
+from repro.labels.quantization import label_profile
+from repro.metrics.profile import ProjectProfile
+from repro.patterns.classifier import classify_with_tolerance
+from repro.study.pipeline import records_from_corpus, run_study
+from repro.viz.ascii_chart import ascii_chart
+from repro.viz.svg_chart import svg_chart
+
+
+def _load_history(path: str):
+    from repro.errors import HistoryError
+    target = Path(path)
+    try:
+        if target.is_dir():
+            return load_history_from_directory(target)
+        return load_history_from_jsonl(target)
+    except OSError as exc:
+        raise HistoryError(f"cannot read history {path}: {exc}") from exc
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    corpus = generate_corpus(seed=args.seed)
+    save_corpus(corpus, args.output)
+    print(f"wrote {len(corpus)} projects to {args.output} "
+          f"(seed {corpus.seed})")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    if args.corpus:
+        corpus = load_corpus(args.corpus)
+    else:
+        corpus = generate_corpus(seed=args.seed)
+    results = run_study(records_from_corpus(corpus))
+    sections = [
+        report.render_table1(results),
+        report.render_table2(results),
+        report.render_correlations(results),
+        report.render_fig4_overview(results),
+        report.render_tree(results),
+        report.render_coverage(results),
+        report.render_prediction(results),
+        report.render_section34(results),
+        report.render_section52(results),
+        report.render_section61(results),
+        report.render_section63(results),
+    ]
+    print(("\n\n" + "=" * 72 + "\n\n").join(sections))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    history = _load_history(args.history)
+    profile = ProjectProfile.from_history(history)
+    labeled = label_profile(profile)
+    result = classify_with_tolerance(labeled)
+    marks = profile.landmarks
+    print(f"project:            {history.project_name}")
+    print(f"PUP (months):       {marks.pup_months}")
+    print(f"schema birth:       month {marks.birth_month} "
+          f"({marks.birth_pct:.0%} of life)")
+    print(f"birth volume:       {marks.birth_volume_fraction:.0%} "
+          f"of total activity")
+    print(f"top band (90%):     month {marks.top_band_month} "
+          f"({marks.top_band_pct:.0%} of life)")
+    print(f"active growth mo.:  {marks.active_growth_months}")
+    print(f"vault:              {marks.has_vault}")
+    print(f"labels:             {labeled.feature_dict()}")
+    suffix = " (exception)" if result.is_exception else ""
+    print(f"pattern:            {result.pattern.value}{suffix}")
+    from repro.patterns.describe import describe
+    from repro.patterns.taxonomy import Pattern
+    if result.pattern is not Pattern.UNCLASSIFIED:
+        description = describe(result.pattern)
+        print(f"shape:              {description.shape}")
+        print(f"meaning:            {description.meaning}")
+        print(f"advice:             {description.advice}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    """Classify every history found under a directory."""
+    from repro.errors import HistoryError
+    from repro.history.filters import filter_study_corpus
+    from repro.viz.tables import format_table
+
+    root = Path(args.directory)
+    histories = []
+    for entry in sorted(root.iterdir()) if root.is_dir() else []:
+        try:
+            if entry.is_dir():
+                histories.append(load_history_from_directory(entry))
+            elif entry.suffix == ".jsonl":
+                histories.append(load_history_from_jsonl(entry))
+        except (HistoryError, OSError) as exc:
+            print(f"skipping {entry.name}: {exc}", file=sys.stderr)
+    if not histories:
+        print(f"error: no histories found under {root}", file=sys.stderr)
+        return 1
+
+    if args.apply_protocol:
+        result = filter_study_corpus(histories)
+        for excluded in result.excluded:
+            print(f"excluded {excluded.name}: {excluded.reason}",
+                  file=sys.stderr)
+        histories = list(result.kept)
+
+    rows = []
+    for history in histories:
+        profile = ProjectProfile.from_history(history)
+        labeled = label_profile(profile)
+        outcome = classify_with_tolerance(labeled)
+        rows.append([
+            history.project_name, profile.pup_months,
+            profile.birth_month, profile.total_activity,
+            outcome.pattern.value
+            + (" (exception)" if outcome.is_exception else ""),
+        ])
+    print(format_table(
+        ["project", "PUP", "birth", "activity", "pattern"], rows,
+        title=f"Classified {len(rows)} histories"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report.markdown import markdown_report
+    if args.corpus:
+        corpus = load_corpus(args.corpus)
+    else:
+        corpus = generate_corpus(seed=args.seed)
+    results = run_study(records_from_corpus(corpus))
+    Path(args.output).write_text(markdown_report(results))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.report.export import export_dataset
+    if args.corpus:
+        corpus = load_corpus(args.corpus)
+    else:
+        corpus = generate_corpus(seed=args.seed)
+    records = records_from_corpus(corpus)
+    paths = export_dataset(records, args.output)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.diff.engine import DiffOptions, diff_schemas
+    from repro.errors import HistoryError
+    from repro.schema.builder import build_schema
+    from repro.sqlddl.parser import parse_script
+
+    def load(path: str):
+        try:
+            return build_schema(parse_script(Path(path).read_text()))
+        except OSError as exc:
+            raise HistoryError(f"cannot read {path}: {exc}") from exc
+
+    old_schema = load(args.old)
+    new_schema = load(args.new)
+    options = DiffOptions(detect_renames=args.detect_renames)
+    delta = diff_schemas(old_schema, new_schema, options)
+    print(f"tables added:   {', '.join(delta.tables_added) or '-'}")
+    print(f"tables dropped: {', '.join(delta.tables_dropped) or '-'}")
+    if delta.tables_renamed:
+        renames = ", ".join(f"{a}->{b}" for a, b in delta.tables_renamed)
+        print(f"tables renamed: {renames}")
+    print(f"affected attributes: {delta.total_affected} "
+          f"({delta.expansion_count} expansion / "
+          f"{delta.maintenance_count} maintenance)")
+    for change in delta:
+        detail = f"  [{change.detail}]" if change.detail else ""
+        print(f"  {change.kind.value:20s} {change.table}."
+              f"{change.attribute}{detail}")
+    if args.migration:
+        from repro.diff.migrate import migration_script
+        Path(args.migration).write_text(
+            migration_script(old_schema, new_schema, options))
+        print(f"wrote migration script: {args.migration}")
+    return 0
+
+
+def _cmd_chart(args: argparse.Namespace) -> int:
+    history = _load_history(args.history)
+    series = schema_heartbeat(history)
+    if args.svg:
+        Path(args.svg).write_text(
+            svg_chart(series, title=history.project_name))
+        print(f"wrote {args.svg}")
+    else:
+        print(ascii_chart(series, title=history.project_name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-schema",
+        description="Time-related patterns of schema evolution "
+                    "(EDBT 2025 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser("generate",
+                                help="generate the synthetic corpus")
+    p_generate.add_argument("output", help="output corpus JSON path")
+    p_generate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_study = sub.add_parser("study", help="run the full study")
+    p_study.add_argument("--corpus", help="saved corpus JSON "
+                                          "(default: regenerate)")
+    p_study.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_study.set_defaults(func=_cmd_study)
+
+    p_profile = sub.add_parser("profile",
+                               help="profile one schema history")
+    p_profile.add_argument("history",
+                           help=".sql directory or JSONL commit log")
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_classify = sub.add_parser(
+        "classify", help="classify every history in a directory")
+    p_classify.add_argument("directory",
+                            help="directory of history subdirs/.jsonl")
+    p_classify.add_argument("--apply-protocol", action="store_true",
+                            help="apply the paper's corpus-selection "
+                                 "protocol first (Sec. 3.1)")
+    p_classify.set_defaults(func=_cmd_classify)
+
+    p_report = sub.add_parser("report",
+                              help="write the full study as Markdown")
+    p_report.add_argument("output", help="output .md path")
+    p_report.add_argument("--corpus", help="saved corpus JSON "
+                                           "(default: regenerate)")
+    p_report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_export = sub.add_parser("export",
+                              help="export the study dataset as CSV")
+    p_export.add_argument("output", help="output directory")
+    p_export.add_argument("--corpus", help="saved corpus JSON "
+                                           "(default: regenerate)")
+    p_export.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_export.set_defaults(func=_cmd_export)
+
+    p_diff = sub.add_parser("diff",
+                            help="logical diff of two .sql files")
+    p_diff.add_argument("old", help="earlier DDL file")
+    p_diff.add_argument("new", help="later DDL file")
+    p_diff.add_argument("--detect-renames", action="store_true",
+                        help="match renamed tables by attribute overlap")
+    p_diff.add_argument("--migration", metavar="OUT.SQL",
+                        help="also write a migration script "
+                             "transforming OLD into NEW")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_chart = sub.add_parser("chart", help="chart one schema history")
+    p_chart.add_argument("history",
+                         help=".sql directory or JSONL commit log")
+    p_chart.add_argument("--svg", help="write SVG to this path instead "
+                                       "of printing ASCII")
+    p_chart.set_defaults(func=_cmd_chart)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

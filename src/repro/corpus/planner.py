@@ -1,0 +1,187 @@
+"""Landmark plans: where activity lands on the month axis.
+
+A :class:`LandmarkPlan` fixes, in exact integer attribute units, how much
+schema activity happens in which project month, such that the measured
+landmarks (birth volume, top-band month, active growth months) are
+guaranteed to hit their targets. :func:`plan_schedule` performs the
+integer arithmetic and validates feasibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import CorpusError
+
+#: 90 % threshold mirrored from :mod:`repro.metrics.landmarks`.
+_TOP_BAND = 0.9
+
+
+@dataclass(frozen=True)
+class LandmarkPlan:
+    """An exact activity plan for one synthetic project.
+
+    Attributes:
+        pup_months: project update period (months).
+        birth_month: month of the first DDL commit.
+        top_month: month at which cumulative activity first reaches 90 %.
+        schedule: month -> attribute units; includes the birth month and
+            every later active month.
+        maintenance_bias: fraction (0..1) of *post-birth* units the DDL
+            scribe should realize as maintenance rather than expansion.
+    """
+
+    pup_months: int
+    birth_month: int
+    top_month: int
+    schedule: dict[int, int] = field(default_factory=dict)
+    maintenance_bias: float = 0.25
+
+    @property
+    def total_units(self) -> int:
+        """Total attribute units over the whole plan."""
+        return sum(self.schedule.values())
+
+    @property
+    def birth_units(self) -> int:
+        """Units charged to the birth month."""
+        return self.schedule.get(self.birth_month, 0)
+
+    @property
+    def active_growth_months(self) -> int:
+        """Active months strictly between birth and top."""
+        return sum(1 for m, v in self.schedule.items()
+                   if self.birth_month < m < self.top_month and v > 0)
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`CorpusError`."""
+        if self.pup_months < 1:
+            raise CorpusError("plan needs at least one month")
+        if not 0 <= self.birth_month < self.pup_months:
+            raise CorpusError(f"birth month {self.birth_month} outside "
+                              f"{self.pup_months}-month project")
+        if not self.birth_month <= self.top_month < self.pup_months:
+            raise CorpusError(f"top month {self.top_month} outside "
+                              f"[birth, end)")
+        if any(m < self.birth_month or m >= self.pup_months
+               for m in self.schedule):
+            raise CorpusError("scheduled month outside [birth, end)")
+        if any(v <= 0 for v in self.schedule.values()):
+            raise CorpusError("scheduled months must carry positive units")
+        if self.birth_units < 1:
+            raise CorpusError("birth month must carry at least one unit")
+        total = self.total_units
+        running = 0
+        crossed_at = None
+        for month in range(self.pup_months):
+            running += self.schedule.get(month, 0)
+            if crossed_at is None and running >= _TOP_BAND * total - 1e-9:
+                crossed_at = month
+        if crossed_at != self.top_month:
+            raise CorpusError(
+                f"plan crosses the top band at month {crossed_at}, "
+                f"not the intended {self.top_month}")
+
+
+def _spread(rng: random.Random, total: int, parts: int,
+            cap_per_part: int | None = None) -> list[int]:
+    """Split ``total`` into ``parts`` positive integers (random split)."""
+    if parts <= 0:
+        return []
+    if total < parts:
+        raise CorpusError(f"cannot split {total} units into {parts} "
+                          f"positive parts")
+    amounts = [1] * parts
+    remainder = total - parts
+    for _ in range(remainder):
+        index = rng.randrange(parts)
+        if cap_per_part is not None and amounts[index] >= cap_per_part:
+            index = min(range(parts), key=lambda i: amounts[i])
+        amounts[index] += 1
+    return amounts
+
+
+def plan_schedule(rng: random.Random, *, pup_months: int, birth_month: int,
+                  top_month: int, birth_units: int, agm: int,
+                  post_units: int, tail_months: int = 0,
+                  maintenance_bias: float = 0.25) -> LandmarkPlan:
+    """Build an exact activity schedule hitting the requested landmarks.
+
+    Args:
+        rng: seeded random generator.
+        pup_months: project duration in months.
+        birth_month: intended schema-birth month.
+        top_month: intended top-band attainment month.
+        birth_units: attribute units at birth (>= 1).
+        agm: intended active growth months (strictly between birth and
+            top); requires ``top_month - birth_month >= agm + 1``.
+        post_units: units after the birth month (growth + tail).
+        tail_months: active months after the top month (their units stay
+            under 10 % of the total so the top month keeps its crossing).
+        maintenance_bias: passed through to the plan.
+
+    Raises:
+        CorpusError: when the request is arithmetically unsatisfiable.
+    """
+    if birth_units < 1:
+        raise CorpusError("birth_units must be >= 1")
+    if post_units < 0:
+        raise CorpusError("post_units cannot be negative")
+    total = birth_units + post_units
+    interval = top_month - birth_month
+
+    if interval == 0:
+        # Top band at birth: the birth must carry >= 90 % of the total.
+        if birth_units < _TOP_BAND * total - 1e-9:
+            raise CorpusError(
+                f"top-at-birth needs birth_units >= 90% of total "
+                f"({birth_units}/{total})")
+        if agm != 0:
+            raise CorpusError("agm must be 0 when top == birth")
+        schedule = {birth_month: birth_units}
+        tail_budget = post_units
+    else:
+        if agm > max(interval - 1, 0):
+            raise CorpusError(f"agm {agm} does not fit in a "
+                              f"{interval}-month growth interval")
+        # Units after the top month must stay strictly under 10 % of the
+        # total, otherwise the crossing month moves past top_month.
+        max_tail = int((total - _TOP_BAND * total) - 1e-9)
+        max_tail = max(min(max_tail, post_units - agm - 1), 0)
+        tail_budget = min(max_tail, tail_months * 3) if tail_months else 0
+        growth_units = post_units - tail_budget
+        if growth_units < agm + 1:
+            raise CorpusError(
+                f"growth needs at least {agm + 1} units, "
+                f"got {growth_units}")
+        # Interior months must not cross the band before the top month.
+        interior_cap = int(_TOP_BAND * total - 1e-9) - birth_units
+        interior_cap = min(interior_cap, growth_units - 1)
+        if agm > 0 and interior_cap < agm:
+            raise CorpusError(
+                f"interior months cannot carry {agm} units without "
+                f"crossing the band early")
+        interior_sum = rng.randint(agm, interior_cap) if agm > 0 else 0
+        top_units = growth_units - interior_sum
+        schedule = {birth_month: birth_units, top_month: top_units}
+        if agm > 0:
+            months = rng.sample(range(birth_month + 1, top_month), agm)
+            for month, units in zip(sorted(months),
+                                    _spread(rng, interior_sum, agm)):
+                schedule[month] = units
+
+    if tail_budget > 0:
+        tail_slots = list(range(top_month + 1, pup_months))
+        if tail_slots:
+            count = min(len(tail_slots), max(tail_months, 1), tail_budget)
+            months = rng.sample(tail_slots, count)
+            for month, units in zip(sorted(months),
+                                    _spread(rng, tail_budget, count)):
+                schedule[month] = units
+
+    plan = LandmarkPlan(pup_months=pup_months, birth_month=birth_month,
+                        top_month=top_month, schedule=schedule,
+                        maintenance_bias=maintenance_bias)
+    plan.validate()
+    return plan

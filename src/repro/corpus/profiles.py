@@ -1,0 +1,404 @@
+"""Per-pattern landmark samplers.
+
+Every sampler draws a :class:`~repro.corpus.planner.LandmarkPlan` inside
+its pattern's defining label region, calibrated against the paper:
+
+* population counts per pattern (Table 2),
+* the per-pattern distribution of birth months (Fig. 7's four buckets:
+  M0, M1–M6, M7–M12, after M12),
+* post-birth activity magnitudes (§6.1 medians: Radical Sign ≈ 13,
+  Siesta ≈ 17, Quantum Steps ≈ 22, Smoking Funnel ≈ 189, Regularly
+  Curated ≈ 250),
+* the documented exceptions (Table 2 / §5.2), injected as near-miss
+  plans violating exactly one defining clause.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.corpus.planner import LandmarkPlan, plan_schedule
+from repro.errors import CorpusError
+from repro.patterns.taxonomy import Pattern
+
+#: Fig. 7 — births per bucket (M0, M1–M6, M7–M12, after M12) per pattern.
+BIRTH_BUCKETS: dict[Pattern, tuple[int, int, int, int]] = {
+    Pattern.FLATLINER: (23, 0, 0, 0),
+    Pattern.RADICAL_SIGN: (16, 19, 5, 1),
+    Pattern.SIGMOID: (0, 1, 2, 16),
+    Pattern.LATE_RISER: (0, 0, 0, 14),
+    Pattern.QUANTUM_STEPS: (4, 11, 2, 6),
+    Pattern.REGULARLY_CURATED: (3, 4, 3, 4),
+    Pattern.SMOKING_FUNNEL: (0, 0, 0, 7),
+    Pattern.SIESTA: (6, 3, 1, 0),
+}
+
+#: Exception kinds injected per pattern (length matches Table 2 counts).
+EXCEPTION_KINDS: dict[Pattern, tuple[str, ...]] = {
+    Pattern.SIGMOID: ("early-birth", "early-birth"),
+    Pattern.LATE_RISER: ("fair-interval",),
+    Pattern.QUANTUM_STEPS: ("late-top", "late-top"),
+    Pattern.SIESTA: ("active-growth", "active-growth", "long-interval"),
+}
+
+_BUCKET_MONTHS = {0: (0, 0), 1: (1, 6), 2: (7, 12), 3: (13, 240)}
+_MAX_TRIES = 4000
+
+
+def _pick_pup_birth(rng: random.Random, bucket: int, pct_lo: float,
+                    pct_hi: float, pup_range: tuple[int, int] = (14, 120),
+                    ) -> tuple[int, int]:
+    """Sample (pup_months, birth_month) with the birth inside the given
+    Fig-7 bucket *and* inside the (pct_lo, pct_hi] timing-class region.
+
+    A pct range of (-1, 0] selects month 0 (the V0 class).
+
+    Raises:
+        CorpusError: when no consistent combination exists.
+    """
+    lo_m, hi_m = _BUCKET_MONTHS[bucket]
+    for _ in range(_MAX_TRIES):
+        pup = rng.randint(*pup_range)
+        months = [m for m in range(lo_m, min(hi_m, pup - 1) + 1)
+                  if pct_lo < _pct(m, pup) <= pct_hi
+                  or (m == 0 and pct_hi >= 0 >= pct_lo)]
+        if pct_lo < 0:  # V0 request
+            months = [0] if lo_m == 0 else []
+        if months:
+            return pup, rng.choice(months)
+    raise CorpusError(
+        f"no (pup, birth) for bucket {bucket}, pct ({pct_lo}, {pct_hi}], "
+        f"pup range {pup_range}")
+
+
+def _pct(month: int, pup: int) -> float:
+    return month / (pup - 1) if pup > 1 else 0.0
+
+
+def _pick_top(rng: random.Random, pup: int, birth: int,
+              top_lo: float, top_hi: float,
+              interval_lo: float, interval_hi: float) -> int:
+    """Sample a top-band month whose timing class and interval class both
+    land in the requested (lo, hi] pct regions.
+
+    An interval range of (-1, 0] selects ``top == birth``.
+
+    Raises:
+        CorpusError: when the region is empty.
+    """
+    if interval_hi <= 0:
+        if top_lo < _pct(birth, pup) <= top_hi or (birth == 0 and top_hi >= 0):
+            return birth
+        raise CorpusError("zero interval incompatible with top class")
+    months = [
+        m for m in range(birth, pup)
+        if (top_lo < _pct(m, pup) <= top_hi)
+        and (interval_lo < _pct(m - birth, pup) <= interval_hi)
+        and m > birth
+    ]
+    if not months:
+        raise CorpusError(
+            f"no top month: pup={pup} birth={birth} "
+            f"top ({top_lo}, {top_hi}] interval "
+            f"({interval_lo}, {interval_hi}]")
+    return rng.choice(months)
+
+
+def _activity(rng: random.Random, median: int, spread: float = 0.8) -> int:
+    """Positive activity magnitude with roughly the requested median.
+
+    Log-normal-ish: ``median * exp(gauss(0, spread))`` rounded, min 1.
+    """
+    return max(1, round(median * 2.718 ** rng.gauss(0.0, spread)))
+
+
+def _birth_units_for_fraction(post_units: int, fraction: float) -> int:
+    """Birth units B with B / (B + post) ≈ fraction (B >= 1)."""
+    if fraction >= 1.0:
+        raise CorpusError("use post_units=0 for full birth volume")
+    return max(1, round(post_units * fraction / (1.0 - fraction)))
+
+
+@dataclass(frozen=True)
+class PatternSampler:
+    """Sampler of landmark plans for one pattern.
+
+    Attributes:
+        pattern: the target pattern.
+        draw: the sampling function ``(rng, bucket, exception_kind)``.
+    """
+
+    pattern: Pattern
+    draw: Callable[[random.Random, int, str | None], LandmarkPlan]
+
+    def sample(self, rng: random.Random, bucket: int,
+               exception_kind: str | None = None) -> LandmarkPlan:
+        """Draw one plan; retries transient geometric dead-ends."""
+        last_error: CorpusError | None = None
+        for _ in range(60):
+            try:
+                return self.draw(rng, bucket, exception_kind)
+            except CorpusError as exc:
+                last_error = exc
+        raise CorpusError(
+            f"sampler for {self.pattern.value} failed: {last_error}")
+
+
+# ----------------------------------------------------------------------
+# Be Quick or Be Dead
+
+
+def _draw_flatliner(rng: random.Random, bucket: int,
+                    exception_kind: str | None) -> LandmarkPlan:
+    """Born at V0 at full volume; occasionally a tiny, very late tail."""
+    del bucket, exception_kind  # flatliners: always V0, no exceptions
+    pup = rng.randint(14, 120)
+    birth_units = rng.randint(4, 70)
+    tail = 0
+    if rng.random() < 0.2 and birth_units >= 20:
+        # Keep birth >= 90 % so the top band stays at V0.
+        tail = rng.randint(1, max(1, birth_units // 10 - 1))
+    return plan_schedule(rng, pup_months=pup, birth_month=0, top_month=0,
+                         birth_units=birth_units, agm=0, post_units=tail,
+                         tail_months=1 if tail else 0,
+                         maintenance_bias=0.0)
+
+
+def _draw_radical_sign(rng: random.Random, bucket: int,
+                       exception_kind: str | None) -> LandmarkPlan:
+    """Born at V0/early, vaults to the top early; §6.1 median ≈ 13."""
+    del exception_kind  # Radical Sign has no Table-2 exceptions
+    if bucket == 0:
+        pup, birth = _pick_pup_birth(rng, 0, -1.0, 0.0)
+    else:
+        pup_range = (14, 120) if bucket < 3 else (53, 160)
+        pup, birth = _pick_pup_birth(rng, bucket, 0.0, 0.25, pup_range)
+    if birth > 0 and rng.random() < 0.35:
+        # One third of the early-born projects never change after birth
+        # (Full birth volume) — the paper's strong at-birth skew.
+        post = 0
+        birth_units = rng.randint(6, 60)
+        top = birth
+    else:
+        post = _activity(rng, 13)
+        fraction = rng.uniform(0.6, 0.88)
+        birth_units = _birth_units_for_fraction(post, fraction)
+        if birth == 0 or rng.random() < 0.75:
+            # Climb: top strictly after birth, still in the early region.
+            top = _pick_top(rng, pup, birth, 0.0, 0.25, 0.0, 0.25)
+        else:
+            # Immediate vault: birth carries >= 90 %.
+            birth_units = max(birth_units, 9 * post + 1)
+            top = birth
+    agm = 0
+    interval = top - birth
+    if interval >= 2 and rng.random() < 0.4:
+        agm = rng.randint(1, min(2, interval - 1))
+    return plan_schedule(rng, pup_months=pup, birth_month=birth,
+                         top_month=top, birth_units=birth_units, agm=agm,
+                         post_units=post, maintenance_bias=0.3)
+
+
+def _draw_sigmoid(rng: random.Random, bucket: int,
+                  exception_kind: str | None) -> LandmarkPlan:
+    """Mid-life birth, (almost) immediate freeze."""
+    if exception_kind == "early-birth":
+        # Violates only the "middle-born" clause: birth early, top just
+        # across the middle boundary, interval still zero/soon.
+        pup = rng.randint(40, 120)
+        birth = max(1, round(rng.uniform(0.18, 0.245) * (pup - 1)))
+        top = _pick_top(rng, pup, birth, 0.25, 0.40, 0.0, 0.10)
+    else:
+        pup_range = (14, 120) if bucket < 3 else (19, 120)
+        pup, birth = _pick_pup_birth(rng, bucket, 0.25, 0.70, pup_range)
+        if rng.random() < 0.55:
+            top = birth
+        else:
+            top = _pick_top(rng, pup, birth, 0.25, 0.75, 0.0, 0.10)
+    post = _activity(rng, 3, spread=0.6)
+    if top == birth and rng.random() < 0.5:
+        post = 0  # completely frozen after the mid-life jump
+    if top == birth:
+        birth_units = max(9 * post + 1, rng.randint(8, 60))
+    else:
+        fraction = rng.uniform(0.55, 0.88)
+        birth_units = _birth_units_for_fraction(post, fraction)
+    agm = 1 if (top - birth) >= 2 and rng.random() < 0.3 else 0
+    return plan_schedule(rng, pup_months=pup, birth_month=birth,
+                         top_month=top, birth_units=birth_units, agm=agm,
+                         post_units=post, maintenance_bias=0.25)
+
+
+def _draw_late_riser(rng: random.Random, bucket: int,
+                     exception_kind: str | None) -> LandmarkPlan:
+    """Late birth, immediate freeze, short tail."""
+    pup_range = (18, 120)
+    pup, birth = _pick_pup_birth(rng, max(bucket, 3), 0.75, 1.0, pup_range)
+    if exception_kind == "fair-interval":
+        # Violates only the interval clause: the rise takes "fair" time.
+        top = _pick_top(rng, pup, birth, 0.75, 1.0, 0.10, 0.20)
+        post = _activity(rng, 6, spread=0.5)
+        fraction = rng.uniform(0.55, 0.80)
+        birth_units = _birth_units_for_fraction(post, fraction)
+        agm = 0
+    else:
+        post = _activity(rng, 2, spread=0.6) if rng.random() < 0.5 else 0
+        if post and rng.random() < 0.5:
+            top = _pick_top(rng, pup, birth, 0.75, 1.0, 0.0, 0.10)
+            fraction = rng.uniform(0.76, 0.88)
+            birth_units = _birth_units_for_fraction(post, fraction)
+        else:
+            top = birth
+            birth_units = max(9 * post + 1, rng.randint(6, 50))
+        agm = 0
+    return plan_schedule(rng, pup_months=pup, birth_month=birth,
+                         top_month=top, birth_units=birth_units, agm=agm,
+                         post_units=post, maintenance_bias=0.2)
+
+
+# ----------------------------------------------------------------------
+# Stairway to Heaven
+
+
+def _draw_quantum_steps(rng: random.Random, bucket: int,
+                        exception_kind: str | None) -> LandmarkPlan:
+    """Few focused steps between birth and top; §6.1 median ≈ 22."""
+    post = _activity(rng, 22, spread=0.7)
+    if exception_kind == "late-top":
+        # Variant-1 shape whose top lands late (violates only the top
+        # class). Birth must be strictly after V0: with birth at month 0
+        # a late top would force a VERY_LONG interval (two violations).
+        pup, birth = _pick_pup_birth(rng, max(bucket, 1), 0.0, 0.25,
+                                     (30, 120))
+        top = _pick_top(rng, pup, birth, 0.75, 0.92, 0.35, 0.75)
+    elif bucket == 3 and rng.random() < 0.8:
+        # Variant 2: middle-born, late top.
+        pup, birth = _pick_pup_birth(rng, 3, 0.25, 0.60, (20, 120))
+        top = _pick_top(rng, pup, birth, 0.75, 1.0, 0.10, 0.75)
+    else:
+        # Variant 1: early-born, middle top.
+        if bucket == 0:
+            pup, birth = _pick_pup_birth(rng, 0, -1.0, 0.0, (20, 120))
+        else:
+            pup_range = (20, 120) if bucket < 3 else (53, 160)
+            pup, birth = _pick_pup_birth(rng, bucket, 0.0, 0.25, pup_range)
+        top = _pick_top(rng, pup, birth, 0.25, 0.75, 0.10, 0.75)
+    interval = top - birth
+    agm = rng.randint(0, min(3, max(interval - 1, 0)))
+    fraction = rng.uniform(0.5, 0.85)
+    birth_units = _birth_units_for_fraction(post, fraction)
+    return plan_schedule(rng, pup_months=pup, birth_month=birth,
+                         top_month=top, birth_units=birth_units, agm=agm,
+                         post_units=post, maintenance_bias=0.3)
+
+
+def _draw_regularly_curated(rng: random.Random, bucket: int,
+                            exception_kind: str | None) -> LandmarkPlan:
+    """Dense, steady curation; §6.1 median ≈ 250."""
+    del exception_kind  # no Table-2 exceptions
+    post = _activity(rng, 250, spread=0.6)
+    if bucket == 3 and rng.random() < 0.75:
+        # Variant 2: middle-born, late top, fair/long interval.
+        pup, birth = _pick_pup_birth(rng, 3, 0.25, 0.60, (24, 120))
+        top = _pick_top(rng, pup, birth, 0.75, 1.0, 0.10, 0.75)
+    else:
+        # Variant 1: early-born, (very) long climb to a middle/late top.
+        if bucket == 0:
+            pup, birth = _pick_pup_birth(rng, 0, -1.0, 0.0, (24, 120))
+        else:
+            pup_range = (24, 120) if bucket < 3 else (53, 160)
+            pup, birth = _pick_pup_birth(rng, bucket, 0.0, 0.25, pup_range)
+        top = _pick_top(rng, pup, birth, 0.35, 1.0, 0.35, 1.0)
+    interval = top - birth
+    if interval < 5:
+        raise CorpusError("regular curation needs a roomy growth interval")
+    agm = rng.randint(4, min(interval - 1, max(6, interval * 2 // 3)))
+    fraction = rng.uniform(0.05, 0.5)
+    birth_units = _birth_units_for_fraction(post, fraction)
+    return plan_schedule(rng, pup_months=pup, birth_month=birth,
+                         top_month=top, birth_units=birth_units, agm=agm,
+                         post_units=post, tail_months=rng.randint(0, 2),
+                         maintenance_bias=0.35)
+
+
+# ----------------------------------------------------------------------
+# Scared to Fall Asleep Again
+
+
+def _draw_siesta(rng: random.Random, bucket: int,
+                 exception_kind: str | None) -> LandmarkPlan:
+    """Early birth, very long sleep, late focused changes; median ≈ 17."""
+    post = _activity(rng, 17, spread=0.6)
+    fraction = rng.uniform(0.3, 0.7)
+    if exception_kind == "long-interval":
+        # Violates only the interval clause: long, not very long.
+        pup = rng.randint(30, 120)
+        # Birth strictly after V0 so a (0.70 .. 0.75] interval can still
+        # land the top in the late region.
+        birth = max(1, round(rng.uniform(0.02, 0.05) * (pup - 1)))
+        top = _pick_top(rng, pup, birth, 0.75, 1.0, 0.70, 0.75)
+        agm = rng.randint(0, 2)
+    else:
+        if bucket == 0:
+            pup, birth = _pick_pup_birth(rng, 0, -1.0, 0.0, (24, 120))
+        else:
+            pup, birth = _pick_pup_birth(rng, bucket, 0.0, 0.20, (30, 120))
+        top = _pick_top(rng, pup, birth, 0.75, 1.0, 0.75, 1.0)
+        if exception_kind == "active-growth":
+            # Violates only the AGM clause.
+            agm = rng.randint(4, 5)
+        else:
+            agm = rng.randint(0, min(3, top - birth - 1))
+    return plan_schedule(rng, pup_months=pup, birth_month=birth,
+                         top_month=top, birth_units=
+                         _birth_units_for_fraction(post, fraction),
+                         agm=agm, post_units=post, maintenance_bias=0.3)
+
+
+def _draw_smoking_funnel(rng: random.Random, bucket: int,
+                         exception_kind: str | None) -> LandmarkPlan:
+    """Mid-life birth, dense change after it; §6.1 median ≈ 189."""
+    del exception_kind  # no Table-2 exceptions
+    post = _activity(rng, 189, spread=0.5)
+    pup, birth = _pick_pup_birth(rng, max(bucket, 3), 0.26, 0.55,
+                                 (40, 140))
+    top = _pick_top(rng, pup, birth, 0.26, 0.75, 0.10, 0.35)
+    interval = top - birth
+    if interval < 5:
+        raise CorpusError("smoking funnel needs interval >= 5 months")
+    agm = rng.randint(4, interval - 1)
+    fraction = rng.uniform(0.3, 0.6)
+    return plan_schedule(rng, pup_months=pup, birth_month=birth,
+                         top_month=top, birth_units=
+                         _birth_units_for_fraction(post, fraction),
+                         agm=agm, post_units=post,
+                         tail_months=rng.randint(1, 3),
+                         maintenance_bias=0.35)
+
+
+_SAMPLERS: dict[Pattern, PatternSampler] = {
+    Pattern.FLATLINER: PatternSampler(Pattern.FLATLINER, _draw_flatliner),
+    Pattern.RADICAL_SIGN: PatternSampler(Pattern.RADICAL_SIGN,
+                                         _draw_radical_sign),
+    Pattern.SIGMOID: PatternSampler(Pattern.SIGMOID, _draw_sigmoid),
+    Pattern.LATE_RISER: PatternSampler(Pattern.LATE_RISER,
+                                       _draw_late_riser),
+    Pattern.QUANTUM_STEPS: PatternSampler(Pattern.QUANTUM_STEPS,
+                                          _draw_quantum_steps),
+    Pattern.REGULARLY_CURATED: PatternSampler(Pattern.REGULARLY_CURATED,
+                                              _draw_regularly_curated),
+    Pattern.SIESTA: PatternSampler(Pattern.SIESTA, _draw_siesta),
+    Pattern.SMOKING_FUNNEL: PatternSampler(Pattern.SMOKING_FUNNEL,
+                                           _draw_smoking_funnel),
+}
+
+
+def sampler_for(pattern: Pattern) -> PatternSampler:
+    """The landmark sampler of one pattern.
+
+    Raises:
+        KeyError: for UNCLASSIFIED.
+    """
+    return _SAMPLERS[pattern]

@@ -1,0 +1,148 @@
+"""Vocabulary for synthesized DDL: table names, column names, types.
+
+The generated schemas should *look* like FOSS project schemas, so the
+name pools are built from common application-domain nouns. A
+:class:`NamePool` hands out unique names deterministically from a seeded
+random generator.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sqlddl.ast_nodes import DataType
+
+_TABLE_STEMS = (
+    "user", "account", "profile", "session", "role", "permission",
+    "group", "team", "member", "organization", "project", "task",
+    "ticket", "issue", "comment", "message", "thread", "post",
+    "article", "page", "revision", "tag", "category", "label",
+    "product", "item", "order", "invoice", "payment", "shipment",
+    "cart", "customer", "vendor", "supplier", "inventory", "stock",
+    "price", "discount", "coupon", "event", "log", "audit",
+    "notification", "subscription", "plan", "feature", "setting",
+    "config", "preference", "file", "attachment", "image", "document",
+    "report", "metric", "counter", "job", "queue", "schedule",
+    "calendar", "booking", "reservation", "review", "rating", "vote",
+    "friend", "follower", "contact", "address", "location", "region",
+    "country", "city", "language", "translation", "currency", "tax",
+)
+
+_TABLE_SUFFIXES = ("", "s", "_data", "_info", "_map", "_link", "_history")
+
+_COLUMN_STEMS = (
+    "id", "name", "title", "description", "status", "type", "kind",
+    "code", "slug", "email", "phone", "url", "path", "body", "content",
+    "summary", "note", "value", "amount", "total", "quantity", "count",
+    "price", "cost", "rate", "score", "rank", "position", "priority",
+    "level", "weight", "size", "length", "width", "height", "color",
+    "state", "flag", "active", "enabled", "visible", "deleted",
+    "created_at", "updated_at", "deleted_at", "published_at",
+    "started_at", "finished_at", "expires_at", "version", "hash",
+    "token", "secret", "key", "owner", "author", "creator", "parent",
+    "source", "target", "origin", "locale", "timezone", "ip_address",
+    "user_agent", "first_name", "last_name", "display_name", "avatar",
+    "bio", "website", "company", "department", "street", "zip_code",
+)
+
+#: Types the scribe assigns to fresh columns.
+_COLUMN_TYPES = (
+    DataType("INTEGER"),
+    DataType("BIGINT"),
+    DataType("SMALLINT"),
+    DataType("VARCHAR", ("64",)),
+    DataType("VARCHAR", ("128",)),
+    DataType("VARCHAR", ("255",)),
+    DataType("TEXT"),
+    DataType("BOOLEAN"),
+    DataType("DATE"),
+    DataType("TIMESTAMP"),
+    DataType("DECIMAL", ("10", "2")),
+    DataType("DOUBLE"),
+    DataType("BLOB"),
+)
+
+#: Pairs used when a type *change* is needed; each maps a canonical type
+#: name to a genuinely different replacement type.
+TYPE_CHANGE_TARGETS: dict[str, DataType] = {
+    "INTEGER": DataType("BIGINT"),
+    "BIGINT": DataType("INTEGER"),
+    "SMALLINT": DataType("INTEGER"),
+    "VARCHAR": DataType("TEXT"),
+    "TEXT": DataType("VARCHAR", ("255",)),
+    "BOOLEAN": DataType("SMALLINT"),
+    "DATE": DataType("TIMESTAMP"),
+    "TIMESTAMP": DataType("DATE"),
+    "DECIMAL": DataType("DOUBLE"),
+    "DOUBLE": DataType("DECIMAL", ("12", "4")),
+    "BLOB": DataType("TEXT"),
+}
+
+
+class NamePool:
+    """Deterministic pool of unique identifiers.
+
+    Args:
+        rng: seeded random generator.
+        stems: base vocabulary.
+        suffixes: optional suffixes combined with stems before falling
+            back to numbered names.
+    """
+
+    def __init__(self, rng: random.Random, stems: tuple[str, ...],
+                 suffixes: tuple[str, ...] = ("",)):
+        self._rng = rng
+        self._stems = stems
+        self._suffixes = suffixes
+        self._used: set[str] = set()
+        self._counter = 0
+
+    def take(self) -> str:
+        """Hand out one unused name."""
+        for _ in range(24):
+            name = (self._rng.choice(self._stems)
+                    + self._rng.choice(self._suffixes))
+            if name not in self._used:
+                self._used.add(name)
+                return name
+        # Vocabulary exhausted locally: fall back to numbered names.
+        while True:
+            self._counter += 1
+            name = f"{self._rng.choice(self._stems)}_{self._counter}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+    def release(self, name: str) -> None:
+        """Return a name to the pool (after a DROP TABLE)."""
+        self._used.discard(name)
+
+
+def table_name_pool(rng: random.Random) -> NamePool:
+    """A pool of table names."""
+    return NamePool(rng, _TABLE_STEMS, _TABLE_SUFFIXES)
+
+
+def column_name_pool(rng: random.Random) -> NamePool:
+    """A pool of column names (one per table)."""
+    return NamePool(rng, _COLUMN_STEMS)
+
+
+def fresh_column_type(rng: random.Random) -> DataType:
+    """A random column type."""
+    return rng.choice(_COLUMN_TYPES)
+
+
+def changed_type(current: DataType | None,
+                 rng: random.Random) -> DataType:
+    """A type guaranteed to differ canonically from ``current``."""
+    if current is None:
+        return DataType("INTEGER")
+    replacement = TYPE_CHANGE_TARGETS.get(current.name)
+    if replacement is not None and replacement != current:
+        return replacement
+    # Unknown current type: pick any type with a different name.
+    while True:
+        candidate = fresh_column_type(rng)
+        if candidate.name != current.name:
+            return candidate

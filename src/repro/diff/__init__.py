@@ -1,0 +1,44 @@
+"""Logical schema diff engine.
+
+Computes the paper's unit of schema evolution: the set of **affected
+attributes** between two schema versions, categorized as
+
+* expansion — attributes *born with new tables* or *injected* into
+  existing tables;
+* maintenance — attributes *deleted with removed tables*, *ejected* from
+  surviving tables, with their *data type changed*, or with their
+  *participation in a primary/foreign key updated*.
+
+Typical usage::
+
+    from repro.diff import diff_schemas
+
+    delta = diff_schemas(old_schema, new_schema)
+    delta.total_affected, delta.expansion_count, delta.maintenance_count
+"""
+
+from repro.diff.changes import (
+    AttributeChange,
+    ChangeKind,
+    EXPANSION_KINDS,
+    MAINTENANCE_KINDS,
+    SchemaDiff,
+)
+from repro.diff.engine import DiffOptions, diff_schemas
+from repro.diff.migrate import migration_script, migration_statements
+from repro.diff.stats import ChangeBreakdown, breakdown, combine_breakdowns
+
+__all__ = [
+    "AttributeChange",
+    "ChangeBreakdown",
+    "ChangeKind",
+    "DiffOptions",
+    "EXPANSION_KINDS",
+    "MAINTENANCE_KINDS",
+    "SchemaDiff",
+    "breakdown",
+    "combine_breakdowns",
+    "diff_schemas",
+    "migration_script",
+    "migration_statements",
+]

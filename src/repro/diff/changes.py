@@ -1,0 +1,132 @@
+"""Change taxonomy for logical schema diffs.
+
+The taxonomy follows Section 3.2 of the paper: the unit of measurement is
+the *affected attribute*, and each affected attribute falls into exactly
+one of six kinds, grouped into *expansion* and *maintenance*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ChangeKind(enum.Enum):
+    """How one attribute was affected between two schema versions."""
+
+    #: Attribute appeared because its whole table was created.
+    BORN_WITH_TABLE = "born_with_table"
+    #: Attribute was added to a pre-existing table.
+    INJECTED = "injected"
+    #: Attribute disappeared because its whole table was dropped.
+    DELETED_WITH_TABLE = "deleted_with_table"
+    #: Attribute was removed from a surviving table.
+    EJECTED = "ejected"
+    #: Attribute's data type changed.
+    TYPE_CHANGED = "type_changed"
+    #: Attribute's participation in a primary/foreign key changed.
+    KEY_CHANGED = "key_changed"
+
+    @property
+    def is_expansion(self) -> bool:
+        """True for the growth-side kinds (births and injections)."""
+        return self in EXPANSION_KINDS
+
+    @property
+    def is_maintenance(self) -> bool:
+        """True for the maintenance-side kinds."""
+        return self in MAINTENANCE_KINDS
+
+
+#: Expansion = attribute birth with new tables, or injection into existing
+#: ones (paper §6.3).
+EXPANSION_KINDS = frozenset({
+    ChangeKind.BORN_WITH_TABLE,
+    ChangeKind.INJECTED,
+})
+
+#: Maintenance = attribute deletion, data type or key change (paper §6.3).
+MAINTENANCE_KINDS = frozenset({
+    ChangeKind.DELETED_WITH_TABLE,
+    ChangeKind.EJECTED,
+    ChangeKind.TYPE_CHANGED,
+    ChangeKind.KEY_CHANGED,
+})
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeChange:
+    """One affected attribute.
+
+    Attributes:
+        kind: the change category.
+        table: name of the table holding the attribute (the *new* table
+            name for renames).
+        attribute: the affected attribute's name.
+        detail: optional human-readable before/after description.
+    """
+
+    kind: ChangeKind
+    table: str
+    attribute: str
+    detail: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SchemaDiff:
+    """The full logical difference between two schema versions.
+
+    Attributes:
+        changes: every affected attribute, in deterministic order
+            (tables sorted, attributes in declaration order).
+        tables_added: names of tables present only in the new version.
+        tables_dropped: names of tables present only in the old version.
+        tables_renamed: (old, new) pairs when rename detection matched.
+    """
+
+    changes: tuple[AttributeChange, ...]
+    tables_added: tuple[str, ...] = ()
+    tables_dropped: tuple[str, ...] = ()
+    tables_renamed: tuple[tuple[str, str], ...] = ()
+    #: Views appearing/disappearing between versions. Views are tracked
+    #: by name and do NOT contribute to ``total_affected`` (the paper's
+    #: unit counts attributes only).
+    views_added: tuple[str, ...] = ()
+    views_dropped: tuple[str, ...] = ()
+
+    @property
+    def total_affected(self) -> int:
+        """Total number of attribute-change events — the paper's unit."""
+        return len(self.changes)
+
+    @property
+    def expansion_count(self) -> int:
+        """Number of expansion-side events."""
+        return sum(1 for c in self.changes if c.kind.is_expansion)
+
+    @property
+    def maintenance_count(self) -> int:
+        """Number of maintenance-side events."""
+        return sum(1 for c in self.changes if c.kind.is_maintenance)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing changed at the logical level."""
+        return not self.changes and not self.tables_renamed
+
+    def by_kind(self) -> dict[ChangeKind, int]:
+        """Event counts per change kind (zero-count kinds included)."""
+        counts = {kind: 0 for kind in ChangeKind}
+        for change in self.changes:
+            counts[change.kind] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self):
+        return iter(self.changes)
+
+
+#: A diff in which nothing happened.
+EMPTY_DIFF = SchemaDiff(changes=())

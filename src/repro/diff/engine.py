@@ -1,0 +1,165 @@
+"""Compute the logical diff between two schema versions.
+
+Tables are matched by normalized name; optionally, a rename-detection pass
+re-matches dropped/added table pairs whose attribute sets are nearly
+identical, so that a pure ``RENAME TABLE`` does not show up as a mass
+delete + mass create (an option the paper's toolchain also provides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diff.changes import AttributeChange, ChangeKind, SchemaDiff
+from repro.schema.model import Attribute, Schema, Table
+
+
+@dataclass(frozen=True, slots=True)
+class DiffOptions:
+    """Tuning knobs for the diff engine.
+
+    Attributes:
+        detect_renames: when True, a dropped table and an added table whose
+            attribute-name sets have Jaccard similarity at least
+            ``rename_threshold`` are treated as the same (renamed) table.
+        rename_threshold: minimum Jaccard similarity for a rename match.
+        track_nullability: when True, NOT NULL flips are reported as
+            TYPE_CHANGED events (constraint change on the attribute).
+    """
+
+    detect_renames: bool = False
+    rename_threshold: float = 0.8
+    track_nullability: bool = False
+
+
+def _jaccard(left: frozenset[str], right: frozenset[str]) -> float:
+    if not left and not right:
+        return 1.0
+    union = left | right
+    return len(left & right) / len(union)
+
+
+def _match_renames(dropped: list[Table], added: list[Table],
+                   threshold: float) -> list[tuple[Table, Table]]:
+    """Greedy best-first matching of dropped->added tables by similarity."""
+    candidates: list[tuple[float, Table, Table]] = []
+    for old in dropped:
+        old_names = frozenset(old.attribute_names)
+        for new in added:
+            score = _jaccard(old_names, frozenset(new.attribute_names))
+            if score >= threshold:
+                candidates.append((score, old, new))
+    candidates.sort(key=lambda item: (-item[0], item[1].name, item[2].name))
+    matched: list[tuple[Table, Table]] = []
+    used_old: set[str] = set()
+    used_new: set[str] = set()
+    for score, old, new in candidates:
+        if old.name in used_old or new.name in used_new:
+            continue
+        matched.append((old, new))
+        used_old.add(old.name)
+        used_new.add(new.name)
+    return matched
+
+
+def _diff_common_table(old: Table, new: Table,
+                       options: DiffOptions) -> list[AttributeChange]:
+    """Diff two versions of one (matched) table."""
+    changes: list[AttributeChange] = []
+    old_attrs = {a.name: a for a in old.attributes}
+    new_attrs = {a.name: a for a in new.attributes}
+    for attr in new.attributes:
+        if attr.name not in old_attrs:
+            changes.append(AttributeChange(
+                ChangeKind.INJECTED, new.name, attr.name))
+    for attr in old.attributes:
+        if attr.name not in new_attrs:
+            changes.append(AttributeChange(
+                ChangeKind.EJECTED, new.name, attr.name))
+    for attr in new.attributes:
+        before = old_attrs.get(attr.name)
+        if before is None:
+            continue
+        changes.extend(_diff_attribute(before, attr, new.name, options))
+    return changes
+
+
+def _diff_attribute(before: Attribute, after: Attribute, table: str,
+                    options: DiffOptions) -> list[AttributeChange]:
+    """Compare one surviving attribute across versions."""
+    changes: list[AttributeChange] = []
+    if before.data_type != after.data_type:
+        changes.append(AttributeChange(
+            ChangeKind.TYPE_CHANGED, table, after.name,
+            detail=f"{_render_type(before)} -> {_render_type(after)}"))
+    elif options.track_nullability and before.not_null != after.not_null:
+        changes.append(AttributeChange(
+            ChangeKind.TYPE_CHANGED, table, after.name,
+            detail=f"not_null {before.not_null} -> {after.not_null}"))
+    if (before.in_primary_key != after.in_primary_key
+            or before.in_foreign_key != after.in_foreign_key):
+        changes.append(AttributeChange(
+            ChangeKind.KEY_CHANGED, table, after.name,
+            detail=(f"pk {before.in_primary_key}->{after.in_primary_key}, "
+                    f"fk {before.in_foreign_key}->{after.in_foreign_key}")))
+    return changes
+
+
+def _render_type(attr: Attribute) -> str:
+    return attr.data_type.render() if attr.data_type else "<untyped>"
+
+
+def diff_schemas(old: Schema, new: Schema,
+                 options: DiffOptions | None = None) -> SchemaDiff:
+    """Compute the logical diff from ``old`` to ``new``.
+
+    Args:
+        old: the earlier schema version (may be empty).
+        new: the later schema version (may be empty).
+        options: diff tuning; defaults to name-only matching.
+
+    Returns:
+        A :class:`~repro.diff.changes.SchemaDiff` whose ``changes`` list
+        the affected attributes in deterministic order.
+    """
+    options = options or DiffOptions()
+    old_tables = old.as_dict()
+    new_tables = new.as_dict()
+
+    added = [t for t in new.tables if t.name not in old_tables]
+    dropped = [t for t in old.tables if t.name not in new_tables]
+    common = [(old_tables[t.name], t) for t in new.tables
+              if t.name in old_tables]
+
+    renamed: list[tuple[Table, Table]] = []
+    if options.detect_renames and added and dropped:
+        renamed = _match_renames(dropped, added, options.rename_threshold)
+        renamed_old = {o.name for o, _ in renamed}
+        renamed_new = {n.name for _, n in renamed}
+        added = [t for t in added if t.name not in renamed_new]
+        dropped = [t for t in dropped if t.name not in renamed_old]
+        common.extend(renamed)
+
+    changes: list[AttributeChange] = []
+    for table in sorted(added, key=lambda t: t.name):
+        for attr in table.attributes:
+            changes.append(AttributeChange(
+                ChangeKind.BORN_WITH_TABLE, table.name, attr.name))
+    for table in sorted(dropped, key=lambda t: t.name):
+        for attr in table.attributes:
+            changes.append(AttributeChange(
+                ChangeKind.DELETED_WITH_TABLE, table.name, attr.name))
+    for old_table, new_table in sorted(common,
+                                       key=lambda pair: pair[1].name):
+        changes.extend(_diff_common_table(old_table, new_table, options))
+
+    old_views = set(old.views)
+    new_views = set(new.views)
+    return SchemaDiff(
+        changes=tuple(changes),
+        tables_added=tuple(sorted(t.name for t in added)),
+        tables_dropped=tuple(sorted(t.name for t in dropped)),
+        tables_renamed=tuple(sorted((o.name, n.name) for o, n in renamed)),
+        views_added=tuple(sorted(new_views - old_views)),
+        views_dropped=tuple(sorted(old_views - new_views)),
+    )

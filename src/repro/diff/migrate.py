@@ -1,0 +1,189 @@
+"""Generate migration DDL from a schema diff.
+
+The inverse of the diff engine: given two schema versions, emit DDL that
+transforms the old one into the new one. Useful on its own (pairs with
+``repro-schema diff``) and as a strong self-check: *parsing and applying
+the generated script to the old schema must reproduce the new schema* —
+a property the test suite verifies for arbitrary schema pairs.
+
+Strategy per surviving table:
+
+* columns are added / dropped / retyped via ALTER TABLE;
+* a changed primary key is dropped and re-added;
+* changed foreign keys are migrated by dropping **all** of the table's
+  FKs (the logical model keeps them unnamed, so they pop LIFO) and
+  re-adding the new set in order;
+* a unique-key change that plain SQL cannot express against unnamed
+  constraints triggers a **table rebuild** (DROP + CREATE), the way
+  SQLite migration tools operate.
+
+Documented limitation: column *order* inside surviving tables is not
+restored (logical-level comparison treats attribute sets, not order).
+"""
+
+from __future__ import annotations
+
+from repro.diff.engine import DiffOptions, diff_schemas
+from repro.schema.model import Attribute, Schema, Table
+from repro.sqlddl import ast_nodes as ast
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.writer import write_statement
+
+
+def _column_def(attr: Attribute) -> ast.ColumnDef:
+    return ast.ColumnDef(name=attr.name, data_type=attr.data_type,
+                         not_null=attr.not_null)
+
+
+def _create_table_statement(table: Table) -> ast.CreateTable:
+    columns = tuple(_column_def(a) for a in table.attributes)
+    constraints: list[ast.TableConstraint] = []
+    if table.primary_key:
+        constraints.append(
+            ast.PrimaryKeyConstraint(columns=table.primary_key))
+    for fk in table.foreign_keys:
+        constraints.append(ast.ForeignKeyConstraint(
+            columns=fk.columns, ref_table=fk.ref_table,
+            ref_columns=fk.ref_columns))
+    for unique in table.unique_keys:
+        constraints.append(ast.UniqueConstraint(columns=unique))
+    return ast.CreateTable(name=table.name, columns=columns,
+                           constraints=tuple(constraints))
+
+
+def _needs_rebuild(old: Table, new: Table) -> bool:
+    """True when the unique-key change is not expressible via ALTER
+    against unnamed constraints (only additive changes are)."""
+    kept = [u for u in old.unique_keys if u in new.unique_keys]
+    added = [u for u in new.unique_keys if u not in old.unique_keys]
+    return tuple(kept + added) != new.unique_keys \
+        or len(kept) != len(old.unique_keys)
+
+
+def _alter_actions(old: Table, new: Table) -> list[ast.AlterAction]:
+    """ALTER actions transforming ``old`` into ``new`` (same name,
+    rebuild cases excluded by the caller)."""
+    actions: list[ast.AlterAction] = []
+    old_attrs = {a.name: a for a in old.attributes}
+    new_attrs = {a.name: a for a in new.attributes}
+
+    for attr in old.attributes:
+        if attr.name not in new_attrs:
+            actions.append(ast.DropColumn(name=attr.name))
+    for attr in new.attributes:
+        before = old_attrs.get(attr.name)
+        if before is None:
+            actions.append(ast.AddColumn(column=_column_def(attr)))
+            continue
+        if before.data_type != attr.data_type:
+            actions.append(ast.AlterColumnType(
+                name=attr.name,
+                data_type=attr.data_type or ast.DataType("TEXT")))
+        if before.not_null != attr.not_null \
+                and not attr.in_primary_key:
+            actions.append(ast.AlterColumnNullability(
+                name=attr.name, not_null=attr.not_null))
+
+    if old.primary_key != new.primary_key:
+        if old.primary_key:
+            actions.append(ast.DropConstraint(name=None,
+                                              kind="primary key"))
+        if new.primary_key:
+            actions.append(ast.AddConstraint(
+                constraint=ast.PrimaryKeyConstraint(
+                    columns=new.primary_key)))
+
+    # A column leaving the PK needs its nullability pinned explicitly:
+    # the PK was forcing NOT NULL in the snapshot regardless of what the
+    # underlying declaration said.
+    for attr in new.attributes:
+        before = old_attrs.get(attr.name)
+        if before is not None and before.in_primary_key \
+                and not attr.in_primary_key:
+            actions.append(ast.AlterColumnNullability(
+                name=attr.name, not_null=attr.not_null))
+
+    fks_after_column_ops = tuple(
+        fk for fk in old.foreign_keys
+        if all(c in new_attrs for c in fk.columns))
+    if fks_after_column_ops != new.foreign_keys:
+        # Unnamed FKs pop LIFO in the builder: dropping them all and
+        # re-adding the target set in order is always exact.
+        for index in range(len(fks_after_column_ops)):
+            actions.append(ast.DropConstraint(
+                name=f"fk_{index}", kind="foreign key"))
+        for fk in new.foreign_keys:
+            actions.append(ast.AddConstraint(
+                constraint=ast.ForeignKeyConstraint(
+                    columns=fk.columns, ref_table=fk.ref_table,
+                    ref_columns=fk.ref_columns)))
+
+    for unique in new.unique_keys:
+        if unique not in old.unique_keys:
+            actions.append(ast.AddConstraint(
+                constraint=ast.UniqueConstraint(columns=unique)))
+    return actions
+
+
+def migration_statements(old: Schema, new: Schema,
+                         options: DiffOptions | None = None
+                         ) -> list[ast.Statement]:
+    """The DDL statements that transform ``old`` into ``new``.
+
+    Rename detection (when enabled in ``options``) emits
+    ``ALTER TABLE ... RENAME TO`` instead of drop + create pairs.
+    """
+    options = options or DiffOptions()
+    delta = diff_schemas(old, new, options)
+    statements: list[ast.Statement] = []
+
+    if delta.tables_dropped:
+        statements.append(ast.DropTable(names=delta.tables_dropped))
+    for old_name, new_name in delta.tables_renamed:
+        statements.append(ast.AlterTable(
+            name=old_name,
+            actions=(ast.RenameTable(new_name=new_name),)))
+
+    new_tables = new.as_dict()
+    old_tables = old.as_dict()
+    renamed_map = dict(delta.tables_renamed)
+    for name in delta.tables_added:
+        statements.append(_create_table_statement(new_tables[name]))
+
+    for table in new.tables:
+        if table.name in delta.tables_added:
+            continue
+        source_name = table.name
+        for renamed_old, renamed_new in renamed_map.items():
+            if renamed_new == table.name:
+                source_name = renamed_old
+        source = old_tables.get(source_name)
+        if source is None:
+            continue
+        if _needs_rebuild(source, table):
+            statements.append(ast.DropTable(names=(table.name,)))
+            statements.append(_create_table_statement(table))
+            continue
+        actions = _alter_actions(source, table)
+        if actions:
+            statements.append(ast.AlterTable(name=table.name,
+                                             actions=tuple(actions)))
+
+    for view in delta.views_dropped:
+        statements.append(ast.DropView(names=(view,)))
+    for view in delta.views_added:
+        statements.append(ast.CreateView(
+            name=view,
+            query="SELECT 1 -- body unknown at the logical level"))
+    return statements
+
+
+def migration_script(old: Schema, new: Schema,
+                     options: DiffOptions | None = None,
+                     dialect: Dialect = Dialect.GENERIC) -> str:
+    """Render the migration as executable SQL text."""
+    statements = migration_statements(old, new, options)
+    if not statements:
+        return "-- schemas are logically identical; nothing to do\n"
+    return "\n".join(write_statement(s, dialect) + ";"
+                     for s in statements) + "\n"

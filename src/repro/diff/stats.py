@@ -1,0 +1,82 @@
+"""Aggregation of schema diffs into change-volume statistics.
+
+A :class:`ChangeBreakdown` is the per-transition (or per-month, or
+per-project) summary the metrics layer consumes: total affected
+attributes, the expansion/maintenance split and the per-kind counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.diff.changes import ChangeKind, SchemaDiff
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeBreakdown:
+    """Counts of affected attributes by change kind.
+
+    Attributes:
+        by_kind: events per :class:`ChangeKind` (all kinds present).
+    """
+
+    by_kind: tuple[tuple[ChangeKind, int], ...]
+
+    @property
+    def counts(self) -> dict[ChangeKind, int]:
+        """The per-kind counts as a dict (fresh copy)."""
+        return dict(self.by_kind)
+
+    @property
+    def total(self) -> int:
+        """Total affected attributes."""
+        return sum(count for _, count in self.by_kind)
+
+    @property
+    def expansion(self) -> int:
+        """Affected attributes on the expansion side (births + injections)."""
+        return sum(count for kind, count in self.by_kind
+                   if kind.is_expansion)
+
+    @property
+    def maintenance(self) -> int:
+        """Affected attributes on the maintenance side."""
+        return sum(count for kind, count in self.by_kind
+                   if kind.is_maintenance)
+
+    @property
+    def expansion_fraction(self) -> float:
+        """Share of expansion in the total; 0.0 for an empty breakdown."""
+        total = self.total
+        return self.expansion / total if total else 0.0
+
+    def count(self, kind: ChangeKind) -> int:
+        """Events of one kind."""
+        return self.counts.get(kind, 0)
+
+    @classmethod
+    def from_counts(cls, counts: dict[ChangeKind, int]) -> "ChangeBreakdown":
+        """Build a breakdown from a (possibly partial) per-kind dict."""
+        full = {kind: counts.get(kind, 0) for kind in ChangeKind}
+        return cls(by_kind=tuple(sorted(full.items(),
+                                        key=lambda item: item[0].value)))
+
+    @classmethod
+    def empty(cls) -> "ChangeBreakdown":
+        """A breakdown with zero events everywhere."""
+        return cls.from_counts({})
+
+
+def breakdown(diff: SchemaDiff) -> ChangeBreakdown:
+    """Summarize one diff into a :class:`ChangeBreakdown`."""
+    return ChangeBreakdown.from_counts(diff.by_kind())
+
+
+def combine_breakdowns(items: Iterable[ChangeBreakdown]) -> ChangeBreakdown:
+    """Sum several breakdowns (e.g. all transitions of one month)."""
+    totals = {kind: 0 for kind in ChangeKind}
+    for item in items:
+        for kind, count in item.by_kind:
+            totals[kind] += count
+    return ChangeBreakdown.from_counts(totals)

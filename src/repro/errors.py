@@ -1,0 +1,83 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle anything that goes wrong inside the
+pipeline while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class LexError(ReproError):
+    """Raised when the SQL lexer encounters an unreadable character sequence.
+
+    Attributes:
+        line: 1-based line of the offending character.
+        column: 1-based column of the offending character.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Raised when the DDL parser cannot make sense of a statement.
+
+    Attributes:
+        line: 1-based line where parsing failed.
+        column: 1-based column where parsing failed.
+        statement_start: offset of the statement within the script, if known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 statement_start: int | None = None):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+        self.statement_start = statement_start
+
+
+class SchemaError(ReproError):
+    """Raised when a DDL statement cannot be applied to the current schema.
+
+    Examples: creating a table that already exists (without IF NOT EXISTS),
+    altering or dropping a missing table or column.
+    """
+
+
+class HistoryError(ReproError):
+    """Raised for malformed schema histories.
+
+    Examples: empty commit lists, commits with non-increasing timestamps
+    when strict ordering was requested, unreadable history files.
+    """
+
+
+class MetricError(ReproError):
+    """Raised when a time-related metric cannot be computed.
+
+    Example: asking for the top-band attainment point of a history whose
+    total activity is zero months long.
+    """
+
+
+class LabelError(ReproError):
+    """Raised for invalid quantization inputs or malformed label schemes."""
+
+
+class ClassificationError(ReproError):
+    """Raised when pattern classification is asked for impossible input."""
+
+
+class CorpusError(ReproError):
+    """Raised by the synthetic corpus generator for unsatisfiable plans."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a study-level analysis receives unusable input."""

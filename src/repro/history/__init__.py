@@ -1,0 +1,43 @@
+"""Schema-history substrate: commits, repositories and heartbeats.
+
+A :class:`SchemaHistory` is the unit of study of the paper: the ordered
+sequence of versions of a project's DDL file, together with the project's
+overall lifespan. From it the package derives:
+
+* per-transition logical diffs (:mod:`repro.history.transitions`),
+* the **monthly schema heartbeat** — affected attributes per month and the
+  cumulative fractional activity curve (:mod:`repro.history.heartbeat`),
+* a joint source-code heartbeat for Fig-3-style charts
+  (:mod:`repro.history.sourcecode`).
+"""
+
+from repro.history.commit import Commit, SchemaVersion
+from repro.history.repository import (
+    SchemaHistory,
+    load_history_from_directory,
+    load_history_from_jsonl,
+    save_history_to_jsonl,
+)
+from repro.history.transitions import Transition, compute_transitions
+from repro.history.heartbeat import ActivitySeries, schema_heartbeat
+from repro.history.filters import FilterResult, filter_study_corpus
+from repro.history.sizes import SizeSeries, size_series
+from repro.history.sourcecode import synthetic_source_series
+
+__all__ = [
+    "ActivitySeries",
+    "FilterResult",
+    "filter_study_corpus",
+    "SizeSeries",
+    "size_series",
+    "Commit",
+    "SchemaHistory",
+    "SchemaVersion",
+    "Transition",
+    "compute_transitions",
+    "load_history_from_directory",
+    "load_history_from_jsonl",
+    "save_history_to_jsonl",
+    "schema_heartbeat",
+    "synthetic_source_series",
+]

@@ -1,0 +1,50 @@
+"""Commit and schema-version records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.schema.model import Schema
+
+
+@dataclass(frozen=True, slots=True)
+class Commit:
+    """One commit touching the project's DDL file.
+
+    The history model follows the paper's dataset: each commit carries the
+    *entire* DDL file content as of that commit (full snapshots, the way
+    git stores and Hecate extracts them) — not incremental patches.
+
+    Attributes:
+        sha: commit identifier (any unique string).
+        timestamp: commit time.
+        ddl_text: full DDL file content at this commit.
+        message: commit message, if known.
+    """
+
+    sha: str
+    timestamp: datetime
+    ddl_text: str
+    message: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class SchemaVersion:
+    """A commit together with its parsed logical schema.
+
+    Attributes:
+        commit: the originating commit.
+        schema: the logical schema built from the commit's DDL text.
+        parse_issues: count of statements the robust parser skipped plus
+            lenient-builder issues — a data-quality signal.
+    """
+
+    commit: Commit
+    schema: Schema
+    parse_issues: int = 0
+
+    @property
+    def timestamp(self) -> datetime:
+        """Shortcut to the commit timestamp."""
+        return self.commit.timestamp

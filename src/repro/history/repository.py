@@ -1,0 +1,249 @@
+"""Schema histories: loading, storage and version materialization."""
+
+from __future__ import annotations
+
+import json
+import re
+from datetime import datetime
+from pathlib import Path
+
+from repro.errors import HistoryError
+from repro.history.commit import Commit, SchemaVersion
+from repro.schema.builder import SchemaBuilder
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.parser import parse_script
+
+_FILENAME_TIMESTAMP = re.compile(
+    r"(\d{4})-(\d{2})-(\d{2})(?:[T_](\d{2}))?(?:[-:]?(\d{2}))?(?:[-:]?(\d{2}))?"
+)
+
+
+def month_index(start: datetime, when: datetime) -> int:
+    """0-based calendar-month index of ``when`` relative to ``start``.
+
+    The paper's granule of time is the month: all activity inside one
+    calendar month counts together.
+    """
+    return (when.year - start.year) * 12 + (when.month - start.month)
+
+
+class SchemaHistory:
+    """The ordered DDL history of one project.
+
+    Args:
+        project_name: human-readable project identifier.
+        commits: the DDL commits; sorted by timestamp on construction.
+        project_start: start of the *project* (source-code side) — may
+            precede the first DDL commit (late schema birth). Defaults to
+            the first commit's timestamp.
+        project_end: end of the project's update period. Defaults to the
+            last commit's timestamp.
+        dialect: SQL dialect used when parsing the DDL snapshots.
+        incremental: commit-format switch. False (default): every commit
+            holds the *entire* DDL file (git-snapshot style, the paper's
+            dataset format). True: each commit holds only the new
+            statements of that change (migration-script style); versions
+            are materialized cumulatively.
+
+    Raises:
+        HistoryError: for empty commit lists or a project window that does
+            not contain every commit.
+    """
+
+    def __init__(self, project_name: str, commits: list[Commit],
+                 project_start: datetime | None = None,
+                 project_end: datetime | None = None,
+                 dialect: Dialect = Dialect.GENERIC,
+                 incremental: bool = False):
+        if not commits:
+            raise HistoryError(f"project {project_name!r} has no commits")
+        self.project_name = project_name
+        self.commits = sorted(commits, key=lambda c: c.timestamp)
+        self.project_start = project_start or self.commits[0].timestamp
+        self.project_end = project_end or self.commits[-1].timestamp
+        self.dialect = dialect
+        self.incremental = incremental
+        self._versions: list[SchemaVersion] | None = None
+        if self.project_start > self.commits[0].timestamp:
+            raise HistoryError(
+                f"project {project_name!r}: project_start is after the "
+                f"first DDL commit")
+        if self.project_end < self.commits[-1].timestamp:
+            raise HistoryError(
+                f"project {project_name!r}: project_end is before the "
+                f"last DDL commit")
+
+    # ------------------------------------------------------------------
+    # time frame
+
+    @property
+    def pup_months(self) -> int:
+        """Project Update Period in months (inclusive of both endpoints)."""
+        return month_index(self.project_start, self.project_end) + 1
+
+    def commit_month(self, commit: Commit) -> int:
+        """Month index of one commit within the project window."""
+        return month_index(self.project_start, commit.timestamp)
+
+    @property
+    def duration_months(self) -> int:
+        """Alias of :attr:`pup_months` (paper nomenclature: PUP)."""
+        return self.pup_months
+
+    # ------------------------------------------------------------------
+    # versions
+
+    def versions(self) -> list[SchemaVersion]:
+        """Parse every commit into a schema version (cached)."""
+        if self._versions is None:
+            if self.incremental:
+                self._versions = self._materialize_incremental()
+            else:
+                self._versions = [self._materialize(c)
+                                  for c in self.commits]
+        return self._versions
+
+    def _materialize_incremental(self) -> list[SchemaVersion]:
+        """Apply migration-style commits cumulatively to one builder."""
+        builder = SchemaBuilder(strict=False)
+        versions: list[SchemaVersion] = []
+        issues_seen = 0
+        for commit in self.commits:
+            script = parse_script(commit.ddl_text, self.dialect)
+            builder.apply_script(script)
+            new_issues = len(builder.issues) - issues_seen
+            issues_seen = len(builder.issues)
+            versions.append(SchemaVersion(
+                commit=commit,
+                schema=builder.snapshot(),
+                parse_issues=len(script.skipped) + new_issues,
+            ))
+        return versions
+
+    def _materialize(self, commit: Commit) -> SchemaVersion:
+        script = parse_script(commit.ddl_text, self.dialect)
+        builder = SchemaBuilder(strict=False)
+        builder.apply_script(script)
+        return SchemaVersion(
+            commit=commit,
+            schema=builder.snapshot(),
+            parse_issues=len(script.skipped) + len(builder.issues),
+        )
+
+    def __len__(self) -> int:
+        return len(self.commits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SchemaHistory({self.project_name!r}, "
+                f"{len(self.commits)} commits, {self.pup_months} months)")
+
+
+# ----------------------------------------------------------------------
+# loaders / savers
+
+
+def load_history_from_directory(path: str | Path, project_name: str | None
+                                = None, dialect: Dialect = Dialect.GENERIC
+                                ) -> SchemaHistory:
+    """Load a history from a directory of timestamp-named ``.sql`` files.
+
+    File names must embed an ISO-like date, e.g. ``2021-03-07.sql`` or
+    ``2021-03-07T142500_v12.sql``; files sort by that timestamp.
+
+    Raises:
+        HistoryError: when the directory holds no parseable-named files.
+    """
+    directory = Path(path)
+    commits: list[Commit] = []
+    for file in sorted(directory.glob("*.sql")):
+        match = _FILENAME_TIMESTAMP.search(file.name)
+        if match is None:
+            continue
+        year, month, day, hour, minute, second = (
+            int(g) if g else 0 for g in match.groups())
+        timestamp = datetime(year, month, day, hour, minute, second)
+        commits.append(Commit(sha=file.stem, timestamp=timestamp,
+                              ddl_text=file.read_text()))
+    if not commits:
+        raise HistoryError(f"no timestamped .sql files found in {directory}")
+    return SchemaHistory(project_name or directory.name, commits,
+                         dialect=dialect)
+
+
+def load_history_from_jsonl(path: str | Path,
+                            dialect: Dialect | None = None) -> SchemaHistory:
+    """Load a history from a JSONL file.
+
+    The first line may be a header object with keys ``project``,
+    ``start``, ``end`` and ``dialect``; every other line is a commit
+    object with keys ``sha``, ``timestamp`` (ISO 8601) and ``ddl``.
+
+    Raises:
+        HistoryError: on malformed lines or an empty file.
+    """
+    file = Path(path)
+    project_name = file.stem
+    start = end = None
+    file_dialect = Dialect.GENERIC
+    incremental = False
+    commits: list[Commit] = []
+    with file.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HistoryError(
+                    f"{file}:{line_no}: invalid JSON: {exc}") from exc
+            if "ddl" not in record:
+                project_name = record.get("project", project_name)
+                if record.get("start"):
+                    start = datetime.fromisoformat(record["start"])
+                if record.get("end"):
+                    end = datetime.fromisoformat(record["end"])
+                if record.get("dialect"):
+                    file_dialect = Dialect.from_name(record["dialect"])
+                incremental = bool(record.get("incremental", False))
+                continue
+            try:
+                commits.append(Commit(
+                    sha=str(record.get("sha", f"c{line_no}")),
+                    timestamp=datetime.fromisoformat(record["timestamp"]),
+                    ddl_text=record["ddl"],
+                    message=record.get("message", ""),
+                ))
+            except (KeyError, ValueError) as exc:
+                raise HistoryError(
+                    f"{file}:{line_no}: bad commit record: {exc}") from exc
+    if not commits:
+        raise HistoryError(f"{file}: no commits found")
+    return SchemaHistory(project_name, commits, project_start=start,
+                         project_end=end,
+                         dialect=dialect or file_dialect,
+                         incremental=incremental)
+
+
+def save_history_to_jsonl(history: SchemaHistory, path: str | Path) -> None:
+    """Write ``history`` in the JSONL format of
+    :func:`load_history_from_jsonl`."""
+    file = Path(path)
+    with file.open("w") as handle:
+        header = {
+            "project": history.project_name,
+            "start": history.project_start.isoformat(),
+            "end": history.project_end.isoformat(),
+            "dialect": history.dialect.traits.name,
+            "incremental": history.incremental,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for commit in history.commits:
+            record = {
+                "sha": commit.sha,
+                "timestamp": commit.timestamp.isoformat(),
+                "ddl": commit.ddl_text,
+            }
+            if commit.message:
+                record["message"] = commit.message
+            handle.write(json.dumps(record) + "\n")

@@ -1,0 +1,94 @@
+"""Schema size over time (tables / attributes per month).
+
+Several prior studies the paper builds on report *schema size over time*
+([31], [44]); this module derives that series from a history: for every
+project month, the table and attribute counts of the schema as of that
+month (forward-filled between commits, zero before schema birth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MetricError
+from repro.history.repository import SchemaHistory
+
+
+@dataclass(frozen=True)
+class SizeSeries:
+    """Monthly table/attribute counts of a project's schema.
+
+    Attributes:
+        tables: table count per month, index 0 .. PUP-1.
+        attributes: attribute count per month.
+    """
+
+    tables: tuple[int, ...]
+    attributes: tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.tables or len(self.tables) != len(self.attributes):
+            raise MetricError("size series needs aligned, non-empty "
+                              "table and attribute counts")
+
+    @property
+    def months(self) -> int:
+        """Series length in months."""
+        return len(self.tables)
+
+    @property
+    def final_tables(self) -> int:
+        """Table count at the end of the project."""
+        return self.tables[-1]
+
+    @property
+    def final_attributes(self) -> int:
+        """Attribute count at the end of the project."""
+        return self.attributes[-1]
+
+    @property
+    def peak_attributes(self) -> int:
+        """Largest attribute count ever reached."""
+        return max(self.attributes)
+
+    def growth_months(self) -> tuple[int, ...]:
+        """Months where the attribute count strictly increased."""
+        out = []
+        previous = 0
+        for month, count in enumerate(self.attributes):
+            if count > previous:
+                out.append(month)
+            previous = count
+        return tuple(out)
+
+    def shrink_months(self) -> tuple[int, ...]:
+        """Months where the attribute count strictly decreased."""
+        out = []
+        previous = 0
+        for month, count in enumerate(self.attributes):
+            if count < previous:
+                out.append(month)
+            previous = count
+        return tuple(out)
+
+
+def size_series(history: SchemaHistory) -> SizeSeries:
+    """Compute the monthly size series of ``history``.
+
+    Months before the first DDL commit count zero tables/attributes; a
+    month with several commits reflects the last one.
+    """
+    months = history.pup_months
+    tables = [0] * months
+    attributes = [0] * months
+    per_month: dict[int, tuple[int, int]] = {}
+    for version in history.versions():
+        month = history.commit_month(version.commit)
+        per_month[month] = (version.schema.table_count,
+                            version.schema.attribute_count)
+    current = (0, 0)
+    for month in range(months):
+        if month in per_month:
+            current = per_month[month]
+        tables[month], attributes[month] = current
+    return SizeSeries(tables=tuple(tables), attributes=tuple(attributes))

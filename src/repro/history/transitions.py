@@ -1,0 +1,60 @@
+"""Per-version transitions of a schema history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diff.changes import SchemaDiff
+from repro.diff.engine import DiffOptions, diff_schemas
+from repro.history.commit import SchemaVersion
+from repro.history.repository import SchemaHistory
+from repro.schema.model import EMPTY_SCHEMA, Schema
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """The logical change between two consecutive schema versions.
+
+    Attributes:
+        month: project month index of the *target* version — when the
+            change lands in the heartbeat.
+        previous: the source version (None for the birth transition from
+            the empty schema).
+        version: the target version.
+        diff: affected attributes of the transition.
+    """
+
+    month: int
+    previous: SchemaVersion | None
+    version: SchemaVersion
+    diff: SchemaDiff
+
+    @property
+    def is_birth(self) -> bool:
+        """True for the transition that creates the schema."""
+        return self.previous is None
+
+
+def compute_transitions(history: SchemaHistory,
+                        options: DiffOptions | None = None
+                        ) -> list[Transition]:
+    """Diff every consecutive version pair of ``history``.
+
+    The first transition compares the empty schema against the first
+    version — this is **schema birth**, whose affected attributes are the
+    birth volume of the project.
+    """
+    transitions: list[Transition] = []
+    previous_schema: Schema = EMPTY_SCHEMA
+    previous_version: SchemaVersion | None = None
+    for version in history.versions():
+        diff = diff_schemas(previous_schema, version.schema, options)
+        transitions.append(Transition(
+            month=history.commit_month(version.commit),
+            previous=previous_version,
+            version=version,
+            diff=diff,
+        ))
+        previous_schema = version.schema
+        previous_version = version
+    return transitions

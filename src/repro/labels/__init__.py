@@ -1,0 +1,37 @@
+"""Quantization of time-related metrics into ordinal labels (paper §3.3).
+
+The study reasons over *classes*, not raw numbers: every metric is mapped
+to an ordinal label through the boundaries of Table 1. The boundaries
+live in a :class:`LabelScheme` so alternative quantizations can be tried
+without touching the pattern definitions.
+"""
+
+from repro.labels.classes import (
+    ActiveGrowthClass,
+    ActivePupClass,
+    BirthTimingClass,
+    BirthVolumeClass,
+    IntervalBirthToTopClass,
+    IntervalTopToEndClass,
+    TopBandTimingClass,
+)
+from repro.labels.quantization import (
+    DEFAULT_SCHEME,
+    LabelScheme,
+    LabeledProfile,
+    label_profile,
+)
+
+__all__ = [
+    "ActiveGrowthClass",
+    "ActivePupClass",
+    "BirthTimingClass",
+    "BirthVolumeClass",
+    "DEFAULT_SCHEME",
+    "IntervalBirthToTopClass",
+    "IntervalTopToEndClass",
+    "LabelScheme",
+    "LabeledProfile",
+    "TopBandTimingClass",
+    "label_profile",
+]

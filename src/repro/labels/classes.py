@@ -1,0 +1,93 @@
+"""Ordinal label enums for the quantized schema-evolution metrics.
+
+One enum per row of the paper's Table 1. Members are ordered from
+"smallest/earliest" to "largest/latest"; their ``order`` attribute makes
+them usable as ordinal features for the decision tree.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class _OrdinalLabel(enum.Enum):
+    """Base for ordered label enums."""
+
+    @property
+    def order(self) -> int:
+        """0-based ordinal position within the enum."""
+        return list(type(self)).index(self)
+
+    def __lt__(self, other):
+        if type(self) is not type(other):
+            return NotImplemented
+        return self.order < other.order
+
+    def __le__(self, other):
+        if type(self) is not type(other):
+            return NotImplemented
+        return self.order <= other.order
+
+
+class BirthVolumeClass(_OrdinalLabel):
+    """Volume of activity at schema birth, as % of total change."""
+
+    LOW = "low"        # <= 0.25
+    FAIR = "fair"      # (0.25 .. 0.75]
+    HIGH = "high"      # (0.75 .. 1)
+    FULL = "full"      # exactly 1
+
+
+class BirthTimingClass(_OrdinalLabel):
+    """Time point of schema birth, as % of the project update period."""
+
+    V0 = "v0"          # the originating version (month 0)
+    EARLY = "early"    # (0 .. 0.25]
+    MIDDLE = "middle"  # (0.25 .. 0.75]
+    LATE = "late"      # > 0.75
+
+
+class TopBandTimingClass(_OrdinalLabel):
+    """Time point of reaching 90 % of total activity, as % of PUP."""
+
+    V0 = "v0"
+    EARLY = "early"
+    MIDDLE = "middle"
+    LATE = "late"
+
+
+class IntervalBirthToTopClass(_OrdinalLabel):
+    """Length of the birth-to-top-band interval, as % of PUP."""
+
+    ZERO = "zero"            # exactly 0
+    SOON = "soon"            # (0 .. 0.1]
+    FAIR = "fair"            # (0.1 .. 0.35]
+    LONG = "long"            # (0.35 .. 0.75]
+    VERY_LONG = "very_long"  # > 0.75
+
+
+class IntervalTopToEndClass(_OrdinalLabel):
+    """Length of the tail after top-band attainment, as % of PUP."""
+
+    SOON = "soon"    # <= 0.25
+    FAIR = "fair"    # (0.25 .. 0.75]
+    LONG = "long"    # (0.75 .. 1)
+    FULL = "full"    # exactly 1 (top band attained at the first month)
+
+
+class ActiveGrowthClass(_OrdinalLabel):
+    """Active months as a share of the growth period."""
+
+    ZERO = "zero"    # exactly 0
+    FEW = "few"      # (0 .. 0.2]
+    FAIR = "fair"    # (0.2 .. 0.75]
+    HIGH = "high"    # > 0.75
+
+
+class ActivePupClass(_OrdinalLabel):
+    """Active growth months as a share of the whole PUP."""
+
+    ZERO = "zero"    # exactly 0
+    FAIR = "fair"    # (0 .. 0.08]
+    HIGH = "high"    # (0.08 .. 0.5]
+    ULTRA = "ultra"  # > 0.5

@@ -1,0 +1,261 @@
+"""Quantization of raw metrics into Table-1 labels.
+
+A :class:`LabelScheme` holds the numeric boundaries; :func:`label_profile`
+applies a scheme to a :class:`~repro.metrics.profile.ProjectProfile` and
+yields a :class:`LabeledProfile` — the record that pattern definitions,
+the decision tree and the coverage analysis all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LabelError
+from repro.labels.classes import (
+    ActiveGrowthClass,
+    ActivePupClass,
+    BirthTimingClass,
+    BirthVolumeClass,
+    IntervalBirthToTopClass,
+    IntervalTopToEndClass,
+    TopBandTimingClass,
+)
+from repro.metrics.profile import ProjectProfile
+
+_EPS = 1e-9
+
+
+def _check_fraction(value: float, what: str) -> float:
+    if not -_EPS <= value <= 1 + _EPS:
+        raise LabelError(f"{what} must be in [0, 1], got {value}")
+    return min(max(value, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class LabelScheme:
+    """Numeric boundaries of the quantization (defaults = paper Table 1).
+
+    Every ``*_bounds`` tuple lists the *inclusive upper* boundary of each
+    label except the last, which absorbs the remainder.
+    """
+
+    #: Birth volume: LOW <= b1 < FAIR <= b2 < HIGH < 1, FULL = 1.
+    birth_volume_bounds: tuple[float, float] = (0.25, 0.75)
+    #: Timing classes: V0 = month 0; EARLY <= b1 < MIDDLE <= b2 < LATE.
+    timing_bounds: tuple[float, float] = (0.25, 0.75)
+    #: Birth-to-top interval: ZERO = 0; SOON/FAIR/LONG upper bounds.
+    interval_birth_top_bounds: tuple[float, float, float] = (0.1, 0.35, 0.75)
+    #: Top-to-end interval: SOON/FAIR upper bounds; LONG < 1; FULL = 1.
+    interval_top_end_bounds: tuple[float, float] = (0.25, 0.75)
+    #: Active-growth share: ZERO = 0; FEW/FAIR upper bounds.
+    active_growth_bounds: tuple[float, float] = (0.2, 0.75)
+    #: Active-PUP share: ZERO = 0; FAIR/HIGH upper bounds.
+    active_pup_bounds: tuple[float, float] = (0.08, 0.5)
+
+    # ------------------------------------------------------------------
+
+    def birth_volume(self, fraction: float) -> BirthVolumeClass:
+        """Label the volume of activity at schema birth."""
+        fraction = _check_fraction(fraction, "birth volume")
+        if fraction >= 1 - _EPS:
+            return BirthVolumeClass.FULL
+        low, fair = self.birth_volume_bounds
+        if fraction <= low:
+            return BirthVolumeClass.LOW
+        if fraction <= fair:
+            return BirthVolumeClass.FAIR
+        return BirthVolumeClass.HIGH
+
+    def _timing(self, month: int, pct: float, enum_cls):
+        if month == 0:
+            return enum_cls.V0
+        pct = _check_fraction(pct, "timing point")
+        early, middle = self.timing_bounds
+        if pct <= early:
+            return enum_cls.EARLY
+        if pct <= middle:
+            return enum_cls.MIDDLE
+        return enum_cls.LATE
+
+    def birth_timing(self, month: int, pct: float) -> BirthTimingClass:
+        """Label the time point of schema birth."""
+        return self._timing(month, pct, BirthTimingClass)
+
+    def top_band_timing(self, month: int, pct: float) -> TopBandTimingClass:
+        """Label the time point of top-band attainment."""
+        return self._timing(month, pct, TopBandTimingClass)
+
+    def interval_birth_to_top(self, months: int,
+                              pct: float) -> IntervalBirthToTopClass:
+        """Label the birth-to-top interval length."""
+        if months == 0:
+            return IntervalBirthToTopClass.ZERO
+        pct = _check_fraction(pct, "birth-to-top interval")
+        soon, fair, long_ = self.interval_birth_top_bounds
+        if pct <= soon:
+            return IntervalBirthToTopClass.SOON
+        if pct <= fair:
+            return IntervalBirthToTopClass.FAIR
+        if pct <= long_:
+            return IntervalBirthToTopClass.LONG
+        return IntervalBirthToTopClass.VERY_LONG
+
+    def interval_top_to_end(self, pct: float) -> IntervalTopToEndClass:
+        """Label the tail after top-band attainment."""
+        pct = _check_fraction(pct, "top-to-end interval")
+        if pct >= 1 - _EPS:
+            return IntervalTopToEndClass.FULL
+        soon, fair = self.interval_top_end_bounds
+        if pct <= soon:
+            return IntervalTopToEndClass.SOON
+        if pct <= fair:
+            return IntervalTopToEndClass.FAIR
+        return IntervalTopToEndClass.LONG
+
+    def active_growth(self, months: int,
+                      share: float) -> ActiveGrowthClass:
+        """Label active growth months as a share of the growth period."""
+        if months == 0:
+            return ActiveGrowthClass.ZERO
+        share = _check_fraction(share, "active growth share")
+        few, fair = self.active_growth_bounds
+        if share <= few:
+            return ActiveGrowthClass.FEW
+        if share <= fair:
+            return ActiveGrowthClass.FAIR
+        return ActiveGrowthClass.HIGH
+
+    def active_pup(self, months: int, share: float) -> ActivePupClass:
+        """Label active growth months as a share of the PUP."""
+        if months == 0:
+            return ActivePupClass.ZERO
+        share = _check_fraction(share, "active PUP share")
+        fair, high = self.active_pup_bounds
+        if share <= fair:
+            return ActivePupClass.FAIR
+        if share <= high:
+            return ActivePupClass.HIGH
+        return ActivePupClass.ULTRA
+
+
+    # ------------------------------------------------------------------
+    # serialization (reproducible ablation configs)
+
+    def to_dict(self) -> dict:
+        """The scheme's boundaries as a plain JSON-ready dict."""
+        return {
+            "birth_volume_bounds": list(self.birth_volume_bounds),
+            "timing_bounds": list(self.timing_bounds),
+            "interval_birth_top_bounds":
+                list(self.interval_birth_top_bounds),
+            "interval_top_end_bounds":
+                list(self.interval_top_end_bounds),
+            "active_growth_bounds": list(self.active_growth_bounds),
+            "active_pup_bounds": list(self.active_pup_bounds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LabelScheme":
+        """Rebuild a scheme from :meth:`to_dict` output.
+
+        Raises:
+            LabelError: on missing keys or wrong boundary arity.
+        """
+        try:
+            scheme = cls(
+                birth_volume_bounds=tuple(data["birth_volume_bounds"]),
+                timing_bounds=tuple(data["timing_bounds"]),
+                interval_birth_top_bounds=tuple(
+                    data["interval_birth_top_bounds"]),
+                interval_top_end_bounds=tuple(
+                    data["interval_top_end_bounds"]),
+                active_growth_bounds=tuple(data["active_growth_bounds"]),
+                active_pup_bounds=tuple(data["active_pup_bounds"]),
+            )
+        except KeyError as exc:
+            raise LabelError(f"label scheme dict missing {exc}") from exc
+        expected = {"birth_volume_bounds": 2, "timing_bounds": 2,
+                    "interval_birth_top_bounds": 3,
+                    "interval_top_end_bounds": 2,
+                    "active_growth_bounds": 2, "active_pup_bounds": 2}
+        for key, arity in expected.items():
+            if len(data[key]) != arity:
+                raise LabelError(f"{key} must have {arity} boundaries")
+        return scheme
+
+
+#: The paper's quantization.
+DEFAULT_SCHEME = LabelScheme()
+
+
+@dataclass(frozen=True)
+class LabeledProfile:
+    """A project profile together with all its ordinal labels.
+
+    Attributes:
+        profile: the measured profile.
+        birth_volume: class of the activity share at birth.
+        birth_timing: class of the birth time point.
+        top_band_timing: class of the top-band time point.
+        interval_birth_to_top: class of the growth interval.
+        interval_top_to_end: class of the tail interval.
+        active_growth: class of active months over the growth period.
+        active_pup: class of active months over the PUP.
+        active_growth_months: raw ActiveGrowthMonths (the classifier uses
+            the raw count for its "<= 3 steps" conditions).
+        has_single_vault: vault flag from the landmarks.
+    """
+
+    profile: ProjectProfile
+    birth_volume: BirthVolumeClass
+    birth_timing: BirthTimingClass
+    top_band_timing: TopBandTimingClass
+    interval_birth_to_top: IntervalBirthToTopClass
+    interval_top_to_end: IntervalTopToEndClass
+    active_growth: ActiveGrowthClass
+    active_pup: ActivePupClass
+    active_growth_months: int
+    has_single_vault: bool
+
+    @property
+    def name(self) -> str:
+        """The project's name."""
+        return self.profile.name
+
+    def feature_dict(self) -> dict[str, str]:
+        """The label values as plain strings (decision-tree features)."""
+        return {
+            "birth_volume": self.birth_volume.value,
+            "birth_timing": self.birth_timing.value,
+            "top_band_timing": self.top_band_timing.value,
+            "interval_birth_to_top": self.interval_birth_to_top.value,
+            "interval_top_to_end": self.interval_top_to_end.value,
+            "active_growth": self.active_growth.value,
+            "active_pup": self.active_pup.value,
+            "has_single_vault": str(self.has_single_vault),
+        }
+
+
+def label_profile(profile: ProjectProfile,
+                  scheme: LabelScheme = DEFAULT_SCHEME) -> LabeledProfile:
+    """Quantize every metric of ``profile`` under ``scheme``."""
+    marks = profile.landmarks
+    return LabeledProfile(
+        profile=profile,
+        birth_volume=scheme.birth_volume(marks.birth_volume_fraction),
+        birth_timing=scheme.birth_timing(marks.birth_month,
+                                         marks.birth_pct),
+        top_band_timing=scheme.top_band_timing(marks.top_band_month,
+                                               marks.top_band_pct),
+        interval_birth_to_top=scheme.interval_birth_to_top(
+            marks.interval_birth_to_top_months,
+            marks.interval_birth_to_top_pct),
+        interval_top_to_end=scheme.interval_top_to_end(
+            marks.interval_top_to_end_pct),
+        active_growth=scheme.active_growth(marks.active_growth_months,
+                                           marks.active_pct_growth),
+        active_pup=scheme.active_pup(marks.active_growth_months,
+                                     marks.active_pct_pup),
+        active_growth_months=marks.active_growth_months,
+        has_single_vault=marks.has_vault,
+    )

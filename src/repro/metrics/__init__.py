@@ -1,0 +1,37 @@
+"""Time-related metrics of schema evolution (paper §3.2).
+
+Given a schema history's monthly heartbeat, this package computes the
+landmarks and measures the study is built on:
+
+* schema birth point and the volume of activity at birth,
+* top-band (90 % of total activity) attainment point,
+* the birth-to-top and top-to-end intervals, and vault detection,
+* active growth months and their normalizations,
+* the 20-point quantized cumulative-progress vector (§5.2),
+* a :class:`ProjectProfile` bundling everything for one project.
+"""
+
+from repro.metrics.landmarks import TOP_BAND_FRACTION, Landmarks, compute_landmarks
+from repro.metrics.activity import ActivityTotals, compute_activity_totals
+from repro.metrics.timeseries import (
+    euclidean_distance,
+    heartbeat_vector,
+    mean_vector,
+)
+from repro.metrics.profile import ProjectProfile
+from repro.metrics.tables import TableLife, rigidity_share, table_lives
+
+__all__ = [
+    "ActivityTotals",
+    "Landmarks",
+    "ProjectProfile",
+    "TOP_BAND_FRACTION",
+    "TableLife",
+    "compute_activity_totals",
+    "compute_landmarks",
+    "euclidean_distance",
+    "heartbeat_vector",
+    "mean_vector",
+    "rigidity_share",
+    "table_lives",
+]

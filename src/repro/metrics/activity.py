@@ -1,0 +1,68 @@
+"""Volume-of-activity measures of a schema history (paper §6.1, §6.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diff.changes import ChangeKind
+from repro.diff.stats import ChangeBreakdown
+from repro.history.heartbeat import ActivitySeries
+
+
+@dataclass(frozen=True, slots=True)
+class ActivityTotals:
+    """Change-volume aggregates of one project.
+
+    Attributes:
+        total_activity: all affected attributes over the whole life,
+            including the attributes born at schema birth.
+        birth_activity: affected attributes in the birth month.
+        post_birth_activity: the paper's *Total Schema Activity* — the
+            amount of schema change after schema birth (§6.1).
+        expansion: affected attributes on the expansion side.
+        maintenance: affected attributes on the maintenance side.
+        breakdown: the full per-kind split.
+        schema_size_at_birth: attributes born with the first version.
+    """
+
+    total_activity: int
+    birth_activity: int
+    post_birth_activity: int
+    expansion: int
+    maintenance: int
+    breakdown: ChangeBreakdown
+    schema_size_at_birth: int
+
+    @property
+    def expansion_fraction(self) -> float:
+        """Expansion share of total activity (0.0 when no activity)."""
+        if self.total_activity == 0:
+            return 0.0
+        return self.expansion / self.total_activity
+
+
+def compute_activity_totals(series: ActivitySeries,
+                            birth_month: int) -> ActivityTotals:
+    """Aggregate a schema heartbeat into :class:`ActivityTotals`.
+
+    Args:
+        series: the monthly schema heartbeat, with breakdowns.
+        birth_month: the schema-birth month (see
+            :func:`repro.metrics.landmarks.compute_landmarks`).
+    """
+    total = series.total
+    birth = series.monthly[birth_month]
+    full_breakdown = series.total_breakdown
+    born_at_birth = 0
+    if series.breakdowns is not None:
+        born_at_birth = series.breakdowns[birth_month].count(
+            ChangeKind.BORN_WITH_TABLE)
+    return ActivityTotals(
+        total_activity=total,
+        birth_activity=birth,
+        post_birth_activity=total - birth,
+        expansion=full_breakdown.expansion,
+        maintenance=full_breakdown.maintenance,
+        breakdown=full_breakdown,
+        schema_size_at_birth=born_at_birth,
+    )

@@ -1,0 +1,150 @@
+"""Landmarks of a schema life: birth, top-band, intervals, vaults.
+
+All percentage normalizations follow the paper's convention of measuring
+time as a fraction of the Project Update Period. A point at month ``m`` of
+a project with ``P`` months normalizes to ``m / (P - 1)`` (the last month
+is 100 % of time); single-month projects normalize every point to 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MetricError
+from repro.history.heartbeat import ActivitySeries
+
+#: The paper's Top Band threshold: 90 % of total schema evolution activity.
+TOP_BAND_FRACTION = 0.9
+
+#: A birth-to-top transition shorter than this fraction of the project's
+#: life is a *vault* (paper Fig. 1).
+VAULT_FRACTION = 0.10
+
+
+@dataclass(frozen=True, slots=True)
+class Landmarks:
+    """The time-related landmarks of one project's schema life.
+
+    Month indices are 0-based within the project update period;
+    ``*_pct`` values are fractions of project lifetime in [0, 1].
+
+    Attributes:
+        pup_months: project update period, in months.
+        birth_month: month of schema birth (first DDL appearance).
+        birth_volume_fraction: share of total activity at the birth month
+            (1.0 for projects with all activity at birth, including
+            flatliners by convention).
+        top_band_month: first month at or after which cumulative activity
+            reaches 90 % of the total.
+        birth_pct / top_band_pct: the same points in normalized time.
+        interval_birth_to_top_months / _pct: the growth interval.
+        interval_top_to_end_pct: the inactivity tail after the top band.
+        has_vault: True when the growth interval is under 10 % of life.
+        active_growth_months: months with activity strictly between birth
+            and top-band attainment (the paper's ActiveGrowthMonths).
+        active_pct_growth: ActiveGrowthMonths over the interior length of
+            the growth period (0 when the growth period has no interior).
+        active_pct_pup: ActiveGrowthMonths over the PUP.
+    """
+
+    pup_months: int
+    birth_month: int
+    birth_volume_fraction: float
+    top_band_month: int
+    birth_pct: float
+    top_band_pct: float
+    interval_birth_to_top_months: int
+    interval_birth_to_top_pct: float
+    interval_top_to_end_pct: float
+    has_vault: bool
+    active_growth_months: int
+    active_pct_growth: float
+    active_pct_pup: float
+
+    @property
+    def born_at_v0(self) -> bool:
+        """True when the schema is born at the originating version."""
+        return self.birth_month == 0
+
+    @property
+    def top_at_v0(self) -> bool:
+        """True when the top band is attained at the originating version."""
+        return self.top_band_month == 0
+
+
+def _pct(month: int, pup_months: int) -> float:
+    """Normalize a month index to a fraction of project life."""
+    if pup_months <= 1:
+        return 0.0
+    return month / (pup_months - 1)
+
+
+def compute_landmarks(series: ActivitySeries,
+                      birth_month: int | None = None) -> Landmarks:
+    """Compute all landmarks from a monthly schema heartbeat.
+
+    Args:
+        series: the project's schema activity series over its full PUP.
+        birth_month: month of the first DDL commit. When None, the first
+            active month of the series is used; passing it explicitly is
+            needed for degenerate histories whose DDL never defines an
+            attribute (total activity zero).
+
+    Raises:
+        MetricError: when birth cannot be determined (zero activity and no
+            explicit ``birth_month``), or when ``birth_month`` lies
+            outside the series.
+    """
+    pup = series.months
+    if birth_month is None:
+        birth_month = series.first_active_month()
+        if birth_month is None:
+            raise MetricError(
+                "cannot determine schema birth: series has no activity "
+                "and no explicit birth_month was given")
+    if not 0 <= birth_month < pup:
+        raise MetricError(f"birth_month {birth_month} outside the "
+                          f"{pup}-month series")
+
+    total = series.total
+    if total == 0:
+        # Degenerate: DDL exists but never defines attributes. All
+        # activity (vacuously) happens at birth.
+        birth_volume = 1.0
+        top_month = birth_month
+    else:
+        birth_volume = series.monthly[birth_month] / total
+        top_month = series.month_reaching_fraction(TOP_BAND_FRACTION)
+        assert top_month is not None
+        # Activity before the recorded DDL birth is impossible by
+        # construction, but guard against inconsistent explicit births.
+        if top_month < birth_month:
+            raise MetricError(
+                f"top band at month {top_month} precedes the declared "
+                f"schema birth at month {birth_month}")
+
+    interval_months = top_month - birth_month
+    interval_pct = _pct(interval_months, pup) if pup > 1 else 0.0
+    last_month = pup - 1
+    tail_pct = _pct(last_month - top_month, pup) if pup > 1 else 0.0
+
+    growth_interior = max(interval_months - 1, 0)
+    active = sum(1 for m in range(birth_month + 1, top_month)
+                 if series.monthly[m] > 0)
+    active_pct_growth = active / growth_interior if growth_interior else 0.0
+
+    return Landmarks(
+        pup_months=pup,
+        birth_month=birth_month,
+        birth_volume_fraction=birth_volume,
+        top_band_month=top_month,
+        birth_pct=_pct(birth_month, pup),
+        top_band_pct=_pct(top_month, pup),
+        interval_birth_to_top_months=interval_months,
+        interval_birth_to_top_pct=interval_pct,
+        interval_top_to_end_pct=tail_pct,
+        has_vault=interval_pct < VAULT_FRACTION,
+        active_growth_months=active,
+        active_pct_growth=active_pct_growth,
+        active_pct_pup=active / pup,
+    )

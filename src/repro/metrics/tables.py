@@ -1,0 +1,116 @@
+"""Per-table lives within a schema history (library extension).
+
+The paper measures whole-schema timing; its companion studies (e.g.
+"Gravitating to rigidity") work at the granularity of individual table
+*lives*. This module derives that view from the same transitions: for
+every table that ever existed, its birth month, death month (if any),
+update activity and size trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diff.changes import ChangeKind
+from repro.diff.engine import DiffOptions
+from repro.history.repository import SchemaHistory
+from repro.history.transitions import compute_transitions
+
+
+@dataclass
+class TableLife:
+    """The life of one table inside a project.
+
+    Attributes:
+        name: the (normalized) table name.
+        birth_month: project month the table first appears.
+        death_month: project month the table disappears; None if alive
+            at the end of the history.
+        birth_size: attributes at creation.
+        final_size: attributes at death or at the last version.
+        update_events: attribute events on the table after birth,
+            excluding the whole-table deletion itself.
+        active_months: distinct months with changes after birth
+            (again excluding the deletion month for dropped tables).
+    """
+
+    name: str
+    birth_month: int
+    death_month: int | None = None
+    birth_size: int = 0
+    final_size: int = 0
+    update_events: int = 0
+    _active: set = field(default_factory=set, repr=False)
+
+    @property
+    def active_months(self) -> int:
+        """Distinct months with post-birth change."""
+        return len(self._active)
+
+    @property
+    def is_alive(self) -> bool:
+        """True when the table survives to the end of the history."""
+        return self.death_month is None
+
+    @property
+    def duration_months(self) -> int | None:
+        """Life length in months (None while alive: open-ended)."""
+        if self.death_month is None:
+            return None
+        return self.death_month - self.birth_month
+
+
+def table_lives(history: SchemaHistory,
+                options: DiffOptions | None = None) -> list[TableLife]:
+    """Compute the life of every table that ever existed in ``history``.
+
+    A re-created table (dropped, later created again under the same
+    name) yields two separate lives.
+    """
+    lives: list[TableLife] = []
+    open_lives: dict[str, TableLife] = {}
+    for transition in compute_transitions(history, options):
+        month = transition.month
+        born: dict[str, int] = {}
+        dropped: set[str] = set()
+        per_table_updates: dict[str, int] = {}
+        for change in transition.diff:
+            if change.kind is ChangeKind.BORN_WITH_TABLE:
+                born[change.table] = born.get(change.table, 0) + 1
+            elif change.kind is ChangeKind.DELETED_WITH_TABLE:
+                dropped.add(change.table)
+            else:
+                per_table_updates[change.table] = \
+                    per_table_updates.get(change.table, 0) + 1
+        for name in dropped:
+            life = open_lives.pop(name, None)
+            if life is not None:
+                life.death_month = month
+                lives.append(life)
+        for name, size in born.items():
+            life = TableLife(name=name, birth_month=month,
+                             birth_size=size, final_size=size)
+            open_lives[name] = life
+        for name, events in per_table_updates.items():
+            life = open_lives.get(name)
+            if life is None:
+                continue  # rename-detected or out-of-model change
+            life.update_events += events
+            life._active.add(month)
+        # Track final sizes from the materialized schema.
+        for table in transition.version.schema:
+            life = open_lives.get(table.name)
+            if life is not None:
+                life.final_size = len(table)
+    lives.extend(open_lives.values())
+    lives.sort(key=lambda l: (l.birth_month, l.name))
+    return lives
+
+
+def rigidity_share(lives: list[TableLife]) -> float:
+    """Share of table lives with zero post-birth change — the
+    table-level analogue of the paper's aversion-to-change trait."""
+    if not lives:
+        return 0.0
+    rigid = sum(1 for l in lives if l.update_events == 0)
+    return rigid / len(lives)

@@ -1,0 +1,61 @@
+"""Quantized time-series vectors of cumulative schema progress.
+
+Section 5.2 of the paper quantizes each project's cumulative-progress line
+into a vector of 20 measurements (one per 5 % of normalized time) and uses
+centroid distances to argue pattern cohesion. This module provides that
+vector and the distance helpers the mining layer builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import MetricError
+from repro.history.heartbeat import ActivitySeries
+
+#: The paper's grid: one sample per 5 % of time, 0 % .. 95 %.
+DEFAULT_POINTS = 20
+
+
+def heartbeat_vector(series: ActivitySeries,
+                     points: int = DEFAULT_POINTS) -> tuple[float, ...]:
+    """The cumulative-fraction curve sampled on an even time grid.
+
+    Args:
+        series: the monthly schema heartbeat.
+        points: number of grid points (20 in the paper: 0 %, 5 %, ... 95 %).
+
+    Returns:
+        A monotone non-decreasing vector of fractions in [0, 1].
+    """
+    return series.sample(points)
+
+
+def euclidean_distance(left: Sequence[float],
+                       right: Sequence[float]) -> float:
+    """Plain Euclidean distance between two equal-length vectors.
+
+    Raises:
+        MetricError: when the vectors differ in length.
+    """
+    if len(left) != len(right):
+        raise MetricError(f"vector lengths differ: "
+                          f"{len(left)} vs {len(right)}")
+    return math.sqrt(sum((a - b) ** 2 for a, b in zip(left, right)))
+
+
+def mean_vector(vectors: Iterable[Sequence[float]]) -> tuple[float, ...]:
+    """Component-wise mean of a non-empty collection of vectors.
+
+    Raises:
+        MetricError: for an empty collection or ragged vector lengths.
+    """
+    items = [tuple(v) for v in vectors]
+    if not items:
+        raise MetricError("cannot average zero vectors")
+    length = len(items[0])
+    if any(len(v) != length for v in items):
+        raise MetricError("all vectors must share one length")
+    count = len(items)
+    return tuple(sum(v[i] for v in items) / count for i in range(length))

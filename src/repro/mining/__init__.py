@@ -1,0 +1,46 @@
+"""Mining and validation algorithms built from scratch.
+
+No scikit-learn offline, so this package implements the paper's
+quantitative-validation machinery directly:
+
+* a CART-style decision tree over categorical label features (Fig. 5),
+* Spearman rank correlation (Fig. 2), cross-checked against scipy,
+* pattern centroids and Mean Distance to Centroid (§5.2),
+* k-means and agglomerative clustering over heartbeat vectors, plus a
+  silhouette score — the quantitative aid for the grounded-theory
+  grouping and the completeness probe.
+"""
+
+from repro.mining.decision_tree import DecisionTree, TreeNode
+from repro.mining.correlation import (
+    rankdata,
+    spearman_matrix,
+    spearman_rho,
+)
+from repro.mining.centroids import CentroidReport, centroid_report
+from repro.mining.clustering import (
+    agglomerative,
+    kmeans,
+    silhouette_score,
+)
+from repro.mining.predictor import (
+    LeaveOneOutReport,
+    NaiveBayesPredictor,
+    leave_one_out,
+)
+
+__all__ = [
+    "LeaveOneOutReport",
+    "NaiveBayesPredictor",
+    "leave_one_out",
+    "CentroidReport",
+    "DecisionTree",
+    "TreeNode",
+    "agglomerative",
+    "centroid_report",
+    "kmeans",
+    "rankdata",
+    "silhouette_score",
+    "spearman_matrix",
+    "spearman_rho",
+]

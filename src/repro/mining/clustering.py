@@ -1,0 +1,160 @@
+"""Clustering over heartbeat vectors: k-means, agglomerative, silhouette.
+
+The paper's grouping was manual (grounded theory); these algorithms serve
+as its quantitative counterpart — the completeness probe ("would blind
+clustering discover groups the taxonomy misses?") and a sanity check that
+the manual patterns correspond to real structure in vector space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import euclidean_distance, mean_vector
+
+Vector = Sequence[float]
+
+
+def kmeans(vectors: Sequence[Vector], k: int, seed: int = 0,
+           max_iterations: int = 200) -> list[int]:
+    """Lloyd's k-means with k-means++-style seeding.
+
+    Args:
+        vectors: the points (equal-length sequences).
+        k: number of clusters (1 <= k <= len(vectors)).
+        seed: RNG seed for the initialization.
+        max_iterations: iteration cap.
+
+    Returns:
+        Cluster index per input vector.
+
+    Raises:
+        AnalysisError: for an invalid ``k`` or empty input.
+    """
+    points = [tuple(v) for v in vectors]
+    if not points:
+        raise AnalysisError("cannot cluster zero points")
+    if not 1 <= k <= len(points):
+        raise AnalysisError(f"k must be in [1, {len(points)}], got {k}")
+    rng = random.Random(seed)
+
+    # k-means++ seeding: spread the initial centers out.
+    centers = [rng.choice(points)]
+    while len(centers) < k:
+        weights = [min(euclidean_distance(p, c) ** 2 for c in centers)
+                   for p in points]
+        total = sum(weights)
+        if total == 0:
+            centers.append(rng.choice(points))
+            continue
+        pick = rng.random() * total
+        running = 0.0
+        for point, weight in zip(points, weights):
+            running += weight
+            if running >= pick:
+                centers.append(point)
+                break
+
+    assignment = [0] * len(points)
+    for _ in range(max_iterations):
+        changed = False
+        for i, point in enumerate(points):
+            best = min(range(k),
+                       key=lambda c: euclidean_distance(point, centers[c]))
+            if best != assignment[i]:
+                assignment[i] = best
+                changed = True
+        for c in range(k):
+            members = [p for p, a in zip(points, assignment) if a == c]
+            if members:
+                centers[c] = mean_vector(members)
+        if not changed:
+            break
+    return assignment
+
+
+def agglomerative(vectors: Sequence[Vector], k: int) -> list[int]:
+    """Average-linkage agglomerative clustering down to ``k`` clusters.
+
+    Returns:
+        Cluster index per input vector (indices are 0..k-1, compacted).
+
+    Raises:
+        AnalysisError: for an invalid ``k`` or empty input.
+    """
+    points = [tuple(v) for v in vectors]
+    if not points:
+        raise AnalysisError("cannot cluster zero points")
+    if not 1 <= k <= len(points):
+        raise AnalysisError(f"k must be in [1, {len(points)}], got {k}")
+
+    clusters: dict[int, list[int]] = {i: [i] for i in range(len(points))}
+
+    def linkage(a: int, b: int) -> float:
+        members_a, members_b = clusters[a], clusters[b]
+        total = 0.0
+        for i in members_a:
+            for j in members_b:
+                total += euclidean_distance(points[i], points[j])
+        return total / (len(members_a) * len(members_b))
+
+    while len(clusters) > k:
+        keys = sorted(clusters)
+        best_pair = None
+        best_value = float("inf")
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                value = linkage(a, b)
+                if value < best_value:
+                    best_value = value
+                    best_pair = (a, b)
+        a, b = best_pair
+        clusters[a].extend(clusters[b])
+        del clusters[b]
+
+    assignment = [0] * len(points)
+    for new_index, key in enumerate(sorted(clusters)):
+        for member in clusters[key]:
+            assignment[member] = new_index
+    return assignment
+
+
+def silhouette_score(vectors: Sequence[Vector],
+                     assignment: Sequence[int]) -> float:
+    """Mean silhouette coefficient of a clustering (in [-1, 1]).
+
+    Singleton clusters contribute a silhouette of 0, following the
+    standard convention.
+
+    Raises:
+        AnalysisError: for mismatched lengths or fewer than 2 clusters.
+    """
+    points = [tuple(v) for v in vectors]
+    if len(points) != len(assignment):
+        raise AnalysisError("vectors and assignment must align")
+    labels = set(assignment)
+    if len(labels) < 2:
+        raise AnalysisError("silhouette needs at least two clusters")
+
+    members: dict[int, list[int]] = {}
+    for index, label in enumerate(assignment):
+        members.setdefault(label, []).append(index)
+
+    scores: list[float] = []
+    for index, label in enumerate(assignment):
+        own = [i for i in members[label] if i != index]
+        if not own:
+            scores.append(0.0)
+            continue
+        a = sum(euclidean_distance(points[index], points[i])
+                for i in own) / len(own)
+        b = min(
+            sum(euclidean_distance(points[index], points[i])
+                for i in members[other]) / len(members[other])
+            for other in labels if other != label
+        )
+        denom = max(a, b)
+        scores.append((b - a) / denom if denom > 0 else 0.0)
+    return sum(scores) / len(scores)

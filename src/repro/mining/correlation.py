@@ -1,0 +1,79 @@
+"""Spearman rank correlation, implemented from first principles.
+
+Used for the paper's Fig. 2 (correlations between the time-related
+measures). Tests cross-check against :func:`scipy.stats.spearmanr`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+
+def rankdata(values: Sequence[float]) -> list[float]:
+    """Ranks of ``values`` (1-based), with ties receiving average ranks."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) \
+                and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2 + 1  # average of 1-based positions i+1..j+1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def _pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    n = len(x)
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(x, y))
+    var_x = sum((a - mean_x) ** 2 for a in x)
+    var_y = sum((b - mean_y) ** 2 for b in y)
+    if var_x == 0 or var_y == 0:
+        return float("nan")
+    return cov / math.sqrt(var_x * var_y)
+
+
+def spearman_rho(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank-correlation coefficient of two samples.
+
+    Returns NaN when either sample is constant (undefined correlation).
+
+    Raises:
+        AnalysisError: for mismatched lengths or samples shorter than 2.
+    """
+    if len(x) != len(y):
+        raise AnalysisError(f"sample lengths differ: {len(x)} vs {len(y)}")
+    if len(x) < 2:
+        raise AnalysisError("need at least two observations")
+    return _pearson(rankdata(x), rankdata(y))
+
+
+def spearman_matrix(measures: Mapping[str, Sequence[float]]
+                    ) -> dict[tuple[str, str], float]:
+    """Pairwise Spearman correlations of named measures.
+
+    Args:
+        measures: measure name -> observation vector; all vectors must
+            share one length.
+
+    Returns:
+        ``{(name_a, name_b): rho}`` for every unordered pair (keys are
+        stored in both orders plus the diagonal at 1.0).
+    """
+    names = list(measures)
+    out: dict[tuple[str, str], float] = {}
+    for i, a in enumerate(names):
+        out[(a, a)] = 1.0
+        for b in names[i + 1:]:
+            rho = spearman_rho(measures[a], measures[b])
+            out[(a, b)] = rho
+            out[(b, a)] = rho
+    return out

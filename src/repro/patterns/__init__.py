@@ -1,0 +1,55 @@
+"""The 8 time-related patterns of schema evolution (paper §4).
+
+Three families:
+
+* **Be Quick or Be Dead** — focused change around schema birth:
+  Flatliner, Radical Sign, Sigmoid, Late Riser.
+* **Stairway to Heaven** — regular steps of change:
+  Quantum Steps, Regularly Curated.
+* **Scared to Fall Asleep Again** — change late in the project's life:
+  Siesta, Smoking Funnel.
+
+The classifier applies the formal definitions (Defs 4.1–4.8) to a
+:class:`~repro.labels.quantization.LabeledProfile`; a tolerance mode
+emulates the paper's practice of keeping near-miss projects inside their
+pattern as documented *exceptions* (Table 2).
+"""
+
+from repro.patterns.taxonomy import (
+    Family,
+    PAPER_POPULATION,
+    Pattern,
+    family_of,
+)
+from repro.patterns.definitions import (
+    DEFINITIONS,
+    PatternDefinition,
+    Variant,
+    definition_of,
+)
+from repro.patterns.classifier import (
+    ClassificationResult,
+    classify,
+    classify_with_tolerance,
+)
+from repro.patterns.describe import PatternDescription, describe, describe_all
+from repro.patterns.exceptions import ExceptionReport, exception_report
+
+__all__ = [
+    "ClassificationResult",
+    "PatternDescription",
+    "describe",
+    "describe_all",
+    "DEFINITIONS",
+    "ExceptionReport",
+    "Family",
+    "PAPER_POPULATION",
+    "Pattern",
+    "PatternDefinition",
+    "Variant",
+    "classify",
+    "classify_with_tolerance",
+    "definition_of",
+    "exception_report",
+    "family_of",
+]

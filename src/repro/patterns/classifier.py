@@ -1,0 +1,87 @@
+"""Pattern classification of labeled profiles.
+
+Two modes:
+
+* :func:`classify` — strict: the profile must satisfy a definition
+  exactly, otherwise :attr:`Pattern.UNCLASSIFIED` is returned. The
+  definitions' regions are disjoint, so at most one can match.
+* :func:`classify_with_tolerance` — the paper's practice: a profile that
+  matches no definition is assigned to the *closest* definition (fewest
+  violated constraints, population prior as tie-break) and flagged as an
+  exception, provided it is close enough (at most ``max_violations``
+  violated constraints); otherwise it stays unclassified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.labels.quantization import LabeledProfile
+from repro.patterns.definitions import DEFINITIONS
+from repro.patterns.taxonomy import PAPER_POPULATION, Pattern
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationResult:
+    """The outcome of classifying one project.
+
+    Attributes:
+        pattern: the assigned pattern (possibly UNCLASSIFIED).
+        is_exception: True when the assignment violates the formal
+            definition (tolerance mode only).
+        violations: names of the violated defining constraints.
+    """
+
+    pattern: Pattern
+    is_exception: bool = False
+    violations: tuple[str, ...] = ()
+
+
+def classify(labeled: LabeledProfile) -> Pattern:
+    """Strictly classify a labeled profile.
+
+    Returns the unique matching pattern, or UNCLASSIFIED when no
+    definition matches. Definition disjointness guarantees uniqueness.
+    """
+    for definition in DEFINITIONS:
+        if definition.matches(labeled):
+            return definition.pattern
+    return Pattern.UNCLASSIFIED
+
+
+def classify_with_tolerance(labeled: LabeledProfile,
+                            max_violations: int = 1
+                            ) -> ClassificationResult:
+    """Classify, assigning near-misses to their closest pattern.
+
+    Args:
+        labeled: the project's labeled profile.
+        max_violations: largest number of violated constraints for which
+            a near-miss assignment is still made (the paper's exceptions
+            violate exactly one clause of their definition).
+
+    Returns:
+        A :class:`ClassificationResult`; ``is_exception`` is True for
+        near-miss assignments.
+    """
+    strict = classify(labeled)
+    if strict is not Pattern.UNCLASSIFIED:
+        return ClassificationResult(pattern=strict)
+
+    best_pattern = Pattern.UNCLASSIFIED
+    best_violations: tuple[str, ...] = ()
+    best_count = max_violations + 1
+    for definition in DEFINITIONS:
+        violations = definition.min_violations(labeled)
+        count = len(violations)
+        if count < best_count or (
+                count == best_count
+                and PAPER_POPULATION.get(definition.pattern, 0)
+                > PAPER_POPULATION.get(best_pattern, 0)):
+            best_pattern = definition.pattern
+            best_violations = violations
+            best_count = count
+    if best_count > max_violations:
+        return ClassificationResult(pattern=Pattern.UNCLASSIFIED)
+    return ClassificationResult(pattern=best_pattern, is_exception=True,
+                                violations=best_violations)

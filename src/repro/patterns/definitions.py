@@ -1,0 +1,174 @@
+"""Formal pattern definitions (paper Definitions 4.1 – 4.8).
+
+Each pattern is defined over four features of a labeled profile:
+
+1. Point-of-Schema-Birth class,
+2. Top-Band-Attainment-Point class,
+3. Birth-to-Top Interval class,
+4. Active Growth Months (raw count).
+
+A definition holds one or more :class:`Variant` rows (Quantum Steps and
+Regularly Curated have two each); a profile matches the definition when it
+matches any variant. The regions of the eight definitions are pairwise
+disjoint in the feature space (verified by tests and by the Fig-6
+coverage analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.labels.classes import (
+    BirthTimingClass,
+    IntervalBirthToTopClass,
+    TopBandTimingClass,
+)
+from repro.labels.quantization import LabeledProfile
+from repro.patterns.taxonomy import Pattern
+
+_B = BirthTimingClass
+_T = TopBandTimingClass
+_I = IntervalBirthToTopClass
+
+#: Sentinel for "no upper bound" on active growth months.
+UNBOUNDED = 10 ** 9
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One row of a pattern definition.
+
+    Attributes:
+        birth: allowed Point-of-Schema-Birth classes.
+        top: allowed Top-Band-Attainment classes.
+        interval: allowed Birth-to-Top interval classes; None = any.
+        agm_min / agm_max: inclusive bounds on Active Growth Months.
+    """
+
+    birth: frozenset[BirthTimingClass]
+    top: frozenset[TopBandTimingClass]
+    interval: frozenset[IntervalBirthToTopClass] | None = None
+    agm_min: int = 0
+    agm_max: int = UNBOUNDED
+
+    def matches(self, labeled: LabeledProfile) -> bool:
+        """True when ``labeled`` satisfies every constraint of the row."""
+        return not self.violations(labeled)
+
+    def violations(self, labeled: LabeledProfile) -> tuple[str, ...]:
+        """Names of the constraints ``labeled`` violates (empty = match)."""
+        out: list[str] = []
+        if labeled.birth_timing not in self.birth:
+            out.append("birth_timing")
+        if labeled.top_band_timing not in self.top:
+            out.append("top_band_timing")
+        if self.interval is not None \
+                and labeled.interval_birth_to_top not in self.interval:
+            out.append("interval_birth_to_top")
+        agm = labeled.active_growth_months
+        if not self.agm_min <= agm <= self.agm_max:
+            out.append("active_growth_months")
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class PatternDefinition:
+    """A pattern with its defining variants."""
+
+    pattern: Pattern
+    variants: tuple[Variant, ...]
+
+    def matches(self, labeled: LabeledProfile) -> bool:
+        """True when any variant matches."""
+        return any(v.matches(labeled) for v in self.variants)
+
+    def min_violations(self, labeled: LabeledProfile) -> tuple[str, ...]:
+        """The violation set of the closest variant (smallest set wins)."""
+        best: tuple[str, ...] | None = None
+        for variant in self.variants:
+            violations = variant.violations(labeled)
+            if best is None or len(violations) < len(best):
+                best = violations
+            if not best:
+                break
+        assert best is not None
+        return best
+
+
+#: Def 4.1 — born at V0, top band at V0, nothing afterwards.
+FLATLINER = PatternDefinition(Pattern.FLATLINER, (
+    Variant(birth=frozenset({_B.V0}), top=frozenset({_T.V0}),
+            interval=frozenset({_I.ZERO}), agm_max=0),
+))
+
+#: Def 4.2 — born at V0/early, top band early; the vault right at birth.
+#: The AGM bound follows the observed range of Fig. 4 (0–2).
+RADICAL_SIGN = PatternDefinition(Pattern.RADICAL_SIGN, (
+    Variant(birth=frozenset({_B.V0, _B.EARLY}), top=frozenset({_T.EARLY}),
+            interval=None, agm_max=2),
+))
+
+#: Def 4.3 — born mid-life, immediate rise, long frozen tail.
+SIGMOID = PatternDefinition(Pattern.SIGMOID, (
+    Variant(birth=frozenset({_B.MIDDLE}), top=frozenset({_T.MIDDLE}),
+            interval=frozenset({_I.ZERO, _I.SOON}), agm_max=1),
+))
+
+#: Def 4.4 — born late, rises immediately, short tail.
+LATE_RISER = PatternDefinition(Pattern.LATE_RISER, (
+    Variant(birth=frozenset({_B.LATE}), top=frozenset({_T.LATE}),
+            interval=frozenset({_I.ZERO, _I.SOON}), agm_max=0),
+))
+
+#: Def 4.5 — few (<= 3) focused steps between birth and top band.
+QUANTUM_STEPS = PatternDefinition(Pattern.QUANTUM_STEPS, (
+    Variant(birth=frozenset({_B.V0, _B.EARLY}),
+            top=frozenset({_T.MIDDLE}),
+            interval=frozenset({_I.FAIR, _I.LONG}), agm_max=3),
+    Variant(birth=frozenset({_B.MIDDLE}), top=frozenset({_T.LATE}),
+            interval=frozenset({_I.FAIR, _I.LONG}), agm_max=3),
+))
+
+#: Def 4.6 — more than 3 active growth months of steady curation.
+REGULARLY_CURATED = PatternDefinition(Pattern.REGULARLY_CURATED, (
+    Variant(birth=frozenset({_B.V0, _B.EARLY}),
+            top=frozenset({_T.MIDDLE, _T.LATE}),
+            interval=frozenset({_I.LONG, _I.VERY_LONG}), agm_min=4),
+    Variant(birth=frozenset({_B.MIDDLE}), top=frozenset({_T.LATE}),
+            interval=frozenset({_I.FAIR, _I.LONG}), agm_min=4),
+))
+
+#: Def 4.7 — early birth, very long sleep, late final changes.
+SIESTA = PatternDefinition(Pattern.SIESTA, (
+    Variant(birth=frozenset({_B.V0, _B.EARLY}), top=frozenset({_T.LATE}),
+            interval=frozenset({_I.VERY_LONG}), agm_max=3),
+))
+
+#: Def 4.8 — mid-life birth with dense change after it.
+SMOKING_FUNNEL = PatternDefinition(Pattern.SMOKING_FUNNEL, (
+    Variant(birth=frozenset({_B.MIDDLE}), top=frozenset({_T.MIDDLE}),
+            interval=frozenset({_I.FAIR}), agm_min=4),
+))
+
+#: All definitions in the paper's presentation order.
+DEFINITIONS: tuple[PatternDefinition, ...] = (
+    FLATLINER,
+    RADICAL_SIGN,
+    SIGMOID,
+    LATE_RISER,
+    QUANTUM_STEPS,
+    REGULARLY_CURATED,
+    SIESTA,
+    SMOKING_FUNNEL,
+)
+
+_BY_PATTERN = {d.pattern: d for d in DEFINITIONS}
+
+
+def definition_of(pattern: Pattern) -> PatternDefinition:
+    """The definition of one (real) pattern.
+
+    Raises:
+        KeyError: for :attr:`Pattern.UNCLASSIFIED`.
+    """
+    return _BY_PATTERN[pattern]

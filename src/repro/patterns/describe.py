@@ -1,0 +1,108 @@
+"""Human-readable pattern descriptions and curator guidance.
+
+Turns a classification outcome into narrative a non-specialist can use:
+what the pattern means, what the cumulative line looks like, and what a
+project curator should plan for (the practical angle of paper §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.patterns.taxonomy import Family, Pattern, family_of
+
+
+@dataclass(frozen=True)
+class PatternDescription:
+    """Narrative facts about one pattern.
+
+    Attributes:
+        pattern: the described pattern.
+        family: its family.
+        shape: one-line description of the cumulative-progress line.
+        meaning: what the pattern says about how the schema was curated.
+        advice: practical guidance for a project in this pattern.
+    """
+
+    pattern: Pattern
+    family: Family | None
+    shape: str
+    meaning: str
+    advice: str
+
+
+_DESCRIPTIONS: dict[Pattern, tuple[str, str, str]] = {
+    Pattern.FLATLINER: (
+        "a flat line at 100 % from the very first version",
+        "the schema was designed once, with the project's first commit, "
+        "and never changed at the logical level again",
+        "treat the schema as a frozen contract; invest review effort "
+        "up front, since fixing it later is evidently not the habit",
+    ),
+    Pattern.RADICAL_SIGN: (
+        "a √-shaped vault: a steep early climb, then a long flat tail",
+        "the schema was born early and completed almost immediately; "
+        "whatever change happened, happened in the first quarter of "
+        "the project's life",
+        "expect a short, intense schema-design phase; after the vault, "
+        "migrations become rare events worth treating as exceptions",
+    ),
+    Pattern.SIGMOID: (
+        "an S-shaped step in the middle of the project's life",
+        "the database arrived mid-project (often when persistence was "
+        "added to an existing code base) and froze right away",
+        "the late arrival compresses design time; budget a focused "
+        "schema-design sprint when persistence lands",
+    ),
+    Pattern.LATE_RISER: (
+        "a flat zero line with a single step near the end",
+        "the schema appeared in the last quarter of the observed "
+        "history — persistence was an afterthought or a late pivot",
+        "treat the young schema as unstable; the observed freeze may "
+        "only reflect how little time it has existed",
+    ),
+    Pattern.QUANTUM_STEPS: (
+        "a staircase with at most three distinct steps",
+        "schema changes came in a few focused batches, with long "
+        "quiet stretches between them",
+        "batch migrations deliberately: group schema work into planned "
+        "releases rather than continuous trickle",
+    ),
+    Pattern.REGULARLY_CURATED: (
+        "a steady ramp with many small steps",
+        "the schema was continuously maintained alongside the code — "
+        "the most database-active regime in the corpus",
+        "invest in migration automation and schema-code co-evolution "
+        "tooling; change is the norm here, not the exception",
+    ),
+    Pattern.SIESTA: (
+        "an early step, a long flat plateau, and a late second step",
+        "after an early design the schema slept for most of the "
+        "project's life, then received late, focused changes",
+        "late changes land on old code: re-validate queries and "
+        "mappings carefully when the schema wakes up",
+    ),
+    Pattern.SMOKING_FUNNEL: (
+        "a mid-life take-off followed by a dense climb",
+        "the schema was born in mid-project at medium volume and kept "
+        "evolving densely afterwards",
+        "plan for sustained schema work from the moment the database "
+        "lands; this is the rarest but busiest regime",
+    ),
+}
+
+
+def describe(pattern: Pattern) -> PatternDescription:
+    """The narrative description of ``pattern``.
+
+    Raises:
+        KeyError: for :attr:`Pattern.UNCLASSIFIED`.
+    """
+    shape, meaning, advice = _DESCRIPTIONS[pattern]
+    return PatternDescription(pattern=pattern, family=family_of(pattern),
+                              shape=shape, meaning=meaning, advice=advice)
+
+
+def describe_all() -> list[PatternDescription]:
+    """Descriptions of every real pattern, in the paper's order."""
+    return [describe(pattern) for pattern in _DESCRIPTIONS]

@@ -1,0 +1,70 @@
+"""Exception and overlap accounting (paper Table 2).
+
+Given classified projects, this module counts, per pattern: the
+population, the projects assigned as exceptions (definition violated),
+and overlaps (profiles whose labels strictly satisfy more than one
+definition — always zero given disjoint definitions; reported to prove
+it, as the paper's Table 2 does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.labels.quantization import LabeledProfile
+from repro.patterns.classifier import ClassificationResult
+from repro.patterns.definitions import DEFINITIONS
+from repro.patterns.taxonomy import Pattern, REAL_PATTERNS
+
+
+@dataclass(frozen=True, slots=True)
+class ExceptionReport:
+    """Per-pattern population / exception / overlap counts.
+
+    Attributes:
+        rows: (pattern, population, exceptions, overlaps) per real
+            pattern, in the paper's order.
+        unclassified: projects no pattern could absorb.
+    """
+
+    rows: tuple[tuple[Pattern, int, int, int], ...]
+    unclassified: int
+
+    @property
+    def total(self) -> int:
+        """Total classified projects."""
+        return sum(row[1] for row in self.rows)
+
+    @property
+    def total_exceptions(self) -> int:
+        """Total exception projects across patterns."""
+        return sum(row[2] for row in self.rows)
+
+
+def count_strict_matches(labeled: LabeledProfile) -> int:
+    """How many definitions strictly match ``labeled`` (0 or 1 when the
+    definitions are disjoint)."""
+    return sum(1 for d in DEFINITIONS if d.matches(labeled))
+
+
+def exception_report(
+        classified: Iterable[tuple[LabeledProfile, ClassificationResult]]
+) -> ExceptionReport:
+    """Build the Table-2 accounting from classification results."""
+    population = {p: 0 for p in REAL_PATTERNS}
+    exceptions = {p: 0 for p in REAL_PATTERNS}
+    overlaps = {p: 0 for p in REAL_PATTERNS}
+    unclassified = 0
+    for labeled, result in classified:
+        if result.pattern is Pattern.UNCLASSIFIED:
+            unclassified += 1
+            continue
+        population[result.pattern] += 1
+        if result.is_exception:
+            exceptions[result.pattern] += 1
+        if count_strict_matches(labeled) > 1:  # pragma: no cover
+            overlaps[result.pattern] += 1
+    rows = tuple((p, population[p], exceptions[p], overlaps[p])
+                 for p in REAL_PATTERNS)
+    return ExceptionReport(rows=rows, unclassified=unclassified)

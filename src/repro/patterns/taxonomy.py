@@ -1,0 +1,80 @@
+"""Pattern and family taxonomy with the paper's population counts."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Family(enum.Enum):
+    """The three pattern families of the paper."""
+
+    BE_QUICK_OR_BE_DEAD = "Be Quick or Be Dead"
+    STAIRWAY_TO_HEAVEN = "Stairway to Heaven"
+    SCARED_TO_FALL_ASLEEP_AGAIN = "Scared to Fall Asleep Again"
+
+
+class Pattern(enum.Enum):
+    """The eight time-related patterns (plus an explicit unclassified)."""
+
+    FLATLINER = "Flatliner"
+    RADICAL_SIGN = "Radical Sign"
+    SIGMOID = "Sigmoid"
+    LATE_RISER = "Late Riser"
+    QUANTUM_STEPS = "Quantum Steps"
+    REGULARLY_CURATED = "Regularly Curated"
+    SIESTA = "Siesta"
+    SMOKING_FUNNEL = "Smoking Funnel"
+    UNCLASSIFIED = "Unclassified"
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable pattern name."""
+        return self.value
+
+
+_FAMILY_OF: dict[Pattern, Family] = {
+    Pattern.FLATLINER: Family.BE_QUICK_OR_BE_DEAD,
+    Pattern.RADICAL_SIGN: Family.BE_QUICK_OR_BE_DEAD,
+    Pattern.SIGMOID: Family.BE_QUICK_OR_BE_DEAD,
+    Pattern.LATE_RISER: Family.BE_QUICK_OR_BE_DEAD,
+    Pattern.QUANTUM_STEPS: Family.STAIRWAY_TO_HEAVEN,
+    Pattern.REGULARLY_CURATED: Family.STAIRWAY_TO_HEAVEN,
+    Pattern.SIESTA: Family.SCARED_TO_FALL_ASLEEP_AGAIN,
+    Pattern.SMOKING_FUNNEL: Family.SCARED_TO_FALL_ASLEEP_AGAIN,
+}
+
+
+def family_of(pattern: Pattern) -> Family | None:
+    """The family of a pattern; None for UNCLASSIFIED."""
+    return _FAMILY_OF.get(pattern)
+
+
+#: Project counts per pattern in the paper's 151-project corpus (Table 2).
+PAPER_POPULATION: dict[Pattern, int] = {
+    Pattern.FLATLINER: 23,
+    Pattern.RADICAL_SIGN: 41,
+    Pattern.SIGMOID: 19,
+    Pattern.LATE_RISER: 14,
+    Pattern.QUANTUM_STEPS: 23,
+    Pattern.REGULARLY_CURATED: 14,
+    Pattern.SMOKING_FUNNEL: 7,
+    Pattern.SIESTA: 10,
+}
+
+#: Exceptions the paper reports per pattern (Table 2).
+PAPER_EXCEPTIONS: dict[Pattern, int] = {
+    Pattern.FLATLINER: 0,
+    Pattern.RADICAL_SIGN: 0,
+    Pattern.SIGMOID: 2,
+    Pattern.LATE_RISER: 1,
+    Pattern.QUANTUM_STEPS: 2,
+    Pattern.REGULARLY_CURATED: 0,
+    Pattern.SMOKING_FUNNEL: 0,
+    Pattern.SIESTA: 3,
+}
+
+#: All real patterns (excluding UNCLASSIFIED), in the paper's order.
+REAL_PATTERNS: tuple[Pattern, ...] = tuple(PAPER_POPULATION)
+
+#: Total corpus size of the paper.
+PAPER_CORPUS_SIZE = sum(PAPER_POPULATION.values())

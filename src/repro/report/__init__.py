@@ -1,0 +1,42 @@
+"""Rendering of study results into the paper's tables and figures,
+plus CSV export of the measured dataset."""
+
+from repro.report.export import (
+    export_dataset,
+    export_heartbeats,
+    export_measurements,
+    export_vectors,
+)
+from repro.report.markdown import markdown_report
+from repro.report.render import (
+    render_correlations,
+    render_coverage,
+    render_fig4_overview,
+    render_prediction,
+    render_section34,
+    render_section52,
+    render_section61,
+    render_section63,
+    render_table1,
+    render_table2,
+    render_tree,
+)
+
+__all__ = [
+    "markdown_report",
+    "export_dataset",
+    "export_heartbeats",
+    "export_measurements",
+    "export_vectors",
+    "render_correlations",
+    "render_coverage",
+    "render_fig4_overview",
+    "render_prediction",
+    "render_section34",
+    "render_section52",
+    "render_section61",
+    "render_section63",
+    "render_table1",
+    "render_table2",
+    "render_tree",
+]

@@ -1,0 +1,111 @@
+"""CSV export of the study dataset.
+
+The paper publishes its measurements as downloadable datasets; this
+module writes the equivalent artifacts for any record set:
+
+* ``measurements.csv`` — one row per project: raw metrics, labels,
+  pattern assignment;
+* ``heartbeats.csv`` — long format, one row per (project, month) with
+  the schema activity of that month;
+* ``vectors.csv`` — the 20-point cumulative-progress vectors.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.records import StudyRecord
+
+_MEASUREMENT_COLUMNS = (
+    "project", "pattern", "is_exception", "pup_months", "birth_month",
+    "birth_pct", "birth_volume_fraction", "top_band_month",
+    "top_band_pct", "interval_birth_to_top_months",
+    "interval_birth_to_top_pct", "interval_top_to_end_pct", "has_vault",
+    "active_growth_months", "active_pct_growth", "active_pct_pup",
+    "total_activity", "post_birth_activity", "expansion", "maintenance",
+    "schema_size_at_birth",
+    "label_birth_volume", "label_birth_timing", "label_top_band_timing",
+    "label_interval_birth_to_top", "label_interval_top_to_end",
+    "label_active_growth", "label_active_pup",
+)
+
+
+def export_measurements(records: Sequence[StudyRecord],
+                        path: str | Path) -> None:
+    """Write the per-project measurement table as CSV."""
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_MEASUREMENT_COLUMNS)
+        for record in records:
+            marks = record.profile.landmarks
+            totals = record.profile.totals
+            labeled = record.labeled
+            writer.writerow([
+                record.name, record.pattern.value,
+                int(record.is_exception), marks.pup_months,
+                marks.birth_month, f"{marks.birth_pct:.6f}",
+                f"{marks.birth_volume_fraction:.6f}",
+                marks.top_band_month, f"{marks.top_band_pct:.6f}",
+                marks.interval_birth_to_top_months,
+                f"{marks.interval_birth_to_top_pct:.6f}",
+                f"{marks.interval_top_to_end_pct:.6f}",
+                int(marks.has_vault), marks.active_growth_months,
+                f"{marks.active_pct_growth:.6f}",
+                f"{marks.active_pct_pup:.6f}",
+                totals.total_activity, totals.post_birth_activity,
+                totals.expansion, totals.maintenance,
+                totals.schema_size_at_birth,
+                labeled.birth_volume.value, labeled.birth_timing.value,
+                labeled.top_band_timing.value,
+                labeled.interval_birth_to_top.value,
+                labeled.interval_top_to_end.value,
+                labeled.active_growth.value, labeled.active_pup.value,
+            ])
+
+
+def export_heartbeats(records: Sequence[StudyRecord],
+                      path: str | Path) -> None:
+    """Write the monthly heartbeats in long format as CSV."""
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["project", "month", "affected_attributes",
+                         "cumulative_fraction"])
+        for record in records:
+            series = record.profile.heartbeat
+            fractions = series.cumulative_fraction()
+            for month, amount in enumerate(series.monthly):
+                writer.writerow([record.name, month, amount,
+                                 f"{fractions[month]:.6f}"])
+
+
+def export_vectors(records: Sequence[StudyRecord],
+                   path: str | Path) -> None:
+    """Write the 20-point progress vectors as CSV."""
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        width = len(records[0].profile.vector) if records else 0
+        writer.writerow(["project", "pattern"]
+                        + [f"t{5 * i:02d}" for i in range(width)])
+        for record in records:
+            writer.writerow(
+                [record.name, record.pattern.value]
+                + [f"{v:.6f}" for v in record.profile.vector])
+
+
+def export_dataset(records: Sequence[StudyRecord],
+                   directory: str | Path) -> list[Path]:
+    """Write the full dataset (all three CSVs) into ``directory``.
+
+    Returns:
+        The written file paths.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    paths = [base / "measurements.csv", base / "heartbeats.csv",
+             base / "vectors.csv"]
+    export_measurements(records, paths[0])
+    export_heartbeats(records, paths[1])
+    export_vectors(records, paths[2])
+    return paths

@@ -1,0 +1,234 @@
+"""Text renderings of :class:`~repro.study.pipeline.StudyResults`.
+
+One function per paper artifact; every benchmark prints through these so
+``pytest benchmarks/ --benchmark-only`` shows the same rows the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.prediction import BUCKET_LABELS
+from repro.analysis.records import MEASURE_NAMES
+from repro.analysis.stats_tables import TABLE1_ROWS
+from repro.patterns.taxonomy import (
+    Family,
+    Pattern,
+    REAL_PATTERNS,
+    family_of,
+)
+from repro.study.pipeline import StudyResults
+from repro.viz.tables import format_table
+
+
+def render_table1(results: StudyResults) -> str:
+    """Table 1 — label distribution of the quantized metrics."""
+    rows = []
+    for key, enum_cls, _attr in TABLE1_ROWS:
+        counts = results.table1.rows[key]
+        cells = [f"{member.value}={counts[member.value]}"
+                 for member in enum_cls]
+        rows.append([key, "  ".join(cells)])
+    return format_table(
+        ["Metric", "Label counts"], rows,
+        title=f"Table 1 — labeling of schema evolution metrics "
+              f"(n={results.table1.total})")
+
+
+def render_table2(results: StudyResults) -> str:
+    """Table 2 — population, exceptions and overlaps per pattern."""
+    rows = [[pattern.value, population, exceptions, overlaps]
+            for pattern, population, exceptions, overlaps
+            in results.table2.rows]
+    rows.append(["(unclassified)", results.table2.unclassified, "-", "-"])
+    return format_table(
+        ["Pattern", "#prjs", "Exceptions", "Overlaps"], rows,
+        title="Table 2 — exceptions and overlaps of the pattern "
+              "definitions")
+
+
+def render_correlations(results: StudyResults) -> str:
+    """Fig. 2 — Spearman correlation matrix of the time measures."""
+    headers = ["measure"] + [name[:14] for name in MEASURE_NAMES]
+    rows = []
+    for a in MEASURE_NAMES:
+        row: list[object] = [a]
+        for b in MEASURE_NAMES:
+            rho = results.correlations[(a, b)]
+            row.append(f"{rho:+.2f}")
+        rows.append(row)
+    return format_table(headers, rows,
+                        title="Fig. 2 — Spearman correlations of "
+                              "time-related metrics")
+
+
+def render_fig4_overview(results: StudyResults) -> str:
+    """Fig. 4 — per-pattern characteristics overview."""
+    rows = []
+    for pattern in REAL_PATTERNS:
+        members = [r for r in results.records if r.pattern is pattern]
+        if not members:
+            continue
+        family = family_of(pattern)
+        rows.append([
+            family.value if family else "-",
+            f"{pattern.value} ({len(members)})",
+            _label_range(members, "birth_volume"),
+            _label_range(members, "birth_timing"),
+            _label_range(members, "top_band_timing"),
+            _bool_range(members),
+            _label_range(members, "interval_birth_to_top"),
+            _agm_range(members),
+            _label_range(members, "interval_top_to_end"),
+        ])
+    return format_table(
+        ["Family", "Pattern", "BirthVol", "BirthTime", "TopBand",
+         "Vault", "Birth->Top", "ActiveGrowth", "Top->End"],
+        rows,
+        title="Fig. 4 — overview of the time-related pattern "
+              "characteristics")
+
+
+def _label_range(members, attr: str) -> str:
+    values = sorted({getattr(r.labeled, attr).value for r in members})
+    return ",".join(values)
+
+
+def _bool_range(members) -> str:
+    values = sorted({str(r.labeled.has_single_vault) for r in members})
+    return ",".join(values)
+
+
+def _agm_range(members) -> str:
+    values = [r.labeled.active_growth_months for r in members]
+    low, high = min(values), max(values)
+    return str(low) if low == high else f"{low}-{high}"
+
+
+def render_tree(results: StudyResults) -> str:
+    """Fig. 5 — the decision tree and its training misclassifications."""
+    lines = [
+        "Fig. 5 — decision tree over the defining label features",
+        f"misclassified: {len(results.tree_misclassified)} of "
+        f"{results.total} "
+        f"({', '.join(results.tree_misclassified) or 'none'})",
+        "",
+        results.tree.render(),
+    ]
+    return "\n".join(lines)
+
+
+def render_coverage(results: StudyResults) -> str:
+    """Fig. 6 — active-domain coverage of the definitions."""
+    coverage = results.coverage
+    rows = []
+    for cell in sorted(coverage.cells):
+        patterns = coverage.cells[cell]
+        content = ", ".join(f"{p.value}:{n}"
+                            for p, n in sorted(patterns.items(),
+                                               key=lambda kv: kv[0].value))
+        rows.append([cell[0], cell[1], cell[2], cell[3], content])
+    title = (f"Fig. 6 — active-domain coverage "
+             f"({coverage.populated_cells} of "
+             f"{coverage.total_cells_possible} cells populated, "
+             f"{len(coverage.shared_cells)} shared)")
+    return format_table(["birth", "top", "interval", "agm", "patterns"],
+                        rows, title=title)
+
+
+def render_prediction(results: StudyResults) -> str:
+    """Fig. 7 — P(pattern | point of schema birth)."""
+    prediction = results.prediction
+    headers = ["Pattern", "Overall"] + list(BUCKET_LABELS)
+    rows = []
+    for pattern in REAL_PATTERNS:
+        counts = prediction.counts.get(pattern, (0, 0, 0, 0))
+        row: list[object] = [
+            pattern.value,
+            f"{sum(counts)} ({prediction.overall_probability(pattern):.0%})",
+        ]
+        for bucket in range(4):
+            probability = prediction.probability(pattern, bucket)
+            row.append(f"{counts[bucket]} ({probability:.0%})")
+        rows.append(row)
+    totals_row: list[object] = ["TOTAL", str(prediction.total)]
+    totals_row += [str(t) for t in prediction.bucket_totals]
+    rows.append(totals_row)
+    return format_table(headers, rows,
+                        title="Fig. 7 — probability of a pattern given "
+                              "the point of schema birth")
+
+
+def render_section34(results: StudyResults) -> str:
+    """§3.4 — headline statistics."""
+    stats = results.stats34
+    normality = results.normality
+    rows = [
+        ["projects", stats.total],
+        ["born at V0", stats.born_at_v0],
+        ["born in first 10% of time", stats.born_first_10pct],
+        ["born at V0 or first 25%", stats.born_first_25pct],
+        ["top band by 25% of time", stats.top_attained_first_25pct],
+        ["High/Full activity at birth", stats.high_activity_at_birth],
+        ["Full activity at birth", stats.full_activity_at_birth],
+        ["share of projects with a vault", f"{stats.vault_share:.0%}"],
+        ["zero active growth months", stats.zero_active_growth],
+        ["<=1 active growth months", stats.at_most_one_active_growth],
+        ["birth->top under 10% of PUP",
+         stats.interval_birth_top_under_10pct],
+        ["birth->top exactly zero", stats.interval_birth_top_zero],
+        ["max Shapiro-Wilk p-value", f"{normality.max_p_value:.2e}"],
+        ["all measures non-normal", normality.all_non_normal],
+    ]
+    return format_table(["statistic", "value"], rows,
+                        title="Sec. 3.4 — statistical properties of the "
+                              "time-related measures")
+
+
+def render_section52(results: StudyResults) -> str:
+    """§5.2 — pattern cohesion via Mean Distance to Centroid."""
+    report = results.centroids
+    rows = [[name, report.sizes[name], report.mdc[name],
+             report.max_distance[name]]
+            for name in sorted(report.mdc)]
+    separation = report.separation_ratio()
+    return format_table(
+        ["Pattern", "n", "MDC", "max distance"], rows,
+        title=f"Sec. 5.2 — cohesion of the patterns "
+              f"(20-point vectors; min-centroid-gap / max-MDC = "
+              f"{separation:.2f})")
+
+
+def render_section61(results: StudyResults) -> str:
+    """§6.1 — activity volume per pattern."""
+    rows = []
+    for row in results.activity.rows:
+        rows.append([row.pattern.value, row.count,
+                     row.median_post_birth, row.median_total,
+                     row.median_expansion, row.median_maintenance,
+                     row.median_pup, row.median_birth_size])
+    return format_table(
+        ["Pattern", "n", "med post-birth", "med total", "med expan",
+         "med maint", "med PUP", "med birth size"], rows,
+        title="Sec. 6.1 — activity measures per pattern (medians)")
+
+
+def render_section63(results: StudyResults) -> str:
+    """§6.3 — change-type mixture per pattern."""
+    mix = results.change_mix
+    rows = []
+    for row in mix.rows:
+        family = family_of(row.pattern)
+        rows.append([
+            family.value if family else "-",
+            row.pattern.value,
+            f"{row.median_expansion_fraction:.0%}",
+            f"{row.table_granule_fraction:.0%}",
+            f"{row.monothematic_projects}/{row.count}",
+        ])
+    title = (f"Sec. 6.3 — change mixture "
+             f"(overall expansion {mix.overall_expansion_fraction:.0%}, "
+             f"whole-table granule "
+             f"{mix.overall_table_granule_fraction:.0%})")
+    return format_table(
+        ["Family", "Pattern", "med expansion", "table granule",
+         "monothematic"], rows, title=title)

@@ -1,0 +1,29 @@
+"""Logical relational schema model and DDL-to-schema builder.
+
+The schema model captures exactly the level the paper studies: tables,
+attributes (with canonical data types), primary keys and foreign keys.
+Physical artifacts (indexes, storage options) are not part of the model.
+
+Typical usage::
+
+    from repro.sqlddl import parse_script
+    from repro.schema import build_schema
+
+    schema = build_schema(parse_script(ddl_text))
+    schema.table_count, schema.attribute_count
+"""
+
+from repro.schema.model import Attribute, ForeignKey, Schema, Table
+from repro.schema.builder import SchemaBuilder, build_schema
+from repro.schema.validate import ValidationIssue, validate_schema
+
+__all__ = [
+    "Attribute",
+    "ForeignKey",
+    "Schema",
+    "SchemaBuilder",
+    "Table",
+    "ValidationIssue",
+    "build_schema",
+    "validate_schema",
+]

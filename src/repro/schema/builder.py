@@ -1,0 +1,428 @@
+"""Build logical schemas by applying DDL statement streams.
+
+The builder keeps mutable per-table state while statements are applied and
+emits immutable :class:`~repro.schema.model.Schema` snapshots. Two modes:
+
+* **strict** — schema violations (duplicate CREATE without IF NOT EXISTS,
+  ALTER of a missing table, ...) raise :class:`~repro.errors.SchemaError`.
+* **lenient** (default) — violations are recorded in
+  :attr:`SchemaBuilder.issues` and the statement is skipped, which is how
+  history extraction must behave on real-world dumps that occasionally
+  re-create tables or drop what is not there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.schema.model import Attribute, ForeignKey, Schema, Table
+from repro.sqlddl import ast_nodes as ast
+from repro.sqlddl.normalize import canonical_type, normalize_identifier
+
+
+@dataclass
+class _ColumnState:
+    """Mutable working copy of one attribute while building."""
+
+    name: str
+    data_type: object | None
+    not_null: bool
+
+
+@dataclass
+class _TableState:
+    """Mutable working copy of one table while building."""
+
+    name: str
+    columns: list[_ColumnState] = field(default_factory=list)
+    primary_key: list[str] = field(default_factory=list)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    unique_keys: list[tuple[str, ...]] = field(default_factory=list)
+    named_constraints: dict[str, str] = field(default_factory=dict)
+
+    def column(self, name: str) -> _ColumnState | None:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        return None
+
+    def column_index(self, name: str) -> int:
+        for index, col in enumerate(self.columns):
+            if col.name == name:
+                return index
+        return -1
+
+
+class SchemaBuilder:
+    """Applies DDL statements to an evolving logical schema.
+
+    Args:
+        strict: raise on schema violations instead of recording them.
+
+    Attributes:
+        issues: human-readable descriptions of every lenient-mode skip.
+    """
+
+    def __init__(self, strict: bool = False):
+        self._strict = strict
+        self._tables: dict[str, _TableState] = {}
+        self._order: list[str] = []
+        self._views: list[str] = []
+        self.issues: list[str] = []
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def apply_script(self, script: ast.Script) -> "SchemaBuilder":
+        """Apply every statement of ``script`` in order; returns self."""
+        for statement in script.statements:
+            self.apply(statement)
+        return self
+
+    def apply(self, statement: ast.Statement) -> None:
+        """Apply one DDL statement."""
+        if isinstance(statement, ast.CreateTable):
+            self._apply_create_table(statement)
+        elif isinstance(statement, ast.DropTable):
+            self._apply_drop_table(statement)
+        elif isinstance(statement, ast.AlterTable):
+            self._apply_alter_table(statement)
+        elif isinstance(statement, ast.CreateTableLike):
+            self._apply_create_table_like(statement)
+        elif isinstance(statement, ast.CreateView):
+            self._apply_create_view(statement)
+        elif isinstance(statement, ast.DropView):
+            self._apply_drop_view(statement)
+        elif isinstance(statement, (ast.CreateIndex, ast.DropIndex)):
+            pass  # physical level: no logical schema effect
+        else:
+            self._problem(f"unsupported statement type "
+                          f"{type(statement).__name__}")
+
+    def snapshot(self) -> Schema:
+        """Emit an immutable snapshot of the current schema."""
+        tables = tuple(self._snapshot_table(self._tables[name])
+                       for name in self._order)
+        return Schema(tables=tables, views=tuple(self._views))
+
+    def _apply_create_table_like(self, stmt: ast.CreateTableLike) -> None:
+        import copy
+
+        name = normalize_identifier(stmt.name)
+        template = normalize_identifier(stmt.template)
+        source = self._tables.get(template)
+        if source is None:
+            self._problem(f"cannot clone missing table {template!r}")
+            return
+        if name in self._tables:
+            if stmt.if_not_exists:
+                return
+            self._problem(f"table {name!r} already exists")
+            self._remove_table(name)
+        clone = copy.deepcopy(source)
+        clone.name = name
+        self._tables[name] = clone
+        self._order.append(name)
+
+    def _apply_create_view(self, stmt: ast.CreateView) -> None:
+        name = normalize_identifier(stmt.name)
+        if name in self._views:
+            if stmt.or_replace or stmt.if_not_exists:
+                return
+            self._problem(f"view {name!r} already exists")
+            return
+        self._views.append(name)
+
+    def _apply_drop_view(self, stmt: ast.DropView) -> None:
+        for raw in stmt.names:
+            name = normalize_identifier(raw)
+            if name in self._views:
+                self._views.remove(name)
+            elif not stmt.if_exists:
+                self._problem(f"cannot drop missing view {name!r}")
+
+    # ------------------------------------------------------------------
+    # statement handlers
+
+    def _apply_create_table(self, stmt: ast.CreateTable) -> None:
+        if stmt.temporary:
+            return  # temp tables are not part of the persistent schema
+        name = normalize_identifier(stmt.name)
+        if name in self._tables:
+            if stmt.if_not_exists:
+                return
+            self._problem(f"table {name!r} already exists")
+            # Real dumps re-create tables; treat as replace in lenient mode.
+            self._remove_table(name)
+        state = _TableState(name=name)
+        for coldef in stmt.columns:
+            self._add_column_to_state(state, coldef)
+        for constraint in stmt.constraints:
+            self._apply_constraint(state, constraint)
+        self._tables[name] = state
+        self._order.append(name)
+
+    def _apply_drop_table(self, stmt: ast.DropTable) -> None:
+        for raw in stmt.names:
+            name = normalize_identifier(raw)
+            if name not in self._tables:
+                if not stmt.if_exists:
+                    self._problem(f"cannot drop missing table {name!r}")
+                continue
+            self._remove_table(name)
+
+    def _apply_alter_table(self, stmt: ast.AlterTable) -> None:
+        name = normalize_identifier(stmt.name)
+        state = self._tables.get(name)
+        if state is None:
+            if not stmt.if_exists:
+                self._problem(f"cannot alter missing table {name!r}")
+            return
+        for action in stmt.actions:
+            self._apply_alter_action(state, action)
+
+    # ------------------------------------------------------------------
+    # ALTER actions
+
+    def _apply_alter_action(self, state: _TableState,
+                            action: ast.AlterAction) -> None:
+        if isinstance(action, ast.AddColumn):
+            self._add_column_to_state(state, action.column,
+                                      position=action.position)
+        elif isinstance(action, ast.DropColumn):
+            self._drop_column(state, action)
+        elif isinstance(action, ast.ModifyColumn):
+            self._modify_column(state, action.column.name, action.column)
+        elif isinstance(action, ast.ChangeColumn):
+            self._modify_column(state, action.old_name, action.column)
+        elif isinstance(action, ast.AlterColumnType):
+            col = self._require_column(state, action.name)
+            if col is not None:
+                col.data_type = canonical_type(action.data_type)
+        elif isinstance(action, ast.AlterColumnDefault):
+            self._require_column(state, action.name)  # defaults: no-op
+        elif isinstance(action, ast.AlterColumnNullability):
+            col = self._require_column(state, action.name)
+            if col is not None:
+                col.not_null = action.not_null
+        elif isinstance(action, ast.AddConstraint):
+            self._apply_constraint(state, action.constraint)
+        elif isinstance(action, ast.DropConstraint):
+            self._drop_constraint(state, action)
+        elif isinstance(action, ast.RenameTable):
+            self._rename_table(state, action.new_name)
+        elif isinstance(action, ast.RenameColumn):
+            self._rename_column(state, action.old_name, action.new_name)
+        elif isinstance(action, ast.TableOption):
+            pass  # OWNER TO / SET SCHEMA: physical level
+        else:
+            self._problem(f"unsupported alter action "
+                          f"{type(action).__name__}")
+
+    def _drop_column(self, state: _TableState, action: ast.DropColumn) -> None:
+        name = normalize_identifier(action.name)
+        index = state.column_index(name)
+        if index < 0:
+            if not action.if_exists:
+                self._problem(f"cannot drop missing column "
+                              f"{state.name}.{name}")
+            return
+        del state.columns[index]
+        state.primary_key = [c for c in state.primary_key if c != name]
+        state.foreign_keys = [fk for fk in state.foreign_keys
+                              if name not in fk.columns]
+        state.unique_keys = [uk for uk in state.unique_keys
+                             if name not in uk]
+
+    def _modify_column(self, state: _TableState, old_name: str,
+                       coldef: ast.ColumnDef) -> None:
+        old = normalize_identifier(old_name)
+        col = self._require_column(state, old)
+        if col is None:
+            return
+        new_name = normalize_identifier(coldef.name)
+        col.data_type = canonical_type(coldef.data_type)
+        col.not_null = coldef.not_null
+        if new_name != old:
+            self._rename_column(state, old, new_name, already_checked=col)
+        self._apply_inline_keys(state, new_name, coldef)
+
+    def _rename_table(self, state: _TableState, new_raw: str) -> None:
+        new_name = normalize_identifier(new_raw)
+        if new_name == state.name:
+            return
+        if new_name in self._tables:
+            self._problem(f"cannot rename {state.name!r} to existing "
+                          f"table {new_name!r}")
+            return
+        old_name = state.name
+        state.name = new_name
+        self._tables[new_name] = state
+        del self._tables[old_name]
+        self._order[self._order.index(old_name)] = new_name
+
+    def _rename_column(self, state: _TableState, old_raw: str, new_raw: str,
+                       already_checked: _ColumnState | None = None) -> None:
+        old = normalize_identifier(old_raw)
+        new = normalize_identifier(new_raw)
+        col = already_checked or self._require_column(state, old)
+        if col is None:
+            return
+        if new != old and state.column(new) is not None:
+            self._problem(f"cannot rename {state.name}.{old} to existing "
+                          f"column {new}")
+            return
+        col.name = new
+        state.primary_key = [new if c == old else c
+                             for c in state.primary_key]
+        state.foreign_keys = [
+            ForeignKey(columns=tuple(new if c == old else c
+                                     for c in fk.columns),
+                       ref_table=fk.ref_table, ref_columns=fk.ref_columns)
+            for fk in state.foreign_keys
+        ]
+        state.unique_keys = [tuple(new if c == old else c for c in uk)
+                             for uk in state.unique_keys]
+
+    def _drop_constraint(self, state: _TableState,
+                         action: ast.DropConstraint) -> None:
+        if action.kind == "primary key":
+            state.primary_key = []
+            return
+        name = normalize_identifier(action.name or "")
+        kind = state.named_constraints.pop(name, None)
+        if kind == "foreign key" or action.kind == "foreign key":
+            # Drop the FK registered under this name; fall back to
+            # dropping the last FK when the name is unknown (MySQL dumps
+            # use auto-generated names the model does not track).
+            if state.foreign_keys:
+                state.foreign_keys.pop()
+            return
+        if kind == "unique":
+            if state.unique_keys:
+                state.unique_keys.pop()
+            return
+        if kind == "primary key":
+            state.primary_key = []
+            return
+        # Unknown names (indexes, checks) have no logical effect.
+
+    # ------------------------------------------------------------------
+    # shared pieces
+
+    def _add_column_to_state(self, state: _TableState, coldef: ast.ColumnDef,
+                             position: str | None = None) -> None:
+        name = normalize_identifier(coldef.name)
+        if state.column(name) is not None:
+            self._problem(f"duplicate column {state.name}.{name}")
+            return
+        col = _ColumnState(name=name,
+                           data_type=canonical_type(coldef.data_type),
+                           not_null=coldef.not_null)
+        index = len(state.columns)
+        if position == "FIRST":
+            index = 0
+        elif position and position.startswith("AFTER "):
+            anchor = normalize_identifier(position[len("AFTER "):])
+            anchor_index = state.column_index(anchor)
+            if anchor_index >= 0:
+                index = anchor_index + 1
+        state.columns.insert(index, col)
+        self._apply_inline_keys(state, name, coldef)
+
+    def _apply_inline_keys(self, state: _TableState, name: str,
+                           coldef: ast.ColumnDef) -> None:
+        if coldef.primary_key:
+            state.primary_key = [name]
+        if coldef.unique and (name,) not in state.unique_keys:
+            state.unique_keys.append((name,))
+        if coldef.references is not None:
+            ref = coldef.references
+            fk = ForeignKey(
+                columns=(name,),
+                ref_table=normalize_identifier(ref.table),
+                ref_columns=tuple(normalize_identifier(c)
+                                  for c in ref.columns),
+            )
+            if fk not in state.foreign_keys:
+                state.foreign_keys.append(fk)
+
+    def _apply_constraint(self, state: _TableState,
+                          constraint: ast.TableConstraint) -> None:
+        name = normalize_identifier(getattr(constraint, "name", None) or "")
+        if isinstance(constraint, ast.PrimaryKeyConstraint):
+            state.primary_key = [normalize_identifier(c)
+                                 for c in constraint.columns]
+            if name:
+                state.named_constraints[name] = "primary key"
+        elif isinstance(constraint, ast.ForeignKeyConstraint):
+            fk = ForeignKey(
+                columns=tuple(normalize_identifier(c)
+                              for c in constraint.columns),
+                ref_table=normalize_identifier(constraint.ref_table),
+                ref_columns=tuple(normalize_identifier(c)
+                                  for c in constraint.ref_columns),
+            )
+            if fk not in state.foreign_keys:
+                state.foreign_keys.append(fk)
+            if name:
+                state.named_constraints[name] = "foreign key"
+        elif isinstance(constraint, ast.UniqueConstraint):
+            key = tuple(normalize_identifier(c) for c in constraint.columns)
+            if key not in state.unique_keys:
+                state.unique_keys.append(key)
+            if name:
+                state.named_constraints[name] = "unique"
+        elif isinstance(constraint, (ast.CheckConstraint, ast.IndexKey)):
+            pass  # checks and plain indexes: no logical-model effect
+        else:
+            self._problem(f"unsupported constraint "
+                          f"{type(constraint).__name__}")
+
+    def _require_column(self, state: _TableState,
+                        raw_name: str) -> _ColumnState | None:
+        name = normalize_identifier(raw_name)
+        col = state.column(name)
+        if col is None:
+            self._problem(f"missing column {state.name}.{name}")
+        return col
+
+    def _remove_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+        if name in self._order:
+            self._order.remove(name)
+
+    def _problem(self, message: str) -> None:
+        if self._strict:
+            raise SchemaError(message)
+        self.issues.append(message)
+
+    # ------------------------------------------------------------------
+    # snapshot
+
+    def _snapshot_table(self, state: _TableState) -> Table:
+        pk = set(state.primary_key)
+        fk_cols = {c for fk in state.foreign_keys for c in fk.columns}
+        attributes = tuple(
+            Attribute(name=col.name, data_type=col.data_type,
+                      not_null=col.not_null or col.name in pk,
+                      in_primary_key=col.name in pk,
+                      in_foreign_key=col.name in fk_cols)
+            for col in state.columns
+        )
+        return Table(name=state.name, attributes=attributes,
+                     primary_key=tuple(state.primary_key),
+                     foreign_keys=tuple(state.foreign_keys),
+                     unique_keys=tuple(state.unique_keys))
+
+
+def build_schema(script: ast.Script, strict: bool = False) -> Schema:
+    """Build a schema by applying every statement of ``script``.
+
+    This is the one-shot convenience over :class:`SchemaBuilder` used when
+    each history commit holds a full DDL dump.
+    """
+    builder = SchemaBuilder(strict=strict)
+    builder.apply_script(script)
+    return builder.snapshot()

@@ -1,0 +1,144 @@
+"""Immutable logical schema model.
+
+All names stored in the model are *normalized* (lower-cased, see
+:func:`repro.sqlddl.normalize.normalize_identifier`); data types are
+*canonical* (see :func:`repro.sqlddl.normalize.canonical_type`). This makes
+schema versions directly comparable across dialect and spelling drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlddl.ast_nodes import DataType
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """One attribute (column) of a table, at the logical level.
+
+    Attributes:
+        name: normalized attribute name.
+        data_type: canonical data type (None for typeless SQLite columns).
+        not_null: whether the attribute is declared NOT NULL.
+        in_primary_key: whether the attribute participates in the PK.
+        in_foreign_key: whether the attribute participates in any FK.
+    """
+
+    name: str
+    data_type: DataType | None = None
+    not_null: bool = False
+    in_primary_key: bool = False
+    in_foreign_key: bool = False
+
+    def with_keys(self, in_pk: bool, in_fk: bool) -> "Attribute":
+        """Copy of this attribute with key-participation flags replaced."""
+        return Attribute(name=self.name, data_type=self.data_type,
+                         not_null=self.not_null,
+                         in_primary_key=in_pk, in_foreign_key=in_fk)
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """One foreign-key relationship of a table.
+
+    Attributes:
+        columns: referencing attribute names (normalized), in order.
+        ref_table: referenced table name (normalized).
+        ref_columns: referenced attribute names; may be empty when the DDL
+            relies on the target's primary key.
+    """
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Table:
+    """One table of the logical schema.
+
+    Attributes:
+        name: normalized table name.
+        attributes: attributes in declaration order.
+        primary_key: names of PK attributes, in key order.
+        foreign_keys: foreign keys, in declaration order.
+        unique_keys: unique constraints as tuples of attribute names.
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    unique_keys: tuple[tuple[str, ...], ...] = ()
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(a.name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute | None:
+        """Look an attribute up by (normalized) name, or None."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+
+@dataclass(frozen=True, slots=True)
+class Schema:
+    """A full logical schema: tables (keyed by normalized name) plus the
+    names of the views defined on top of them.
+
+    Views are tracked by name only: the paper's unit of change is the
+    attribute, and view bodies are not diffed at that granularity.
+    """
+
+    tables: tuple[Table, ...] = ()
+    views: tuple[str, ...] = ()
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Table names in declaration order."""
+        return tuple(t.name for t in self.tables)
+
+    @property
+    def table_count(self) -> int:
+        """Number of tables."""
+        return len(self.tables)
+
+    @property
+    def attribute_count(self) -> int:
+        """Total number of attributes across all tables — the paper's
+        fundamental size measure."""
+        return sum(len(t) for t in self.tables)
+
+    def table(self, name: str) -> Table | None:
+        """Look a table up by (normalized) name, or None."""
+        for tbl in self.tables:
+            if tbl.name == name:
+                return tbl
+        return None
+
+    def as_dict(self) -> dict[str, Table]:
+        """Tables keyed by name (fresh dict; the schema stays immutable)."""
+        return {t.name: t for t in self.tables}
+
+    def __contains__(self, name: str) -> bool:
+        return any(t.name == name for t in self.tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self):
+        return iter(self.tables)
+
+
+#: The schema of a project before its DDL file exists.
+EMPTY_SCHEMA = Schema(tables=())

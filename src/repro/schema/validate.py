@@ -1,0 +1,72 @@
+"""Referential sanity checks over a logical schema.
+
+Used by tests and by the corpus generator's self-checks; real-world dumps
+regularly violate these (dangling FKs appear mid-history), so validation
+reports issues rather than raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.model import Schema
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One problem found in a schema.
+
+    Attributes:
+        kind: machine-readable issue kind, one of ``"dangling-fk-table"``,
+            ``"dangling-fk-column"``, ``"pk-missing-column"``,
+            ``"unique-missing-column"``, ``"empty-table"``.
+        table: the table the issue belongs to.
+        detail: human-readable description.
+    """
+
+    kind: str
+    table: str
+    detail: str
+
+
+def validate_schema(schema: Schema) -> list[ValidationIssue]:
+    """Check PK/FK/unique references; returns all issues found."""
+    issues: list[ValidationIssue] = []
+    by_name = schema.as_dict()
+    for table in schema:
+        names = set(table.attribute_names)
+        if not table.attributes:
+            issues.append(ValidationIssue(
+                "empty-table", table.name, "table has no attributes"))
+        for col in table.primary_key:
+            if col not in names:
+                issues.append(ValidationIssue(
+                    "pk-missing-column", table.name,
+                    f"primary key column {col!r} is not an attribute"))
+        for unique in table.unique_keys:
+            for col in unique:
+                if col not in names:
+                    issues.append(ValidationIssue(
+                        "unique-missing-column", table.name,
+                        f"unique key column {col!r} is not an attribute"))
+        for fk in table.foreign_keys:
+            for col in fk.columns:
+                if col not in names:
+                    issues.append(ValidationIssue(
+                        "dangling-fk-column", table.name,
+                        f"foreign key column {col!r} is not an attribute"))
+            target = by_name.get(fk.ref_table)
+            if target is None:
+                issues.append(ValidationIssue(
+                    "dangling-fk-table", table.name,
+                    f"foreign key references missing table "
+                    f"{fk.ref_table!r}"))
+                continue
+            target_names = set(target.attribute_names)
+            for col in fk.ref_columns:
+                if col not in target_names:
+                    issues.append(ValidationIssue(
+                        "dangling-fk-column", table.name,
+                        f"foreign key references missing column "
+                        f"{fk.ref_table}.{col}"))
+    return issues

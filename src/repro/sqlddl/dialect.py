@@ -1,0 +1,105 @@
+"""SQL dialect descriptions.
+
+A :class:`Dialect` bundles the lexical and syntactic quirks that differ
+between the engines whose DDL appears in FOSS schema histories. The paper's
+corpus is dominated by MySQL and PostgreSQL dumps, with some SQLite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DialectTraits:
+    """Concrete lexical/syntactic traits of one dialect.
+
+    Attributes:
+        name: dialect identifier, e.g. ``"mysql"``.
+        identifier_quotes: characters that may open a quoted identifier.
+        hash_comments: whether ``# ...`` line comments are legal (MySQL).
+        autoincrement_words: words that mark a column as auto-incrementing.
+        serial_types: type names that imply integer + auto-increment
+            (PostgreSQL ``SERIAL`` family).
+        supports_enum_type: whether inline ``ENUM(...)`` types occur.
+        default_quote: the quote character the writer uses for identifiers
+            that need quoting.
+    """
+
+    name: str
+    identifier_quotes: tuple[str, ...] = ('"',)
+    hash_comments: bool = False
+    autoincrement_words: tuple[str, ...] = ()
+    serial_types: tuple[str, ...] = ()
+    supports_enum_type: bool = False
+    default_quote: str = '"'
+
+
+class Dialect(enum.Enum):
+    """The SQL dialects understood by the DDL parser."""
+
+    GENERIC = DialectTraits(
+        name="generic",
+        identifier_quotes=('"', "`", "["),
+        hash_comments=True,
+        autoincrement_words=("AUTO_INCREMENT", "AUTOINCREMENT", "IDENTITY"),
+        serial_types=("SERIAL", "BIGSERIAL", "SMALLSERIAL"),
+        supports_enum_type=True,
+        default_quote='"',
+    )
+    MYSQL = DialectTraits(
+        name="mysql",
+        identifier_quotes=("`", '"'),
+        hash_comments=True,
+        autoincrement_words=("AUTO_INCREMENT",),
+        serial_types=("SERIAL",),
+        supports_enum_type=True,
+        default_quote="`",
+    )
+    POSTGRES = DialectTraits(
+        name="postgres",
+        identifier_quotes=('"',),
+        hash_comments=False,
+        autoincrement_words=("IDENTITY",),
+        serial_types=("SERIAL", "BIGSERIAL", "SMALLSERIAL"),
+        supports_enum_type=False,
+        default_quote='"',
+    )
+    SQLITE = DialectTraits(
+        name="sqlite",
+        identifier_quotes=('"', "`", "["),
+        hash_comments=False,
+        autoincrement_words=("AUTOINCREMENT",),
+        serial_types=(),
+        supports_enum_type=False,
+        default_quote='"',
+    )
+
+    @property
+    def traits(self) -> DialectTraits:
+        """The :class:`DialectTraits` record of this dialect."""
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "Dialect":
+        """Look a dialect up by its lower-case name.
+
+        Raises:
+            KeyError: if ``name`` names no known dialect.
+        """
+        for member in cls:
+            if member.traits.name == name.lower():
+                return member
+        raise KeyError(f"unknown SQL dialect: {name!r}")
+
+
+#: Names (upper-case) of all auto-increment markers across dialects.
+ALL_AUTOINCREMENT_WORDS = frozenset(
+    word for member in Dialect for word in member.traits.autoincrement_words
+)
+
+#: Names (upper-case) of all serial-style types across dialects.
+ALL_SERIAL_TYPES = frozenset(
+    word for member in Dialect for word in member.traits.serial_types
+)

@@ -1,0 +1,245 @@
+"""Hand-written lexer for SQL DDL scripts.
+
+The lexer understands the comment and quoting conventions that actually
+occur in FOSS ``.sql`` dumps:
+
+* ``-- line comments`` and ``/* block comments */`` (everywhere),
+* ``# line comments`` (MySQL),
+* backtick / double-quote / bracket quoted identifiers, with doubled-quote
+  escapes (``"a""b"`` is the identifier ``a"b``),
+* single-quoted strings with doubled-quote and backslash escapes,
+* integer, decimal and scientific-notation numeric literals,
+* everything else as single-character punctuation.
+
+The lexer is deliberately permissive: it never tries to validate SQL, it
+only slices it into tokens. Characters it genuinely cannot place (e.g. a
+stray ``\\x00``) raise :class:`~repro.errors.LexError` — but the robust
+script parser catches those per-statement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.tokens import Token, TokenType
+
+# Backslash appears in pg_dump COPY terminators (`\.`); treating it as
+# punctuation lets the robust script parser skip those lines instead of
+# failing the whole file.
+_PUNCT_CHARS = set("(),;.=+-*/<>%!&|^~?:@$[]{}\\")
+_CLOSING_QUOTE = {"`": "`", '"': '"', "[": "]"}
+
+
+class Lexer:
+    """Tokenizes one SQL script string.
+
+    Args:
+        text: the SQL source.
+        dialect: dialect whose comment/quoting traits apply.
+    """
+
+    def __init__(self, text: str, dialect: Dialect = Dialect.GENERIC):
+        self._text = text
+        self._dialect = dialect
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> list[Token]:
+        """Lex the whole input and return all tokens plus an EOF token."""
+        out: list[Token] = []
+        while True:
+            token = self.next_token()
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+    def next_token(self) -> Token:
+        """Return the next token, skipping whitespace and comments."""
+        self._skip_trivia()
+        if self._pos >= len(self._text):
+            return Token(TokenType.EOF, "", self._line, self._col)
+
+        ch = self._text[self._pos]
+        line, col = self._line, self._col
+
+        if ch in _CLOSING_QUOTE and ch in self._dialect.traits.identifier_quotes:
+            value = self._read_quoted(ch, _CLOSING_QUOTE[ch])
+            return Token(TokenType.QUOTED_IDENT, value, line, col)
+        if ch == "'":
+            value = self._read_string()
+            return Token(TokenType.STRING, value, line, col)
+        if ch == "$" and self._looks_like_dollar_quote():
+            value = self._read_dollar_quoted()
+            return Token(TokenType.STRING, value, line, col)
+        if ch.isdigit() or (ch == "." and self._peek_is_digit(1)):
+            value = self._read_number()
+            return Token(TokenType.NUMBER, value, line, col)
+        if ch.isalpha() or ch == "_":
+            value = self._read_word()
+            return Token(TokenType.WORD, value, line, col)
+        if ch in _PUNCT_CHARS:
+            self._advance()
+            return Token(TokenType.PUNCT, ch, line, col)
+
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < len(self._text):
+                if self._text[self._pos] == "\n":
+                    self._line += 1
+                    self._col = 1
+                else:
+                    self._col += 1
+                self._pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _peek_is_digit(self, offset: int) -> bool:
+        ch = self._peek(offset)
+        return bool(ch) and ch.isdigit()
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments until real content (or EOF)."""
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch.isspace():
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                self._skip_line()
+            elif ch == "#" and self._dialect.traits.hash_comments:
+                self._skip_line()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_line(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos] != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self._line, self._col
+        self._advance(2)  # consume /*
+        while self._pos < len(self._text):
+            if self._text[self._pos] == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexError("unterminated block comment", start_line, start_col)
+
+    def _read_quoted(self, open_char: str, close_char: str) -> str:
+        start_line, start_col = self._line, self._col
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch == close_char:
+                if self._peek(1) == close_char and open_char != "[":
+                    parts.append(close_char)
+                    self._advance(2)
+                    continue
+                self._advance()
+                return "".join(parts)
+            parts.append(ch)
+            self._advance()
+        raise LexError("unterminated quoted identifier", start_line, start_col)
+
+    def _read_string(self) -> str:
+        start_line, start_col = self._line, self._col
+        self._advance()  # opening '
+        parts: list[str] = []
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch == "\\" and self._peek(1):
+                parts.append(self._peek(1))
+                self._advance(2)
+                continue
+            if ch == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return "".join(parts)
+            parts.append(ch)
+            self._advance()
+        raise LexError("unterminated string literal", start_line, start_col)
+
+    def _looks_like_dollar_quote(self) -> bool:
+        """True when the cursor sits on a PostgreSQL dollar quote:
+        ``$$`` or ``$tag$`` (tag = identifier characters)."""
+        offset = 1
+        while True:
+            ch = self._peek(offset)
+            if ch == "$":
+                return True
+            if not ch or not (ch.isalnum() or ch == "_"):
+                return False
+            offset += 1
+
+    def _read_dollar_quoted(self) -> str:
+        """Read a ``$tag$ ... $tag$`` string, returning its body."""
+        start_line, start_col = self._line, self._col
+        self._advance()  # opening $
+        tag_chars: list[str] = []
+        while self._pos < len(self._text) and self._text[self._pos] != "$":
+            tag_chars.append(self._text[self._pos])
+            self._advance()
+        self._advance()  # closing $ of the opening delimiter
+        delimiter = "$" + "".join(tag_chars) + "$"
+        body_start = self._pos
+        end = self._text.find(delimiter, body_start)
+        if end < 0:
+            raise LexError("unterminated dollar-quoted string",
+                           start_line, start_col)
+        body = self._text[body_start:end]
+        self._advance(end - body_start + len(delimiter))
+        return body
+
+    def _read_number(self) -> str:
+        parts: list[str] = []
+        seen_dot = False
+        seen_exp = False
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch.isdigit():
+                parts.append(ch)
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                parts.append(ch)
+            elif ch in "eE" and not seen_exp and parts and parts[-1].isdigit():
+                nxt = self._peek(1)
+                nxt2 = self._peek(2)
+                if nxt.isdigit() or (nxt in "+-" and nxt2.isdigit()):
+                    seen_exp = True
+                    parts.append(ch)
+                else:
+                    break
+            elif ch in "+-" and parts and parts[-1] in "eE":
+                parts.append(ch)
+            else:
+                break
+            self._advance()
+        return "".join(parts)
+
+    def _read_word(self) -> str:
+        start = self._pos
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch.isalnum() or ch in "_$":
+                self._advance()
+            else:
+                break
+        return self._text[start:self._pos]
+
+
+def tokenize(text: str, dialect: Dialect = Dialect.GENERIC) -> list[Token]:
+    """Tokenize ``text`` and return all tokens including the final EOF."""
+    return Lexer(text, dialect).tokens()

@@ -1,0 +1,65 @@
+"""Token model for the SQL DDL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token.
+
+    The lexer does not distinguish keywords from plain identifiers — SQL
+    keywords are not reserved in many dialects, so the parser decides from
+    context whether a ``WORD`` acts as a keyword.
+    """
+
+    WORD = "word"              # bare identifier or keyword
+    QUOTED_IDENT = "qident"    # `x`, "x" or [x] quoted identifier
+    STRING = "string"          # 'literal' (quotes stripped, escapes resolved)
+    NUMBER = "number"          # integer or decimal literal
+    PUNCT = "punct"            # single punctuation: ( ) , ; . = etc.
+    EOF = "eof"                # end of input sentinel
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        type: lexical category.
+        value: token text. For ``QUOTED_IDENT`` and ``STRING`` the quotes
+            are stripped and escapes resolved; for ``WORD`` the original
+            spelling is preserved (case included).
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    type: TokenType
+    value: str
+    line: int = 0
+    column: int = 0
+
+    def upper(self) -> str:
+        """Return the token value upper-cased (keyword comparison helper)."""
+        return self.value.upper()
+
+    def is_word(self, *words: str) -> bool:
+        """True if this token is a WORD matching any of ``words``.
+
+        Comparison is case-insensitive; ``words`` must be upper-case.
+        """
+        return self.type is TokenType.WORD and self.value.upper() in words
+
+    def is_punct(self, char: str) -> bool:
+        """True if this token is the punctuation character ``char``."""
+        return self.type is TokenType.PUNCT and self.value == char
+
+    def describe(self) -> str:
+        """Human-readable description used in error messages."""
+        if self.type is TokenType.EOF:
+            return "end of input"
+        return f"{self.type.value} {self.value!r}"
+
+
+EOF_TOKEN = Token(TokenType.EOF, "")

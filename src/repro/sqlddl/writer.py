@@ -1,0 +1,249 @@
+"""Render DDL AST nodes back to SQL text.
+
+The writer produces deterministic, dialect-aware SQL. It is used by the
+synthetic corpus generator (which emits whole ``.sql`` files per commit)
+and by the parser round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from repro.sqlddl import ast_nodes as ast
+from repro.sqlddl.dialect import Dialect
+
+_BARE_SAFE = set("abcdefghijklmnopqrstuvwxyz"
+                 "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+# Words that would be mis-parsed as constraint starters or flags when used
+# bare as identifiers; always quote them.
+_ALWAYS_QUOTE = frozenset({
+    "primary", "foreign", "unique", "check", "key", "index", "constraint",
+    "not", "null", "default", "references", "comment", "create", "drop",
+    "alter", "table", "fulltext", "spatial", "on", "generated", "collate",
+})
+
+
+def quote_identifier(name: str, dialect: Dialect = Dialect.GENERIC) -> str:
+    """Quote ``name`` if it is not a safe bare identifier."""
+    needs_quote = (
+        not name
+        or name[0].isdigit()
+        or any(ch not in _BARE_SAFE for ch in name)
+        or name.lower() in _ALWAYS_QUOTE
+    )
+    if not needs_quote:
+        return name
+    quote = dialect.traits.default_quote
+    if quote == "`":
+        return "`" + name.replace("`", "``") + "`"
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _write_column_list(columns: tuple[str, ...], dialect: Dialect) -> str:
+    return "(" + ", ".join(quote_identifier(c, dialect) for c in columns) + ")"
+
+
+def _write_fk_actions(on_delete: str | None, on_update: str | None) -> str:
+    out = ""
+    if on_delete:
+        out += f" ON DELETE {on_delete}"
+    if on_update:
+        out += f" ON UPDATE {on_update}"
+    return out
+
+
+def write_column_def(column: ast.ColumnDef,
+                     dialect: Dialect = Dialect.GENERIC) -> str:
+    """Render one column definition."""
+    parts = [quote_identifier(column.name, dialect)]
+    if column.data_type is not None:
+        parts.append(column.data_type.render())
+    if column.not_null:
+        parts.append("NOT NULL")
+    if column.default is not None:
+        parts.append(f"DEFAULT {column.default}")
+    if column.auto_increment:
+        word = dialect.traits.autoincrement_words
+        parts.append(word[0] if word else "AUTO_INCREMENT")
+    if column.primary_key:
+        parts.append("PRIMARY KEY")
+    if column.unique:
+        parts.append("UNIQUE")
+    if column.references is not None:
+        ref = column.references
+        clause = f"REFERENCES {quote_identifier(ref.table, dialect)}"
+        if ref.columns:
+            clause += " " + _write_column_list(ref.columns, dialect)
+        clause += _write_fk_actions(ref.on_delete, ref.on_update)
+        parts.append(clause)
+    if column.comment is not None:
+        escaped = column.comment.replace("'", "''")
+        parts.append(f"COMMENT '{escaped}'")
+    return " ".join(parts)
+
+
+def write_constraint(constraint: ast.TableConstraint,
+                     dialect: Dialect = Dialect.GENERIC) -> str:
+    """Render one table-level constraint."""
+    prefix = ""
+    name = getattr(constraint, "name", None)
+    if name and not isinstance(constraint, ast.IndexKey):
+        prefix = f"CONSTRAINT {quote_identifier(name, dialect)} "
+    if isinstance(constraint, ast.PrimaryKeyConstraint):
+        return (prefix + "PRIMARY KEY "
+                + _write_column_list(constraint.columns, dialect))
+    if isinstance(constraint, ast.ForeignKeyConstraint):
+        out = (prefix + "FOREIGN KEY "
+               + _write_column_list(constraint.columns, dialect)
+               + f" REFERENCES {quote_identifier(constraint.ref_table, dialect)}")
+        if constraint.ref_columns:
+            out += " " + _write_column_list(constraint.ref_columns, dialect)
+        out += _write_fk_actions(constraint.on_delete, constraint.on_update)
+        return out
+    if isinstance(constraint, ast.UniqueConstraint):
+        return (prefix + "UNIQUE "
+                + _write_column_list(constraint.columns, dialect))
+    if isinstance(constraint, ast.CheckConstraint):
+        return prefix + f"CHECK ({constraint.expression})"
+    if isinstance(constraint, ast.IndexKey):
+        out = "KEY"
+        if constraint.name:
+            out += " " + quote_identifier(constraint.name, dialect)
+        return out + " " + _write_column_list(constraint.columns, dialect)
+    raise TypeError(f"unknown constraint type: {type(constraint).__name__}")
+
+
+def _write_create_table(stmt: ast.CreateTable, dialect: Dialect) -> str:
+    head = "CREATE "
+    if stmt.temporary:
+        head += "TEMPORARY "
+    head += "TABLE "
+    if stmt.if_not_exists:
+        head += "IF NOT EXISTS "
+    head += quote_identifier(stmt.name, dialect)
+    body_lines = [write_column_def(c, dialect) for c in stmt.columns]
+    body_lines += [write_constraint(c, dialect) for c in stmt.constraints]
+    body = ",\n  ".join(body_lines)
+    tail = ""
+    for key, value in stmt.options:
+        tail += f" {key}={value}"
+    return f"{head} (\n  {body}\n){tail}"
+
+
+def _write_alter_action(action: ast.AlterAction, dialect: Dialect) -> str:
+    if isinstance(action, ast.TableOption):
+        return action.text
+    if isinstance(action, ast.AddColumn):
+        out = "ADD COLUMN " + write_column_def(action.column, dialect)
+        if action.position:
+            out += " " + action.position
+        return out
+    if isinstance(action, ast.DropColumn):
+        out = "DROP COLUMN "
+        if action.if_exists:
+            out += "IF EXISTS "
+        return out + quote_identifier(action.name, dialect)
+    if isinstance(action, ast.ModifyColumn):
+        return "MODIFY COLUMN " + write_column_def(action.column, dialect)
+    if isinstance(action, ast.ChangeColumn):
+        return ("CHANGE COLUMN "
+                + quote_identifier(action.old_name, dialect) + " "
+                + write_column_def(action.column, dialect))
+    if isinstance(action, ast.AlterColumnType):
+        return (f"ALTER COLUMN {quote_identifier(action.name, dialect)} "
+                f"TYPE {action.data_type.render()}")
+    if isinstance(action, ast.AlterColumnDefault):
+        col = quote_identifier(action.name, dialect)
+        if action.default is None:
+            return f"ALTER COLUMN {col} DROP DEFAULT"
+        return f"ALTER COLUMN {col} SET DEFAULT {action.default}"
+    if isinstance(action, ast.AlterColumnNullability):
+        col = quote_identifier(action.name, dialect)
+        verb = "SET" if action.not_null else "DROP"
+        return f"ALTER COLUMN {col} {verb} NOT NULL"
+    if isinstance(action, ast.AddConstraint):
+        return "ADD " + write_constraint(action.constraint, dialect)
+    if isinstance(action, ast.DropConstraint):
+        if action.kind == "primary key":
+            return "DROP PRIMARY KEY"
+        if action.kind == "foreign key":
+            return f"DROP FOREIGN KEY {quote_identifier(action.name, dialect)}"
+        if action.kind == "index":
+            return f"DROP INDEX {quote_identifier(action.name, dialect)}"
+        return f"DROP CONSTRAINT {quote_identifier(action.name, dialect)}"
+    if isinstance(action, ast.RenameTable):
+        return "RENAME TO " + quote_identifier(action.new_name, dialect)
+    if isinstance(action, ast.RenameColumn):
+        return ("RENAME COLUMN "
+                + quote_identifier(action.old_name, dialect)
+                + " TO " + quote_identifier(action.new_name, dialect))
+    raise TypeError(f"unknown alter action: {type(action).__name__}")
+
+
+def write_statement(stmt: ast.Statement,
+                    dialect: Dialect = Dialect.GENERIC) -> str:
+    """Render one DDL statement (without trailing semicolon)."""
+    if isinstance(stmt, ast.CreateTable):
+        return _write_create_table(stmt, dialect)
+    if isinstance(stmt, ast.CreateTableLike):
+        out = "CREATE TABLE "
+        if stmt.if_not_exists:
+            out += "IF NOT EXISTS "
+        return (out + quote_identifier(stmt.name, dialect)
+                + " LIKE " + quote_identifier(stmt.template, dialect))
+    if isinstance(stmt, ast.DropTable):
+        out = "DROP TABLE "
+        if stmt.if_exists:
+            out += "IF EXISTS "
+        return out + ", ".join(quote_identifier(n, dialect)
+                               for n in stmt.names)
+    if isinstance(stmt, ast.AlterTable):
+        head = "ALTER TABLE "
+        if stmt.if_exists:
+            head += "IF EXISTS "
+        head += quote_identifier(stmt.name, dialect)
+        actions = ", ".join(_write_alter_action(a, dialect)
+                            for a in stmt.actions)
+        return f"{head} {actions}"
+    if isinstance(stmt, ast.CreateIndex):
+        out = "CREATE "
+        if stmt.unique:
+            out += "UNIQUE "
+        out += "INDEX "
+        if stmt.if_not_exists:
+            out += "IF NOT EXISTS "
+        out += quote_identifier(stmt.name, dialect)
+        out += " ON " + quote_identifier(stmt.table, dialect)
+        return out + " " + _write_column_list(stmt.columns, dialect)
+    if isinstance(stmt, ast.CreateView):
+        out = "CREATE "
+        if stmt.or_replace:
+            out += "OR REPLACE "
+        out += "VIEW "
+        if stmt.if_not_exists:
+            out += "IF NOT EXISTS "
+        out += quote_identifier(stmt.name, dialect)
+        if stmt.columns:
+            out += " " + _write_column_list(stmt.columns, dialect)
+        return out + " AS " + stmt.query
+    if isinstance(stmt, ast.DropView):
+        out = "DROP VIEW "
+        if stmt.if_exists:
+            out += "IF EXISTS "
+        return out + ", ".join(quote_identifier(n, dialect)
+                               for n in stmt.names)
+    if isinstance(stmt, ast.DropIndex):
+        out = "DROP INDEX "
+        if stmt.if_exists:
+            out += "IF EXISTS "
+        out += quote_identifier(stmt.name, dialect)
+        if stmt.table:
+            out += " ON " + quote_identifier(stmt.table, dialect)
+        return out
+    raise TypeError(f"unknown statement type: {type(stmt).__name__}")
+
+
+def write_script(script: ast.Script,
+                 dialect: Dialect = Dialect.GENERIC) -> str:
+    """Render all DDL statements of a script, semicolon-terminated."""
+    return "\n\n".join(write_statement(s, dialect) + ";"
+                       for s in script.statements) + ("\n" if script else "")

@@ -1,0 +1,23 @@
+"""The full study pipeline: corpus → profiles → labels → patterns → analyses.
+
+:func:`run_study` reproduces every quantitative artifact of the paper in
+one call and returns a :class:`StudyResults` bundle the benchmarks and
+examples render.
+"""
+
+from repro.study.compare import StudyComparison, compare_studies
+from repro.study.pipeline import (
+    StudyResults,
+    records_from_corpus,
+    records_from_histories,
+    run_study,
+)
+
+__all__ = [
+    "StudyComparison",
+    "StudyResults",
+    "compare_studies",
+    "records_from_corpus",
+    "records_from_histories",
+    "run_study",
+]

@@ -1,0 +1,85 @@
+"""Comparison of two study runs (what-if analyses, regression checks).
+
+Computes typed deltas between two :class:`StudyResults` — population
+mixes, aversion-to-change signals, activity levels — so what-if studies
+(``examples/what_if_mix.py``) and corpus-regression checks read one
+structure instead of eyeballing two reports.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.patterns.taxonomy import Family, family_of
+from repro.study.pipeline import StudyResults
+
+
+@dataclass(frozen=True)
+class StudyComparison:
+    """Headline deltas between a baseline and a variant study.
+
+    All ``*_delta`` fields are ``variant − baseline``.
+
+    Attributes:
+        baseline_total / variant_total: corpus sizes.
+        family_share_delta: per-family share change (fractions).
+        zero_agm_share_delta: change in the share of projects with zero
+            active growth months.
+        vault_share_delta: change in the vault share.
+        median_activity_delta: change in the median total activity.
+        tree_errors_delta: change in decision-tree misclassifications.
+    """
+
+    baseline_total: int
+    variant_total: int
+    family_share_delta: dict[Family, float]
+    zero_agm_share_delta: float
+    vault_share_delta: float
+    median_activity_delta: float
+    tree_errors_delta: int
+
+    @property
+    def livelier(self) -> bool:
+        """True when the variant shows less aversion to change than the
+        baseline (fewer zero-AGM projects and fewer vaults)."""
+        return (self.zero_agm_share_delta < 0
+                and self.vault_share_delta < 0)
+
+
+def _family_shares(results: StudyResults) -> dict[Family, float]:
+    counts = {family: 0 for family in Family}
+    for record in results.records:
+        family = family_of(record.pattern)
+        if family is not None:
+            counts[family] += 1
+    return {family: count / results.total
+            for family, count in counts.items()}
+
+
+def _median_activity(results: StudyResults) -> float:
+    return statistics.median(r.profile.total_activity
+                             for r in results.records)
+
+
+def compare_studies(baseline: StudyResults,
+                    variant: StudyResults) -> StudyComparison:
+    """Compute the headline deltas of ``variant`` against ``baseline``."""
+    base_shares = _family_shares(baseline)
+    variant_shares = _family_shares(variant)
+    return StudyComparison(
+        baseline_total=baseline.total,
+        variant_total=variant.total,
+        family_share_delta={
+            family: variant_shares[family] - base_shares[family]
+            for family in Family},
+        zero_agm_share_delta=(
+            variant.stats34.zero_active_growth / variant.total
+            - baseline.stats34.zero_active_growth / baseline.total),
+        vault_share_delta=(variant.stats34.vault_share
+                           - baseline.stats34.vault_share),
+        median_activity_delta=(_median_activity(variant)
+                               - _median_activity(baseline)),
+        tree_errors_delta=(len(variant.tree_misclassified)
+                           - len(baseline.tree_misclassified)),
+    )

@@ -1,0 +1,188 @@
+"""End-to-end study driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.activity_relation import (
+    ActivityRelationResult,
+    compute_activity_relation,
+)
+from repro.analysis.change_mix import ChangeMixResult, compute_change_mix
+from repro.analysis.coverage import CoverageResult, compute_coverage
+from repro.analysis.normality import NormalityResult, compute_normality
+from repro.analysis.prediction import PredictionResult, compute_prediction
+from repro.analysis.records import StudyRecord, measures_of
+from repro.analysis.stats_tables import (
+    Section34Stats,
+    Table1Result,
+    compute_section34_stats,
+    compute_table1,
+)
+from repro.corpus.generator import Corpus
+from repro.errors import AnalysisError
+from repro.history.repository import SchemaHistory
+from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme, label_profile
+from repro.metrics.profile import ProjectProfile
+from repro.mining.centroids import CentroidReport, centroid_report
+from repro.mining.correlation import spearman_matrix
+from repro.mining.decision_tree import DecisionTree
+from repro.patterns.classifier import classify, classify_with_tolerance
+from repro.patterns.exceptions import ExceptionReport, exception_report
+from repro.patterns.taxonomy import Pattern
+
+#: The four defining features the Fig.-5 decision tree splits on.
+TREE_FEATURES = ("birth_timing", "top_band_timing",
+                 "interval_birth_to_top", "agm_bucket")
+
+
+def _tree_sample(record: StudyRecord) -> dict[str, str]:
+    from repro.analysis.coverage import agm_bucket
+    labeled = record.labeled
+    return {
+        "birth_timing": labeled.birth_timing.value,
+        "top_band_timing": labeled.top_band_timing.value,
+        "interval_birth_to_top": labeled.interval_birth_to_top.value,
+        "agm_bucket": agm_bucket(labeled.active_growth_months),
+    }
+
+
+@dataclass(frozen=True)
+class StudyResults:
+    """Every quantitative artifact of the paper, computed on one corpus.
+
+    Attributes:
+        records: the classified study records.
+        table1: label distribution (Table 1).
+        stats34: §3.4 headline statistics.
+        table2: exception/overlap accounting (Table 2).
+        correlations: Spearman matrix over the time measures (Fig. 2).
+        tree: the fitted decision tree (Fig. 5).
+        tree_misclassified: names of projects the tree gets wrong.
+        centroids: per-pattern centroid/MDC report (§5.2).
+        coverage: active-domain coverage (Fig. 6).
+        prediction: birth-month conditional probabilities (Fig. 7).
+        activity: per-pattern activity statistics (§6.1).
+        change_mix: change-type mixture (§6.3).
+        normality: Shapiro–Wilk results (§3.4.1).
+        strict_agreement: records whose strict definition-based
+            classification equals their assigned pattern.
+    """
+
+    records: tuple[StudyRecord, ...]
+    table1: Table1Result
+    stats34: Section34Stats
+    table2: ExceptionReport
+    correlations: dict[tuple[str, str], float]
+    tree: DecisionTree
+    tree_misclassified: tuple[str, ...]
+    centroids: CentroidReport
+    coverage: CoverageResult
+    prediction: PredictionResult
+    activity: ActivityRelationResult
+    change_mix: ChangeMixResult
+    normality: NormalityResult
+    strict_agreement: int
+
+    @property
+    def total(self) -> int:
+        """Corpus size."""
+        return len(self.records)
+
+
+def records_from_corpus(corpus: Corpus,
+                        scheme: LabelScheme = DEFAULT_SCHEME
+                        ) -> list[StudyRecord]:
+    """Measure and label a generated corpus.
+
+    The assigned pattern is the generator's ground truth — the synthetic
+    counterpart of the paper's manual annotation; the exception flag is
+    recomputed from the formal definitions (a project is an exception
+    when its labels violate its assigned pattern's definition).
+    """
+    records: list[StudyRecord] = []
+    for project in corpus.projects:
+        profile = ProjectProfile.from_history(project.history,
+                                              source=project.source)
+        labeled = label_profile(profile, scheme)
+        strict = classify(labeled)
+        records.append(StudyRecord(
+            name=project.name,
+            pattern=project.intended_pattern,
+            labeled=labeled,
+            is_exception=strict is not project.intended_pattern,
+        ))
+    return records
+
+
+def records_from_histories(histories: Iterable[SchemaHistory],
+                           scheme: LabelScheme = DEFAULT_SCHEME
+                           ) -> list[StudyRecord]:
+    """Measure, label and *blindly* classify external histories."""
+    records: list[StudyRecord] = []
+    for history in histories:
+        profile = ProjectProfile.from_history(history)
+        labeled = label_profile(profile, scheme)
+        result = classify_with_tolerance(labeled)
+        records.append(StudyRecord(
+            name=history.project_name,
+            pattern=result.pattern,
+            labeled=labeled,
+            is_exception=result.is_exception,
+        ))
+    return records
+
+
+def run_study(records: Sequence[StudyRecord]) -> StudyResults:
+    """Run every analysis of the paper over classified records.
+
+    Raises:
+        AnalysisError: for an empty record list.
+    """
+    if not records:
+        raise AnalysisError("cannot run the study on zero records")
+
+    # Table 2 needs (labeled, result)-style pairs; rebuild results from
+    # the records' assignment.
+    from repro.patterns.classifier import ClassificationResult
+    table2 = exception_report(
+        (r.labeled, ClassificationResult(pattern=r.pattern,
+                                         is_exception=r.is_exception))
+        for r in records)
+
+    correlations = spearman_matrix(measures_of(records))
+
+    samples = [_tree_sample(r) for r in records]
+    labels = [r.pattern.value for r in records]
+    tree = DecisionTree(max_depth=4).fit(samples, labels)
+    misclassified = tuple(records[i].name
+                          for i in tree.training_errors(samples, labels))
+
+    vector_groups: dict[str, list] = {}
+    for record in records:
+        if record.pattern is Pattern.UNCLASSIFIED:
+            continue
+        vector_groups.setdefault(record.pattern.value, []).append(
+            record.profile.vector)
+    centroids = centroid_report(vector_groups)
+
+    strict_agreement = sum(1 for r in records
+                           if classify(r.labeled) is r.pattern)
+
+    return StudyResults(
+        records=tuple(records),
+        table1=compute_table1(records),
+        stats34=compute_section34_stats(records),
+        table2=table2,
+        correlations=correlations,
+        tree=tree,
+        tree_misclassified=misclassified,
+        centroids=centroids,
+        coverage=compute_coverage(records),
+        prediction=compute_prediction(records),
+        activity=compute_activity_relation(records),
+        change_mix=compute_change_mix(records),
+        normality=compute_normality(records),
+        strict_agreement=strict_agreement,
+    )

@@ -1,0 +1,17 @@
+"""Visualization: terminal and SVG renderings of schema heartbeats.
+
+No plotting library is assumed: :mod:`repro.viz.ascii_chart` draws the
+paper's Fig.-3-style cumulative-progress lines on a character grid, and
+:mod:`repro.viz.svg_chart` writes standalone SVG files.
+:mod:`repro.viz.tables` renders the fixed-width tables every benchmark
+prints.
+"""
+
+from repro.viz.ascii_chart import annotated_chart, ascii_chart
+from repro.viz.heatmap import ascii_heatmap, svg_heatmap
+from repro.viz.svg_chart import svg_chart
+from repro.viz.tables import format_table
+from repro.viz.timeline import table_timeline
+
+__all__ = ["annotated_chart", "ascii_chart", "ascii_heatmap", "format_table", "svg_chart",
+           "svg_heatmap", "table_timeline"]

@@ -1,0 +1,110 @@
+"""ASCII rendering of cumulative-progress lines (Fig.-3 style).
+
+Draws the schema heartbeat (``*``) and, optionally, the source-code
+heartbeat (``.``) of one project on a character grid: x = % of project
+life, y = % of cumulative activity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MetricError
+from repro.history.heartbeat import ActivitySeries
+
+
+def _sample_curve(series: ActivitySeries, width: int) -> list[float]:
+    return [series.fraction_at(x / (width - 1) if width > 1 else 0.0)
+            for x in range(width)]
+
+
+def ascii_chart(schema: ActivitySeries,
+                source: ActivitySeries | None = None,
+                width: int = 64, height: int = 16,
+                title: str | None = None) -> str:
+    """Render cumulative-progress curves on a character grid.
+
+    Args:
+        schema: the schema heartbeat (drawn with ``*``).
+        source: optional source-code heartbeat (drawn with ``.``; where
+            both curves land on one cell the schema wins).
+        width: chart width in characters (>= 2).
+        height: chart height in characters (>= 2).
+        title: optional title printed above the chart.
+
+    Returns:
+        The chart as one string.
+
+    Raises:
+        MetricError: for degenerate dimensions.
+    """
+    if width < 2 or height < 2:
+        raise MetricError("chart needs width >= 2 and height >= 2")
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(series: ActivitySeries, mark: str) -> None:
+        for x, fraction in enumerate(_sample_curve(series, width)):
+            y = height - 1 - int(fraction * (height - 1) + 1e-9)
+            if grid[y][x] == " " or mark == "*":
+                grid[y][x] = mark
+
+    if source is not None:
+        plot(source, ".")
+    plot(schema, "*")
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("100% +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append("     |" + "".join(row))
+    lines.append("  0% +" + "".join(grid[-1]))
+    lines.append("      " + "0%" + " " * (width - 6) + "100%")
+    legend = "      * schema"
+    if source is not None:
+        legend += "   . source"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def annotated_chart(schema: ActivitySeries, landmarks,
+                    source: ActivitySeries | None = None,
+                    width: int = 64, height: int = 16,
+                    title: str | None = None) -> str:
+    """A Fig.-1-style chart with the landmark points marked.
+
+    Renders the plain chart plus a marker row flagging schema birth
+    (``B``) and top-band attainment (``T``) on the time axis, and a
+    caption with the growth/tail intervals and the vault flag.
+
+    Args:
+        schema: the schema heartbeat.
+        landmarks: a :class:`~repro.metrics.landmarks.Landmarks` record
+            for the same series.
+        source / width / height / title: as in :func:`ascii_chart`.
+    """
+    base = ascii_chart(schema, source=source, width=width,
+                       height=height, title=title)
+
+    def column(month: int) -> int:
+        if landmarks.pup_months <= 1:
+            return 0
+        return min(int(month / (landmarks.pup_months - 1)
+                       * (width - 1)), width - 1)
+
+    marker_row = [" "] * width
+    birth_col = column(landmarks.birth_month)
+    top_col = column(landmarks.top_band_month)
+    marker_row[birth_col] = "B"
+    if top_col == birth_col:
+        marker_row[birth_col] = "#"  # birth and top coincide
+    else:
+        marker_row[top_col] = "T"
+    caption = (
+        f"      B=birth (month {landmarks.birth_month}, "
+        f"{landmarks.birth_volume_fraction:.0%} of activity)  "
+        f"T=top band (month {landmarks.top_band_month})"
+        + ("  [vault]" if landmarks.has_vault else ""))
+    if marker_row[birth_col] == "#":
+        caption = caption.replace("B=birth", "#=birth+top", 1) \
+            .replace("  T=top band "
+                     f"(month {landmarks.top_band_month})", "", 1)
+    return base + "\n      " + "".join(marker_row) + "\n" + caption

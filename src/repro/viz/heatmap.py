@@ -1,0 +1,105 @@
+"""Correlation heatmaps (ASCII and SVG renderings of Fig. 2)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import MetricError
+
+#: Shade ramp for [-1, 1]: strong negative .. strong positive.
+_RAMP = ("#", "=", "-", ".", " ", ".", "-", "=", "#")
+
+
+def _shade(value: float) -> str:
+    """Map rho in [-1, 1] to a shade character (sign-symmetric)."""
+    index = int((value + 1.0) / 2.0 * (len(_RAMP) - 1) + 0.5)
+    index = min(max(index, 0), len(_RAMP) - 1)
+    return _RAMP[index]
+
+
+def ascii_heatmap(names: Sequence[str],
+                  matrix: Mapping[tuple[str, str], float],
+                  cell_width: int = 6) -> str:
+    """Render a correlation matrix as a shaded ASCII grid.
+
+    Args:
+        names: measure names, in display order.
+        matrix: ``(a, b) -> rho`` with every ordered pair present.
+        cell_width: characters per cell (>= 5 to fit ``+0.00``).
+
+    Raises:
+        MetricError: for missing pairs or a too-narrow cell width.
+    """
+    if cell_width < 5:
+        raise MetricError("cell_width must be at least 5")
+    label_width = max(len(n) for n in names) if names else 0
+    lines: list[str] = []
+    header = " " * (label_width + 1) + "".join(
+        f"{chr(ord('A') + i):>{cell_width}}" for i in range(len(names)))
+    lines.append(header)
+    for row_index, row_name in enumerate(names):
+        cells = []
+        for col_name in names:
+            key = (row_name, col_name)
+            if key not in matrix:
+                raise MetricError(f"missing correlation pair {key}")
+            value = matrix[key]
+            cells.append(f"{value:+.2f}{_shade(value)}"
+                         .rjust(cell_width))
+        lines.append(f"{row_name:<{label_width}} " + "".join(cells))
+    legend = ", ".join(f"{chr(ord('A') + i)}={name}"
+                       for i, name in enumerate(names))
+    lines.append("")
+    lines.append("columns: " + legend)
+    return "\n".join(lines)
+
+
+def _rho_color(value: float) -> str:
+    """Blue (negative) -> white (zero) -> red (positive)."""
+    clamped = min(max(value, -1.0), 1.0)
+    if clamped >= 0:
+        intensity = int(255 * (1 - clamped))
+        return f"rgb(255,{intensity},{intensity})"
+    intensity = int(255 * (1 + clamped))
+    return f"rgb({intensity},{intensity},255)"
+
+
+def svg_heatmap(names: Sequence[str],
+                matrix: Mapping[tuple[str, str], float],
+                cell: int = 34) -> str:
+    """Render a correlation matrix as an SVG heatmap document."""
+    count = len(names)
+    margin = 150
+    size = margin + count * cell + 10
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    for row in range(count):
+        y = margin + row * cell
+        label = names[row]
+        parts.append(f'<text x="{margin - 6}" y="{y + cell * 0.65:.0f}" '
+                     f'text-anchor="end" font-family="sans-serif" '
+                     f'font-size="10">{label}</text>')
+        parts.append(
+            f'<text x="{margin + row * cell + cell / 2:.0f}" '
+            f'y="{margin - 8}" text-anchor="start" '
+            f'font-family="sans-serif" font-size="10" '
+            f'transform="rotate(-45 '
+            f'{margin + row * cell + cell / 2:.0f} {margin - 8})">'
+            f'{label}</text>')
+        for col in range(count):
+            x = margin + col * cell
+            value = matrix[(names[row], names[col])]
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" '
+                f'fill="{_rho_color(value)}" stroke="#ccc" '
+                f'stroke-width="0.5"/>')
+            parts.append(
+                f'<text x="{x + cell / 2:.0f}" '
+                f'y="{y + cell * 0.62:.0f}" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="9">'
+                f'{value:+.2f}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

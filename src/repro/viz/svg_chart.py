@@ -1,0 +1,81 @@
+"""Standalone SVG rendering of cumulative-progress charts.
+
+Produces self-contained ``.svg`` documents visually matching the paper's
+Fig. 3: blue dashed schema line, green solid source line, axes in % of
+project life / % of cumulative activity.
+"""
+
+from __future__ import annotations
+
+from repro.history.heartbeat import ActivitySeries
+
+_WIDTH = 480
+_HEIGHT = 280
+_MARGIN = 42
+
+
+def _polyline_points(series: ActivitySeries, samples: int = 120) -> str:
+    plot_w = _WIDTH - 2 * _MARGIN
+    plot_h = _HEIGHT - 2 * _MARGIN
+    points = []
+    for index in range(samples):
+        t = index / (samples - 1)
+        fraction = series.fraction_at(t)
+        x = _MARGIN + t * plot_w
+        y = _HEIGHT - _MARGIN - fraction * plot_h
+        points.append(f"{x:.1f},{y:.1f}")
+    return " ".join(points)
+
+
+def svg_chart(schema: ActivitySeries,
+              source: ActivitySeries | None = None,
+              title: str = "") -> str:
+    """Render a Fig.-3-style chart as an SVG document string.
+
+    Args:
+        schema: the schema heartbeat (blue, dashed).
+        source: optional source heartbeat (green, solid).
+        title: chart title printed at the top.
+    """
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+    ]
+    x0, y0 = _MARGIN, _HEIGHT - _MARGIN
+    x1, y1 = _WIDTH - _MARGIN, _MARGIN
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" '
+                 f'stroke="#444" stroke-width="1"/>')
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" '
+                 f'stroke="#444" stroke-width="1"/>')
+    # Gridlines at 25/50/75 %.
+    for pct in (0.25, 0.5, 0.75):
+        gy = y0 - pct * (y0 - y1)
+        gx = x0 + pct * (x1 - x0)
+        parts.append(f'<line x1="{x0}" y1="{gy:.1f}" x2="{x1}" '
+                     f'y2="{gy:.1f}" stroke="#ddd" stroke-width="0.5"/>')
+        parts.append(f'<line x1="{gx:.1f}" y1="{y0}" x2="{gx:.1f}" '
+                     f'y2="{y1}" stroke="#ddd" stroke-width="0.5"/>')
+    if source is not None:
+        parts.append(f'<polyline points="{_polyline_points(source)}" '
+                     f'fill="none" stroke="#2a7f2a" stroke-width="1.6"/>')
+    parts.append(f'<polyline points="{_polyline_points(schema)}" '
+                 f'fill="none" stroke="#1f4fbf" stroke-width="1.8" '
+                 f'stroke-dasharray="5,3"/>')
+    if title:
+        parts.append(f'<text x="{_WIDTH / 2:.0f}" y="20" '
+                     f'text-anchor="middle" font-family="sans-serif" '
+                     f'font-size="13">{_escape(title)}</text>')
+    parts.append(f'<text x="{x0}" y="{y0 + 16}" font-family="sans-serif" '
+                 f'font-size="10">0%</text>')
+    parts.append(f'<text x="{x1 - 18}" y="{y0 + 16}" '
+                 f'font-family="sans-serif" font-size="10">100%</text>')
+    parts.append(f'<text x="{x0 - 34}" y="{y1 + 4}" '
+                 f'font-family="sans-serif" font-size="10">100%</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

@@ -1,0 +1,49 @@
+"""Fixed-width table rendering for terminal reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: column headers.
+        rows: row cells; every row must have ``len(headers)`` entries.
+            Floats are shown with 3 decimals, everything else via str().
+        title: optional title line above the table.
+
+    Returns:
+        The rendered table as one string (no trailing newline).
+
+    Raises:
+        ValueError: when a row's width disagrees with the headers.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    for index, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(f"row {index} has {len(row)} cells, "
+                             f"expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(cells, widths)).rstrip()
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * width for width in widths))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)

@@ -1,0 +1,66 @@
+"""ASCII timeline of table lives (Gantt-style).
+
+Pairs with :func:`repro.metrics.tables.table_lives`: one row per table,
+bars spanning birth to death (or to the project's end), update events
+marked along the bar.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MetricError
+from repro.metrics.tables import TableLife
+
+
+def table_timeline(lives: Sequence[TableLife], pup_months: int,
+                   width: int = 60, max_rows: int = 30) -> str:
+    """Render table lives as an ASCII timeline.
+
+    Args:
+        lives: table lives (from :func:`table_lives`).
+        pup_months: the project's update period, for the time axis.
+        width: characters available for the time axis.
+        max_rows: largest number of tables to draw (the rest is
+            summarized in a trailing line).
+
+    Bar glyphs: ``=`` alive span, ``+`` birth, ``x`` death,
+    ``*`` a month with update events.
+
+    Raises:
+        MetricError: for an empty life list or degenerate dimensions.
+    """
+    if not lives:
+        raise MetricError("no table lives to draw")
+    if width < 10 or pup_months < 1:
+        raise MetricError("need width >= 10 and pup_months >= 1")
+
+    def column(month: int) -> int:
+        if pup_months <= 1:
+            return 0
+        return min(int(month / (pup_months - 1) * (width - 1)),
+                   width - 1)
+
+    label_width = min(max(len(l.name) for l in lives), 24)
+    lines: list[str] = []
+    shown = list(lives)[:max_rows]
+    for life in shown:
+        bar = [" "] * width
+        start = column(life.birth_month)
+        end = column(life.death_month if life.death_month is not None
+                     else pup_months - 1)
+        for x in range(start, end + 1):
+            bar[x] = "="
+        bar[start] = "+"
+        if life.death_month is not None:
+            bar[end] = "x"
+        for month in sorted(life._active):
+            bar[column(month)] = "*"
+        name = life.name[:label_width]
+        lines.append(f"{name:<{label_width}} |{''.join(bar)}|")
+    axis = (" " * label_width + " |0%" + " " * (width - 8) + "100%|")
+    lines.append(axis)
+    if len(lives) > max_rows:
+        lines.append(f"... and {len(lives) - max_rows} more tables")
+    lines.append("+ birth   = alive   * updated   x dropped")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Unit tests for the analysis modules on the small corpus."""
+
+import pytest
+
+from repro.analysis.activity_relation import compute_activity_relation
+from repro.analysis.change_mix import compute_change_mix
+from repro.analysis.coverage import agm_bucket, compute_coverage
+from repro.analysis.normality import compute_normality
+from repro.analysis.prediction import birth_bucket, compute_prediction
+from repro.analysis.records import MEASURE_NAMES, measures_of
+from repro.analysis.stats_tables import (
+    compute_section34_stats,
+    compute_table1,
+)
+from repro.errors import AnalysisError
+from repro.patterns.taxonomy import Pattern
+from repro.study.pipeline import records_from_corpus
+
+
+@pytest.fixture(scope="module")
+def records(small_corpus):
+    return records_from_corpus(small_corpus)
+
+
+class TestRecords:
+    def test_measures_extracted(self, records):
+        measures = measures_of(records)
+        assert set(measures) == set(MEASURE_NAMES)
+        assert all(len(v) == len(records) for v in measures.values())
+
+    def test_measures_in_range(self, records):
+        measures = measures_of(records)
+        for name in MEASURE_NAMES:
+            if name == "ActiveGrowthMonths":
+                continue
+            assert all(0.0 <= v <= 1.0 for v in measures[name]), name
+
+
+class TestTable1:
+    def test_rows_sum_to_total(self, records):
+        table1 = compute_table1(records)
+        for row, counts in table1.rows.items():
+            assert sum(counts.values()) == table1.total, row
+
+    def test_count_accessor(self, records):
+        table1 = compute_table1(records)
+        key = "Time Point of Birth (%PUP)"
+        assert table1.count(key, "v0") >= 2  # flatliners are V0-born
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            compute_table1([])
+
+
+class TestSection34:
+    def test_consistency(self, records):
+        stats = compute_section34_stats(records)
+        assert stats.total == len(records)
+        assert stats.born_at_v0 <= stats.born_first_25pct
+        assert stats.born_first_10pct <= stats.born_first_25pct
+        assert stats.zero_active_growth \
+            <= stats.at_most_one_active_growth
+        assert stats.interval_birth_top_zero \
+            <= stats.interval_birth_top_under_10pct
+        assert 0.0 <= stats.vault_share <= 1.0
+        assert stats.full_activity_at_birth \
+            <= stats.high_activity_at_birth
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            compute_section34_stats([])
+
+
+class TestCoverage:
+    def test_agm_bucket(self):
+        assert agm_bucket(0) == "0"
+        assert agm_bucket(3) == "1-3"
+        assert agm_bucket(4) == ">3"
+
+    def test_cells_cover_all_records(self, records):
+        coverage = compute_coverage(records)
+        counted = sum(n for patterns in coverage.cells.values()
+                      for n in patterns.values())
+        assert counted == len(records)
+
+    def test_fraction_bounded(self, records):
+        coverage = compute_coverage(records)
+        assert 0 < coverage.coverage_fraction < 1
+
+    def test_dominant_pattern(self, records):
+        coverage = compute_coverage(records)
+        for cell in coverage.cells:
+            assert coverage.dominant_pattern(cell) in Pattern
+
+
+class TestPrediction:
+    def test_birth_bucket(self):
+        assert birth_bucket(0) == 0
+        assert birth_bucket(6) == 1
+        assert birth_bucket(7) == 2
+        assert birth_bucket(12) == 2
+        assert birth_bucket(13) == 3
+
+    def test_totals_consistent(self, records):
+        prediction = compute_prediction(records)
+        assert sum(prediction.bucket_totals) == prediction.total
+        for pattern, counts in prediction.counts.items():
+            assert sum(counts) == sum(
+                1 for r in records if r.pattern is pattern)
+
+    def test_probabilities_sum_to_one_per_bucket(self, records):
+        prediction = compute_prediction(records)
+        for bucket, total in enumerate(prediction.bucket_totals):
+            if total == 0:
+                continue
+            mass = sum(prediction.probability(p, bucket)
+                       for p in prediction.counts)
+            assert mass == pytest.approx(1.0)
+
+    def test_empty_bucket_probability_zero(self, records):
+        prediction = compute_prediction(records)
+        for bucket, total in enumerate(prediction.bucket_totals):
+            if total == 0:
+                assert prediction.probability(
+                    Pattern.FLATLINER, bucket) == 0.0
+
+    def test_birth_distribution_sums_to_one(self, records):
+        assert sum(compute_prediction(records).birth_distribution()) \
+            == pytest.approx(1.0)
+
+
+class TestActivityRelation:
+    def test_every_pattern_row_present(self, records):
+        result = compute_activity_relation(records)
+        patterns = {row.pattern for row in result.rows}
+        assert patterns == {r.pattern for r in records}
+
+    def test_flatliner_post_birth_zero(self, records):
+        result = compute_activity_relation(records)
+        row = result.row(Pattern.FLATLINER)
+        assert row.median_post_birth == 0
+
+    def test_regular_curation_dwarfs_flatliner(self, records):
+        result = compute_activity_relation(records)
+        regular = result.row(Pattern.REGULARLY_CURATED)
+        flat = result.row(Pattern.FLATLINER)
+        assert regular.median_post_birth > 10 * max(
+            flat.median_post_birth, 1)
+
+    def test_missing_pattern_returns_none(self, records):
+        result = compute_activity_relation(records)
+        assert result.row(Pattern.UNCLASSIFIED) is None
+
+
+class TestChangeMix:
+    def test_overall_expansion_dominant(self, records):
+        mix = compute_change_mix(records)
+        assert mix.overall_expansion_fraction > 0.5
+
+    def test_table_granule_dominant(self, records):
+        mix = compute_change_mix(records)
+        assert mix.overall_table_granule_fraction > 0.5
+
+    def test_flatliners_monothematic(self, records):
+        mix = compute_change_mix(records)
+        row = mix.row(Pattern.FLATLINER)
+        assert row.monothematic_projects == row.count
+
+    def test_kind_totals_sum(self, records):
+        mix = compute_change_mix(records)
+        for row in mix.rows:
+            assert sum(row.kind_totals.values()) >= 0
+
+
+class TestNormality:
+    def test_rows_for_every_measure(self, records):
+        result = compute_normality(records)
+        assert [r.measure for r in result.rows] == list(MEASURE_NAMES)
+
+    def test_histograms_count_everything(self, records):
+        result = compute_normality(records)
+        for row in result.rows:
+            assert sum(row.histogram) == len(records)
+
+    def test_too_few_raises(self, records):
+        with pytest.raises(AnalysisError):
+            compute_normality(records[:2])

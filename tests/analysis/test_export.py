@@ -1,0 +1,98 @@
+"""Unit tests for the CSV dataset export."""
+
+import csv
+
+import pytest
+
+from repro.report.export import (
+    export_dataset,
+    export_heartbeats,
+    export_measurements,
+    export_vectors,
+)
+from repro.study.pipeline import records_from_corpus
+
+
+@pytest.fixture(scope="module")
+def records(small_corpus):
+    return records_from_corpus(small_corpus)
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestMeasurements:
+    def test_one_row_per_project(self, records, tmp_path):
+        path = tmp_path / "m.csv"
+        export_measurements(records, path)
+        rows = read_csv(path)
+        assert len(rows) == len(records)
+        assert {r["project"] for r in rows} == {r.name for r in records}
+
+    def test_columns_complete(self, records, tmp_path):
+        path = tmp_path / "m.csv"
+        export_measurements(records, path)
+        row = read_csv(path)[0]
+        for column in ("pattern", "pup_months", "birth_month",
+                       "total_activity", "label_birth_timing"):
+            assert column in row
+
+    def test_values_roundtrip(self, records, tmp_path):
+        path = tmp_path / "m.csv"
+        export_measurements(records, path)
+        rows = {r["project"]: r for r in read_csv(path)}
+        for record in records:
+            row = rows[record.name]
+            assert int(row["pup_months"]) == record.profile.pup_months
+            assert int(row["total_activity"]) \
+                == record.profile.total_activity
+            assert row["pattern"] == record.pattern.value
+
+
+class TestHeartbeats:
+    def test_long_format_rows(self, records, tmp_path):
+        path = tmp_path / "h.csv"
+        export_heartbeats(records, path)
+        rows = read_csv(path)
+        expected = sum(r.profile.pup_months for r in records)
+        assert len(rows) == expected
+
+    def test_cumulative_ends_at_one(self, records, tmp_path):
+        path = tmp_path / "h.csv"
+        export_heartbeats(records, path)
+        rows = read_csv(path)
+        last_by_project = {}
+        for row in rows:
+            last_by_project[row["project"]] = row
+        for row in last_by_project.values():
+            assert float(row["cumulative_fraction"]) \
+                == pytest.approx(1.0)
+
+
+class TestVectors:
+    def test_vector_width(self, records, tmp_path):
+        path = tmp_path / "v.csv"
+        export_vectors(records, path)
+        rows = read_csv(path)
+        assert len(rows) == len(records)
+        vector_columns = [c for c in rows[0] if c.startswith("t")]
+        assert len(vector_columns) == 20
+
+    def test_values_monotone(self, records, tmp_path):
+        path = tmp_path / "v.csv"
+        export_vectors(records, path)
+        for row in read_csv(path):
+            values = [float(row[f"t{5 * i:02d}"]) for i in range(20)]
+            assert all(a <= b + 1e-9
+                       for a, b in zip(values, values[1:]))
+
+
+class TestDataset:
+    def test_writes_all_three(self, records, tmp_path):
+        paths = export_dataset(records, tmp_path / "out")
+        assert len(paths) == 3
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 0

@@ -1,0 +1,40 @@
+"""Unit tests for family-level cohesion analysis."""
+
+import pytest
+
+from repro.analysis.families import compute_family_cohesion
+from repro.errors import AnalysisError
+from repro.patterns.taxonomy import Family
+from repro.study.pipeline import records_from_corpus
+
+
+@pytest.fixture(scope="module")
+def records(small_corpus):
+    return records_from_corpus(small_corpus)
+
+
+class TestFamilyCohesion:
+    def test_three_families_present(self, records):
+        result = compute_family_cohesion(records)
+        assert set(result.sizes) == {f.value for f in Family}
+
+    def test_sizes_sum_to_corpus(self, records):
+        result = compute_family_cohesion(records)
+        assert sum(result.sizes.values()) == len(records)
+
+    def test_families_distinct(self, records):
+        result = compute_family_cohesion(records)
+        assert result.families_distinct
+        assert result.min_between_gap > 0.0
+
+    def test_mdc_bounded(self, records):
+        result = compute_family_cohesion(records)
+        assert 0.0 <= result.max_within_mdc <= 2.2
+
+    def test_single_family_raises(self, records):
+        from repro.patterns.taxonomy import Pattern
+        only_quick = [r for r in records
+                      if r.pattern in (Pattern.FLATLINER,
+                                       Pattern.RADICAL_SIGN)]
+        with pytest.raises(AnalysisError):
+            compute_family_cohesion(only_quick)

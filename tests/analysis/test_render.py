@@ -1,0 +1,89 @@
+"""Unit tests for the paper-artifact text renderers."""
+
+import pytest
+
+from repro import report
+from repro.patterns.taxonomy import PAPER_POPULATION
+from repro.study.pipeline import records_from_corpus, run_study
+
+
+@pytest.fixture(scope="module")
+def results(small_corpus):
+    return run_study(records_from_corpus(small_corpus))
+
+
+class TestTableRenderers:
+    def test_table1_lists_every_metric(self, results):
+        out = report.render_table1(results)
+        for metric in ("Volume of Birth", "Time Point of Birth",
+                       "Top Band", "Birth-To-TopBand", "TopBand-To-End",
+                       "%Growth", "%PUP"):
+            assert metric in out
+
+    def test_table1_counts_total(self, results):
+        out = report.render_table1(results)
+        assert f"n={results.total}" in out
+
+    def test_table2_has_all_patterns(self, results):
+        out = report.render_table2(results)
+        for pattern in PAPER_POPULATION:
+            assert pattern.value in out
+        assert "(unclassified)" in out
+
+    def test_correlations_symmetric_header(self, results):
+        out = report.render_correlations(results)
+        assert "+1.00" in out  # the diagonal
+        assert "BirthVolume_pctTotal" in out
+
+    def test_fig4_groups_by_family(self, results):
+        out = report.render_fig4_overview(results)
+        assert "Be Quick or Be Dead" in out
+        assert "Stairway to Heaven" in out
+
+    def test_tree_reports_misclassified(self, results):
+        out = report.render_tree(results)
+        assert "misclassified:" in out
+        assert "[" in out  # rendered tree nodes
+
+    def test_coverage_cell_listing(self, results):
+        out = report.render_coverage(results)
+        assert "cells populated" in out
+
+    def test_prediction_has_buckets(self, results):
+        out = report.render_prediction(results)
+        for bucket in ("Born M0", "Born [M1..M6]", "Born [M7..M12]",
+                       "Not born till M12"):
+            assert bucket in out
+        assert "TOTAL" in out
+
+    def test_section34_statistics(self, results):
+        out = report.render_section34(results)
+        assert "born at V0" in out
+        assert "Shapiro-Wilk" in out
+
+    def test_section52_mdc(self, results):
+        out = report.render_section52(results)
+        assert "MDC" in out
+
+    def test_section61_medians(self, results):
+        out = report.render_section61(results)
+        assert "med post-birth" in out
+
+    def test_section63_mixture(self, results):
+        out = report.render_section63(results)
+        assert "expansion" in out
+        assert "monothematic" in out
+
+    def test_all_renderers_produce_nonempty_text(self, results):
+        renderers = [
+            report.render_table1, report.render_table2,
+            report.render_correlations, report.render_fig4_overview,
+            report.render_tree, report.render_coverage,
+            report.render_prediction, report.render_section34,
+            report.render_section52, report.render_section61,
+            report.render_section63,
+        ]
+        for renderer in renderers:
+            out = renderer(results)
+            assert isinstance(out, str)
+            assert len(out.splitlines()) >= 3, renderer.__name__

@@ -1,0 +1,46 @@
+"""Unit tests for the table-level rigidity analysis."""
+
+import pytest
+
+from repro.analysis.table_level import compute_table_level
+from repro.errors import AnalysisError
+from repro.study.pipeline import records_from_corpus
+
+
+@pytest.fixture(scope="module")
+def records(small_corpus):
+    return records_from_corpus(small_corpus)
+
+
+class TestTableLevel:
+    def test_basic_aggregates(self, records):
+        result = compute_table_level(records)
+        assert result.total_lives > 0
+        assert 0.0 <= result.rigid_share <= 1.0
+        assert 0.0 <= result.alive_share <= 1.0
+        assert len(result.rigidity_by_birth_quarter) == 4
+        assert all(0.0 <= q <= 1.0
+                   for q in result.rigidity_by_birth_quarter)
+
+    def test_table_rigidity_trait(self, records):
+        # The corpus is expansion-biased with whole-table granule change,
+        # so most table lives never change after birth.
+        result = compute_table_level(records)
+        assert result.rigid_share > 0.5
+
+    def test_most_tables_survive(self, records):
+        result = compute_table_level(records)
+        assert result.alive_share > 0.6
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            compute_table_level([])
+
+    def test_history_less_profiles_raise(self, records):
+        import dataclasses
+        record = records[0]
+        bare_profile = dataclasses.replace(record.profile, history=None)
+        bare = dataclasses.replace(record, labeled=dataclasses.replace(
+            record.labeled, profile=bare_profile))
+        with pytest.raises(AnalysisError):
+            compute_table_level([bare])

@@ -1,0 +1,58 @@
+"""Unit tests for corpus persistence."""
+
+import json
+
+import pytest
+
+from repro.corpus.dataset import load_corpus, save_corpus
+from repro.errors import CorpusError
+from repro.history.heartbeat import schema_heartbeat
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, small_corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(small_corpus, path)
+        loaded = load_corpus(path)
+        assert len(loaded) == len(small_corpus)
+        assert loaded.seed == small_corpus.seed
+        for original, restored in zip(small_corpus, loaded):
+            assert restored.name == original.name
+            assert restored.intended_pattern is original.intended_pattern
+            assert restored.is_exception == original.is_exception
+            assert restored.plan.schedule == original.plan.schedule
+            assert restored.source.monthly == original.source.monthly
+            assert [c.ddl_text for c in restored.history.commits] \
+                == [c.ddl_text for c in original.history.commits]
+
+    def test_loaded_history_measures_identically(self, small_corpus,
+                                                 tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(small_corpus, path)
+        loaded = load_corpus(path)
+        for original, restored in zip(small_corpus, loaded):
+            assert schema_heartbeat(restored.history).monthly \
+                == schema_heartbeat(original.history).monthly
+
+
+class TestErrors:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(CorpusError):
+            load_corpus(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 99,
+                                    "projects": []}))
+        with pytest.raises(CorpusError):
+            load_corpus(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({
+            "format_version": 1, "seed": 0,
+            "projects": [{"name": "x"}]}))
+        with pytest.raises(CorpusError):
+            load_corpus(path)

@@ -1,0 +1,88 @@
+"""Tests: dump noise never alters measurements.
+
+The central guarantee of :mod:`repro.corpus.noise`: a noisy corpus
+measures *identically* to its clean twin — same heartbeats, same
+landmarks, same classifications — while the parser records skips.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.ddlgen import realize_history
+from repro.corpus.generator import generate_corpus
+from repro.corpus.noise import decorate_dump
+from repro.corpus.planner import plan_schedule
+from repro.history.heartbeat import schema_heartbeat
+from repro.patterns.taxonomy import Pattern
+from repro.schema.builder import build_schema
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.parser import parse_script
+
+POPULATION = {Pattern.FLATLINER: 1, Pattern.RADICAL_SIGN: 2,
+              Pattern.REGULARLY_CURATED: 1}
+
+
+class TestDecorateDump:
+    def test_noise_added(self):
+        clean = "CREATE TABLE t (a INT);\n"
+        noisy = decorate_dump(clean, random.Random(1))
+        assert len(noisy) > len(clean)
+        assert "CREATE TABLE t" in noisy
+
+    def test_schema_unchanged(self):
+        clean = ("CREATE TABLE users (id INT PRIMARY KEY, email TEXT);\n"
+                 "CREATE TABLE posts (id INT, author INT);\n")
+        noisy = decorate_dump(clean, random.Random(2), Dialect.MYSQL)
+        before = build_schema(parse_script(clean, Dialect.MYSQL))
+        after = build_schema(parse_script(noisy, Dialect.MYSQL))
+        assert before == after
+
+    def test_noise_is_skipped_not_errored(self):
+        clean = "CREATE TABLE t (a INT);\n"
+        noisy = decorate_dump(clean, random.Random(3), Dialect.MYSQL)
+        script = parse_script(noisy, Dialect.MYSQL)
+        assert len(script.statements) == 1
+        assert script.skipped  # the noise
+        assert all(s.reason == "non-ddl" for s in script.skipped)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_noise_never_changes_schema_property(self, seed):
+        rng = random.Random(seed)
+        clean = ("CREATE TABLE a (x INT, y TEXT);\n"
+                 "CREATE TABLE b (z INT REFERENCES a (x));\n")
+        dialect = rng.choice(list(Dialect))
+        noisy = decorate_dump(clean, rng, dialect)
+        assert build_schema(parse_script(clean, dialect)) \
+            == build_schema(parse_script(noisy, dialect))
+
+
+class TestNoisyCorpus:
+    def test_noisy_history_measures_like_plan(self):
+        rng = random.Random(9)
+        plan = plan_schedule(rng, pup_months=30, birth_month=1,
+                             top_month=8, birth_units=20, agm=2,
+                             post_units=25)
+        history = realize_history(plan, random.Random(9), "noisy",
+                                  with_noise=True)
+        measured = {m: v for m, v
+                    in enumerate(schema_heartbeat(history).monthly) if v}
+        assert measured == plan.schedule
+        assert any(v.parse_issues for v in history.versions())
+
+    def test_noisy_corpus_same_measurements_as_clean(self):
+        from repro.study.pipeline import records_from_corpus
+        clean = generate_corpus(seed=42, population=POPULATION,
+                                with_exceptions=False)
+        noisy = generate_corpus(seed=42, population=POPULATION,
+                                with_exceptions=False, with_noise=True)
+        clean_records = records_from_corpus(clean)
+        noisy_records = records_from_corpus(noisy)
+        for a, b in zip(clean_records, noisy_records):
+            assert a.name == b.name
+            assert a.pattern is b.pattern
+            assert a.profile.heartbeat.monthly \
+                == b.profile.heartbeat.monthly
+            assert a.labeled.feature_dict() == b.labeled.feature_dict()

@@ -1,0 +1,123 @@
+"""Unit + property tests for the landmark planner."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.planner import LandmarkPlan, plan_schedule
+from repro.errors import CorpusError
+
+
+def plan(seed=0, **kwargs):
+    defaults = dict(pup_months=40, birth_month=2, top_month=10,
+                    birth_units=20, agm=2, post_units=30)
+    defaults.update(kwargs)
+    return plan_schedule(random.Random(seed), **defaults)
+
+
+class TestPlanSchedule:
+    def test_basic_plan_valid(self):
+        result = plan()
+        result.validate()
+        assert result.birth_units == 20
+        assert result.active_growth_months == 2
+        assert result.total_units <= 50
+
+    def test_top_at_birth_needs_dominant_birth(self):
+        result = plan(top_month=2, agm=0, birth_units=100, post_units=5)
+        assert result.top_month == result.birth_month
+
+    def test_top_at_birth_with_small_birth_raises(self):
+        with pytest.raises(CorpusError):
+            plan(top_month=2, agm=0, birth_units=5, post_units=100)
+
+    def test_agm_must_fit_interval(self):
+        with pytest.raises(CorpusError):
+            plan(birth_month=2, top_month=4, agm=5)
+
+    def test_agm_with_zero_interval_raises(self):
+        with pytest.raises(CorpusError):
+            plan(top_month=2, agm=1, birth_units=100, post_units=5)
+
+    def test_zero_birth_units_raises(self):
+        with pytest.raises(CorpusError):
+            plan(birth_units=0)
+
+    def test_negative_post_raises(self):
+        with pytest.raises(CorpusError):
+            plan(post_units=-1)
+
+    def test_tail_stays_under_ten_percent(self):
+        result = plan(tail_months=3, post_units=100, birth_units=50)
+        tail = sum(v for m, v in result.schedule.items()
+                   if m > result.top_month)
+        assert tail < 0.1 * result.total_units
+
+    def test_crossing_exactly_at_top(self):
+        result = plan()
+        total = result.total_units
+        running = 0
+        crossed = None
+        for month in range(result.pup_months):
+            running += result.schedule.get(month, 0)
+            if crossed is None and running >= 0.9 * total:
+                crossed = month
+        assert crossed == result.top_month
+
+
+class TestPlanValidation:
+    def test_birth_outside_pup_rejected(self):
+        bad = LandmarkPlan(pup_months=10, birth_month=12, top_month=12,
+                           schedule={12: 5})
+        with pytest.raises(CorpusError):
+            bad.validate()
+
+    def test_schedule_before_birth_rejected(self):
+        bad = LandmarkPlan(pup_months=10, birth_month=5, top_month=5,
+                           schedule={3: 2, 5: 10})
+        with pytest.raises(CorpusError):
+            bad.validate()
+
+    def test_nonpositive_units_rejected(self):
+        bad = LandmarkPlan(pup_months=10, birth_month=0, top_month=0,
+                           schedule={0: 0})
+        with pytest.raises(CorpusError):
+            bad.validate()
+
+    def test_wrong_top_rejected(self):
+        bad = LandmarkPlan(pup_months=10, birth_month=0, top_month=5,
+                           schedule={0: 100})
+        with pytest.raises(CorpusError):
+            bad.validate()
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    pup=st.integers(14, 100),
+    birth_frac=st.floats(0.0, 0.7),
+    interval_frac=st.floats(0.0, 0.3),
+    agm=st.integers(0, 4),
+    birth_units=st.integers(1, 100),
+    post_units=st.integers(0, 200),
+)
+def test_planner_output_always_validates(seed, pup, birth_frac,
+                                          interval_frac, agm, birth_units,
+                                          post_units):
+    """Whenever plan_schedule returns, its plan passes validation and the
+    landmarks equal the request."""
+    rng = random.Random(seed)
+    birth = int(birth_frac * (pup - 1))
+    top = min(birth + int(interval_frac * (pup - 1)), pup - 1)
+    try:
+        result = plan_schedule(rng, pup_months=pup, birth_month=birth,
+                               top_month=top, birth_units=birth_units,
+                               agm=agm, post_units=post_units)
+    except CorpusError:
+        return  # infeasible request: rejection is the correct answer
+    result.validate()
+    assert result.birth_month == birth
+    assert result.top_month == top
+    assert result.birth_units == birth_units
+    assert result.active_growth_months == agm

@@ -1,0 +1,114 @@
+"""Unit tests for the per-pattern landmark samplers."""
+
+import random
+
+import pytest
+
+from repro.corpus.profiles import (
+    BIRTH_BUCKETS,
+    EXCEPTION_KINDS,
+    sampler_for,
+)
+from repro.labels.quantization import DEFAULT_SCHEME
+from repro.patterns.definitions import definition_of
+from repro.patterns.taxonomy import (
+    PAPER_EXCEPTIONS,
+    PAPER_POPULATION,
+    Pattern,
+    REAL_PATTERNS,
+)
+
+
+class _PlanLabels:
+    """Label a landmark plan directly (without realizing DDL)."""
+
+    def __init__(self, plan):
+        scheme = DEFAULT_SCHEME
+        pup = plan.pup_months
+        birth, top = plan.birth_month, plan.top_month
+
+        def pct(months):
+            return months / (pup - 1) if pup > 1 else 0.0
+
+        self.birth_timing = scheme.birth_timing(birth, pct(birth))
+        self.top_band_timing = scheme.top_band_timing(top, pct(top))
+        self.interval_birth_to_top = scheme.interval_birth_to_top(
+            top - birth, pct(top - birth))
+        self.active_growth_months = plan.active_growth_months
+
+
+def bucket_of(month):
+    if month == 0:
+        return 0
+    if month <= 6:
+        return 1
+    if month <= 12:
+        return 2
+    return 3
+
+
+class TestSamplersHitDefinitions:
+    @pytest.mark.parametrize("pattern", REAL_PATTERNS)
+    def test_plans_satisfy_their_definition(self, pattern):
+        sampler = sampler_for(pattern)
+        definition = definition_of(pattern)
+        rng = random.Random(123)
+        buckets = [b for b, count in
+                   enumerate(BIRTH_BUCKETS[pattern]) if count]
+        for trial in range(12):
+            bucket = buckets[trial % len(buckets)]
+            plan = sampler.sample(rng, bucket)
+            plan.validate()
+            assert definition.matches(_PlanLabels(plan)), \
+                f"{pattern} trial {trial}"
+
+    @pytest.mark.parametrize("pattern", REAL_PATTERNS)
+    def test_plans_respect_birth_bucket(self, pattern):
+        sampler = sampler_for(pattern)
+        rng = random.Random(321)
+        for bucket, count in enumerate(BIRTH_BUCKETS[pattern]):
+            if count == 0:
+                continue
+            plan = sampler.sample(rng, bucket)
+            assert bucket_of(plan.birth_month) == bucket, \
+                f"{pattern} bucket {bucket}"
+
+    def test_unknown_pattern_raises(self):
+        with pytest.raises(KeyError):
+            sampler_for(Pattern.UNCLASSIFIED)
+
+
+class TestExceptionPlans:
+    def test_exception_kinds_match_paper_counts(self):
+        for pattern, kinds in EXCEPTION_KINDS.items():
+            assert len(kinds) == PAPER_EXCEPTIONS[pattern]
+
+    @pytest.mark.parametrize(
+        "pattern,kind",
+        [(p, k) for p, kinds in EXCEPTION_KINDS.items() for k in kinds])
+    def test_exception_violates_exactly_one_constraint(self, pattern,
+                                                       kind):
+        sampler = sampler_for(pattern)
+        definition = definition_of(pattern)
+        rng = random.Random(55)
+        buckets = [b for b, c in
+                   enumerate(BIRTH_BUCKETS[pattern]) if c]
+        for trial in range(6):
+            plan = sampler.sample(rng, buckets[trial % len(buckets)],
+                                  exception_kind=kind)
+            violations = definition.min_violations(_PlanLabels(plan))
+            assert len(violations) == 1, (pattern, kind, violations)
+
+
+class TestPaperConstants:
+    def test_bucket_totals_equal_population(self):
+        for pattern, buckets in BIRTH_BUCKETS.items():
+            assert sum(buckets) == PAPER_POPULATION[pattern]
+
+    def test_fig7_column_totals(self):
+        # Fig. 7 column sums: 52 / 38 / 13 / 48 (paper; our M7-12 column
+        # absorbs one borderline project, totals must still reach 151).
+        columns = [sum(BIRTH_BUCKETS[p][b] for p in REAL_PATTERNS)
+                   for b in range(4)]
+        assert columns[0] == 52
+        assert sum(columns) == 151

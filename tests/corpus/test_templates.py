@@ -1,0 +1,72 @@
+"""Unit tests for the DDL vocabulary (name pools, type helpers)."""
+
+import random
+
+from repro.corpus.templates import (
+    NamePool,
+    changed_type,
+    column_name_pool,
+    fresh_column_type,
+    table_name_pool,
+)
+from repro.sqlddl.ast_nodes import DataType
+from repro.sqlddl.normalize import canonical_type
+
+
+class TestNamePool:
+    def test_unique_names(self):
+        pool = table_name_pool(random.Random(1))
+        names = [pool.take() for _ in range(200)]
+        assert len(set(names)) == 200
+
+    def test_deterministic(self):
+        a = [table_name_pool(random.Random(5)).take() for _ in range(3)]
+        b = [table_name_pool(random.Random(5)).take() for _ in range(3)]
+        assert a == b
+
+    def test_fallback_to_numbered(self):
+        pool = NamePool(random.Random(0), stems=("only",))
+        first = pool.take()
+        second = pool.take()
+        assert first == "only"
+        assert second.startswith("only_")
+
+    def test_release_returns_name(self):
+        pool = NamePool(random.Random(0), stems=("x", "y"))
+        name = pool.take()
+        pool.release(name)
+        names = {pool.take(), pool.take()}
+        assert name in names
+
+    def test_column_pool_names_are_identifiers(self):
+        pool = column_name_pool(random.Random(2))
+        for _ in range(50):
+            name = pool.take()
+            assert name.replace("_", "a").isalnum()
+            assert not name[0].isdigit()
+
+
+class TestTypes:
+    def test_fresh_types_are_valid(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            data_type = fresh_column_type(rng)
+            assert isinstance(data_type, DataType)
+            assert data_type.name
+
+    def test_changed_type_always_differs_canonically(self):
+        rng = random.Random(4)
+        for _ in range(60):
+            current = fresh_column_type(rng)
+            changed = changed_type(current, rng)
+            assert canonical_type(changed) != canonical_type(current), \
+                (current, changed)
+
+    def test_changed_type_from_none(self):
+        assert changed_type(None, random.Random(0)).name == "INTEGER"
+
+    def test_changed_type_unknown_current(self):
+        rng = random.Random(5)
+        current = DataType("GEOMETRY")
+        changed = changed_type(current, rng)
+        assert changed.name != "GEOMETRY"

@@ -1,0 +1,105 @@
+"""Property-based tests for diff-engine laws.
+
+Random schemas are generated directly as model objects; the laws checked:
+
+* ``diff(s, s)`` is empty;
+* diffing against the empty schema counts every attribute exactly once;
+* forward adds and backward drops mirror each other;
+* total_affected == expansion + maintenance always.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.diff.changes import ChangeKind
+from repro.diff.engine import diff_schemas
+from repro.schema.model import Attribute, EMPTY_SCHEMA, Schema, Table
+from repro.sqlddl.ast_nodes import DataType
+
+names = st.sampled_from(
+    ["users", "orders", "items", "tags", "logs", "files", "roles"])
+col_names = st.sampled_from(
+    ["id", "name", "email", "status", "created", "total", "kind"])
+types = st.sampled_from(
+    [DataType("INTEGER"), DataType("TEXT"), DataType("BOOLEAN"),
+     DataType("VARCHAR", ("64",))])
+
+
+@st.composite
+def tables(draw):
+    name = draw(names)
+    cols = draw(st.lists(col_names, min_size=1, max_size=5, unique=True))
+    attrs = tuple(
+        Attribute(name=c, data_type=draw(types),
+                  in_primary_key=draw(st.booleans()),
+                  in_foreign_key=draw(st.booleans()))
+        for c in cols)
+    return Table(name=name, attributes=attrs)
+
+
+@st.composite
+def schemas(draw):
+    tbls = draw(st.lists(tables(), min_size=0, max_size=5))
+    seen = set()
+    unique = []
+    for table in tbls:
+        if table.name not in seen:
+            seen.add(table.name)
+            unique.append(table)
+    return Schema(tables=tuple(unique))
+
+
+@settings(max_examples=120, deadline=None)
+@given(schema=schemas())
+def test_self_diff_is_empty(schema):
+    assert diff_schemas(schema, schema).is_empty
+
+
+@settings(max_examples=120, deadline=None)
+@given(schema=schemas())
+def test_birth_counts_every_attribute(schema):
+    delta = diff_schemas(EMPTY_SCHEMA, schema)
+    assert delta.total_affected == schema.attribute_count
+    assert all(c.kind is ChangeKind.BORN_WITH_TABLE for c in delta)
+
+
+@settings(max_examples=120, deadline=None)
+@given(schema=schemas())
+def test_death_counts_every_attribute(schema):
+    delta = diff_schemas(schema, EMPTY_SCHEMA)
+    assert delta.total_affected == schema.attribute_count
+    assert all(c.kind is ChangeKind.DELETED_WITH_TABLE for c in delta)
+
+
+@settings(max_examples=120, deadline=None)
+@given(old=schemas(), new=schemas())
+def test_expansion_plus_maintenance_is_total(old, new):
+    delta = diff_schemas(old, new)
+    assert delta.expansion_count + delta.maintenance_count \
+        == delta.total_affected
+
+
+@settings(max_examples=120, deadline=None)
+@given(old=schemas(), new=schemas())
+def test_forward_and_backward_mirror(old, new):
+    forward = diff_schemas(old, new)
+    backward = diff_schemas(new, old)
+    assert forward.tables_added == backward.tables_dropped
+    assert forward.tables_dropped == backward.tables_added
+    fwd = forward.by_kind()
+    bwd = backward.by_kind()
+    assert fwd[ChangeKind.BORN_WITH_TABLE] \
+        == bwd[ChangeKind.DELETED_WITH_TABLE]
+    assert fwd[ChangeKind.INJECTED] == bwd[ChangeKind.EJECTED]
+    assert fwd[ChangeKind.TYPE_CHANGED] == bwd[ChangeKind.TYPE_CHANGED]
+    assert fwd[ChangeKind.KEY_CHANGED] == bwd[ChangeKind.KEY_CHANGED]
+
+
+@settings(max_examples=120, deadline=None)
+@given(old=schemas(), new=schemas())
+def test_each_attribute_at_most_once_per_kind(old, new):
+    delta = diff_schemas(old, new)
+    seen = set()
+    for change in delta:
+        key = (change.kind, change.table, change.attribute)
+        assert key not in seen
+        seen.add(key)

@@ -1,0 +1,74 @@
+"""Unit tests for change-breakdown aggregation."""
+
+from repro.diff.changes import ChangeKind
+from repro.diff.engine import diff_schemas
+from repro.diff.stats import ChangeBreakdown, breakdown, combine_breakdowns
+from repro.schema.builder import build_schema
+from repro.schema.model import EMPTY_SCHEMA
+from repro.sqlddl.parser import parse_script
+
+
+def schema_of(sql):
+    return build_schema(parse_script(sql))
+
+
+class TestChangeBreakdown:
+    def test_empty(self):
+        empty = ChangeBreakdown.empty()
+        assert empty.total == 0
+        assert empty.expansion == 0
+        assert empty.maintenance == 0
+        assert empty.expansion_fraction == 0.0
+
+    def test_from_counts_partial(self):
+        bd = ChangeBreakdown.from_counts({ChangeKind.INJECTED: 3})
+        assert bd.total == 3
+        assert bd.count(ChangeKind.INJECTED) == 3
+        assert bd.count(ChangeKind.EJECTED) == 0
+
+    def test_expansion_maintenance_split(self):
+        bd = ChangeBreakdown.from_counts({
+            ChangeKind.BORN_WITH_TABLE: 4,
+            ChangeKind.INJECTED: 1,
+            ChangeKind.EJECTED: 2,
+            ChangeKind.TYPE_CHANGED: 3,
+        })
+        assert bd.expansion == 5
+        assert bd.maintenance == 5
+        assert bd.expansion_fraction == 0.5
+
+    def test_counts_returns_fresh_dict(self):
+        bd = ChangeBreakdown.empty()
+        bd.counts[ChangeKind.INJECTED] = 99
+        assert bd.count(ChangeKind.INJECTED) == 0
+
+
+class TestBreakdownOfDiff:
+    def test_birth(self):
+        delta = diff_schemas(EMPTY_SCHEMA,
+                             schema_of("CREATE TABLE t (a INT, b INT);"))
+        bd = breakdown(delta)
+        assert bd.count(ChangeKind.BORN_WITH_TABLE) == 2
+        assert bd.expansion_fraction == 1.0
+
+    def test_mixed_change(self):
+        delta = diff_schemas(
+            schema_of("CREATE TABLE t (a INT, b INT);"),
+            schema_of("CREATE TABLE t (a TEXT, c INT);"))
+        bd = breakdown(delta)
+        assert bd.count(ChangeKind.INJECTED) == 1   # c
+        assert bd.count(ChangeKind.EJECTED) == 1    # b
+        assert bd.count(ChangeKind.TYPE_CHANGED) == 1  # a
+
+
+class TestCombine:
+    def test_combine_sums(self):
+        a = ChangeBreakdown.from_counts({ChangeKind.INJECTED: 1})
+        b = ChangeBreakdown.from_counts({ChangeKind.INJECTED: 2,
+                                         ChangeKind.EJECTED: 5})
+        combined = combine_breakdowns([a, b])
+        assert combined.count(ChangeKind.INJECTED) == 3
+        assert combined.count(ChangeKind.EJECTED) == 5
+
+    def test_combine_empty_iterable(self):
+        assert combine_breakdowns([]).total == 0

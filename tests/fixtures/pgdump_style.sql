@@ -1,0 +1,76 @@
+--
+-- PostgreSQL database dump (pg_dump style, abridged, synthetic)
+--
+
+SET statement_timeout = 0;
+SET client_encoding = 'UTF8';
+SET standard_conforming_strings = on;
+SELECT pg_catalog.set_config('search_path', '', false);
+
+CREATE TABLE public.projects (
+    id integer NOT NULL,
+    name character varying(120) NOT NULL,
+    description text,
+    budget numeric(12,2) DEFAULT 0.00,
+    started_on date,
+    is_active boolean DEFAULT true NOT NULL,
+    created_at timestamp without time zone DEFAULT now()
+);
+
+ALTER TABLE public.projects OWNER TO appuser;
+
+CREATE SEQUENCE public.projects_id_seq
+    AS integer
+    START WITH 1
+    INCREMENT BY 1
+    NO MINVALUE
+    NO MAXVALUE
+    CACHE 1;
+
+ALTER SEQUENCE public.projects_id_seq OWNED BY public.projects.id;
+
+CREATE TABLE public.tasks (
+    id bigint NOT NULL,
+    project_id integer NOT NULL,
+    title character varying(200) NOT NULL,
+    state character varying(20) DEFAULT 'open'::character varying,
+    estimate double precision,
+    due_at timestamp with time zone,
+    assignee_id integer
+);
+
+CREATE TABLE public.people (
+    id integer NOT NULL,
+    full_name character varying(160) NOT NULL,
+    email character varying(255)
+);
+
+ALTER TABLE ONLY public.projects
+    ADD CONSTRAINT projects_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.tasks
+    ADD CONSTRAINT tasks_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.people
+    ADD CONSTRAINT people_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.tasks
+    ADD CONSTRAINT tasks_project_id_fkey FOREIGN KEY (project_id)
+    REFERENCES public.projects(id) ON DELETE CASCADE;
+
+ALTER TABLE ONLY public.tasks
+    ADD CONSTRAINT tasks_assignee_fkey FOREIGN KEY (assignee_id)
+    REFERENCES public.people(id) ON DELETE SET NULL;
+
+CREATE INDEX tasks_state_idx ON public.tasks USING btree (state);
+
+CREATE VIEW public.open_tasks AS
+ SELECT t.id, t.title, p.name AS project_name
+   FROM public.tasks t
+   JOIN public.projects p ON p.id = t.project_id
+  WHERE t.state = 'open';
+
+COPY public.people (id, full_name, email) FROM stdin;
+\.
+
+GRANT SELECT ON TABLE public.open_tasks TO readonly;

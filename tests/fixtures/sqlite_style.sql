@@ -1,0 +1,24 @@
+-- SQLite .dump style (abridged, synthetic)
+PRAGMA foreign_keys=OFF;
+BEGIN TRANSACTION;
+CREATE TABLE config (key TEXT PRIMARY KEY, value);
+CREATE TABLE notes (
+  id INTEGER PRIMARY KEY AUTOINCREMENT,
+  title TEXT NOT NULL,
+  body TEXT,
+  pinned BOOLEAN DEFAULT 0,
+  created_at TIMESTAMP DEFAULT CURRENT_TIMESTAMP
+);
+CREATE TABLE tags (
+  id INTEGER PRIMARY KEY,
+  label TEXT UNIQUE NOT NULL
+);
+CREATE TABLE note_tags (
+  note_id INTEGER REFERENCES notes (id) ON DELETE CASCADE,
+  tag_id INTEGER REFERENCES tags (id) ON DELETE CASCADE,
+  PRIMARY KEY (note_id, tag_id)
+);
+INSERT INTO config VALUES('schema_version','7');
+INSERT INTO notes VALUES(1,'hello','world',0,'2021-01-01');
+CREATE INDEX idx_notes_pinned ON notes (pinned);
+COMMIT;

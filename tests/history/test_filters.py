@@ -1,0 +1,93 @@
+"""Unit tests for the corpus-selection protocol."""
+
+from datetime import datetime
+
+from repro.history.filters import (
+    ExclusionRecord,
+    filter_study_corpus,
+    is_noise_name,
+)
+from tests.conftest import make_history
+
+DDL = "CREATE TABLE t (a INT);"
+
+
+def long_history(name="good-project"):
+    return make_history([DDL], name=name,
+                        project_start=datetime(2020, 1, 1),
+                        project_end=datetime(2022, 1, 1))
+
+
+def short_history(name="short-project"):
+    return make_history([DDL], name=name,
+                        project_start=datetime(2020, 1, 1),
+                        project_end=datetime(2020, 12, 1))
+
+
+def empty_history(name="empty-project"):
+    return make_history(["-- no tables at all"], name=name,
+                        project_start=datetime(2020, 1, 1),
+                        project_end=datetime(2022, 1, 1))
+
+
+class TestNoiseNames:
+    def test_matches_fragments(self):
+        for name in ("my-example", "DemoApp", "unit-tests",
+                     "db-migrations"):
+            assert is_noise_name(name)
+
+    def test_clean_names_pass(self):
+        for name in ("wordpress", "gitlab", "mediawiki"):
+            assert not is_noise_name(name)
+
+
+class TestFilterProtocol:
+    def test_keeps_good_projects(self):
+        result = filter_study_corpus([long_history()])
+        assert result.kept_count == 1
+        assert result.excluded == ()
+
+    def test_drops_short_lifespan(self):
+        result = filter_study_corpus([short_history()])
+        assert result.kept_count == 0
+        assert result.excluded[0].reason == "short-lifespan"
+
+    def test_exactly_12_months_dropped(self):
+        # The paper keeps projects with *more than* 12 months.
+        history = make_history([DDL], name="year",
+                               project_start=datetime(2020, 1, 1),
+                               project_end=datetime(2020, 12, 31))
+        assert history.pup_months == 12
+        result = filter_study_corpus([history])
+        assert result.kept_count == 0
+
+    def test_drops_zero_evolution(self):
+        result = filter_study_corpus([empty_history()])
+        assert result.excluded[0].reason == "zero-evolution"
+
+    def test_drops_noise_names(self):
+        result = filter_study_corpus([long_history("schema-test-bed")])
+        assert result.excluded[0].reason == "noise-name"
+
+    def test_reason_priority_noise_first(self):
+        result = filter_study_corpus([short_history("demo-thing")])
+        assert result.excluded[0].reason == "noise-name"
+
+    def test_flags_togglable(self):
+        histories = [empty_history(), long_history("examples-repo")]
+        result = filter_study_corpus(histories,
+                                     drop_zero_evolution=False,
+                                     drop_noise_names=False)
+        assert result.kept_count == 2
+
+    def test_mixed_corpus_accounting(self):
+        histories = [long_history("a"), short_history("b"),
+                     empty_history("c"), long_history("test-d")]
+        result = filter_study_corpus(histories)
+        assert result.kept_count == 1
+        assert result.excluded_by_reason() == {
+            "short-lifespan": 1, "zero-evolution": 1, "noise-name": 1}
+
+    def test_generated_corpus_fully_survives(self, small_corpus):
+        result = filter_study_corpus(p.history for p in small_corpus)
+        assert result.kept_count == len(small_corpus)

@@ -1,0 +1,132 @@
+"""Unit and property tests for activity series and schema heartbeats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diff.changes import ChangeKind
+from repro.errors import MetricError
+from repro.history.heartbeat import ActivitySeries, schema_heartbeat
+from tests.conftest import make_history
+
+
+class TestActivitySeriesBasics:
+    def test_totals(self):
+        series = ActivitySeries((3, 0, 2))
+        assert series.total == 5
+        assert series.months == 3
+        assert series.active_month_indices == (0, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(MetricError):
+            ActivitySeries(())
+
+    def test_negative_raises(self):
+        with pytest.raises(MetricError):
+            ActivitySeries((1, -1))
+
+    def test_misaligned_breakdowns_raise(self):
+        from repro.diff.stats import ChangeBreakdown
+        with pytest.raises(MetricError):
+            ActivitySeries((1, 2), breakdowns=(ChangeBreakdown.empty(),))
+
+    def test_cumulative(self):
+        assert ActivitySeries((1, 0, 2, 3)).cumulative() == (1, 1, 3, 6)
+
+    def test_cumulative_fraction(self):
+        assert ActivitySeries((1, 0, 3)).cumulative_fraction() \
+            == (0.25, 0.25, 1.0)
+
+    def test_zero_total_fraction_is_zero(self):
+        assert ActivitySeries((0, 0)).cumulative_fraction() == (0.0, 0.0)
+
+
+class TestSampling:
+    def test_fraction_at_bounds(self):
+        series = ActivitySeries((1, 0, 0, 1))
+        assert series.fraction_at(0.0) == 0.5
+        assert series.fraction_at(1.0) == 1.0
+
+    def test_fraction_at_out_of_range(self):
+        series = ActivitySeries((1,))
+        with pytest.raises(MetricError):
+            series.fraction_at(1.5)
+        with pytest.raises(MetricError):
+            series.fraction_at(-0.1)
+
+    def test_sample_length(self):
+        series = ActivitySeries((1, 2, 3))
+        assert len(series.sample(20)) == 20
+
+    def test_sample_needs_positive_points(self):
+        with pytest.raises(MetricError):
+            ActivitySeries((1,)).sample(0)
+
+    def test_single_month_sample(self):
+        assert ActivitySeries((5,)).sample(4) == (1.0, 1.0, 1.0, 1.0)
+
+
+class TestLandmarkHelpers:
+    def test_first_active_month(self):
+        assert ActivitySeries((0, 0, 4)).first_active_month() == 2
+        assert ActivitySeries((0, 0)).first_active_month() is None
+
+    def test_month_reaching_fraction(self):
+        series = ActivitySeries((5, 0, 4, 1))
+        assert series.month_reaching_fraction(0.5) == 0
+        assert series.month_reaching_fraction(0.9) == 2
+        assert series.month_reaching_fraction(1.0) == 3
+
+    def test_month_reaching_fraction_zero_total(self):
+        assert ActivitySeries((0, 0)).month_reaching_fraction(0.9) is None
+
+    def test_exact_boundary_counts(self):
+        series = ActivitySeries((9, 1))
+        assert series.month_reaching_fraction(0.9) == 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(monthly=st.lists(st.integers(0, 50), min_size=1, max_size=60))
+def test_cumulative_fraction_monotone_and_bounded(monthly):
+    series = ActivitySeries(tuple(monthly))
+    fractions = series.cumulative_fraction()
+    assert all(0.0 <= f <= 1.0 + 1e-12 for f in fractions)
+    assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+    if series.total > 0:
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(monthly=st.lists(st.integers(0, 50), min_size=1, max_size=60),
+       points=st.integers(1, 40))
+def test_sample_monotone(monthly, points):
+    series = ActivitySeries(tuple(monthly))
+    sample = series.sample(points)
+    assert len(sample) == points
+    assert all(a <= b + 1e-12 for a, b in zip(sample, sample[1:]))
+
+
+class TestSchemaHeartbeat:
+    def test_counts_affected_attributes_per_month(self, simple_history):
+        series = schema_heartbeat(simple_history)
+        # month 0: 2 born; month 1: 3 born; month 2: 1 type change
+        assert series.monthly[:3] == (2, 3, 1)
+        assert series.total == 6
+        assert series.months == simple_history.pup_months
+
+    def test_breakdowns_align(self, simple_history):
+        series = schema_heartbeat(simple_history)
+        assert series.breakdowns[0].count(ChangeKind.BORN_WITH_TABLE) == 2
+        assert series.breakdowns[2].count(ChangeKind.TYPE_CHANGED) == 1
+
+    def test_multiple_commits_in_one_month_sum(self):
+        ddl1 = "CREATE TABLE a (x INT);"
+        ddl2 = ddl1 + " CREATE TABLE b (y INT);"
+        history = make_history([ddl1, ddl2], months_apart=0)
+        series = schema_heartbeat(history)
+        assert series.monthly[0] == 2
+
+    def test_no_change_commit_contributes_zero(self):
+        ddl = "CREATE TABLE a (x INT);"
+        history = make_history([ddl, ddl])
+        series = schema_heartbeat(history)
+        assert series.total == 1

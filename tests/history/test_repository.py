@@ -1,0 +1,159 @@
+"""Unit tests for schema histories: construction, loading, saving."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.history.commit import Commit
+from repro.history.repository import (
+    SchemaHistory,
+    load_history_from_directory,
+    load_history_from_jsonl,
+    month_index,
+    save_history_to_jsonl,
+)
+from repro.sqlddl.dialect import Dialect
+
+DDL = "CREATE TABLE t (a INT);"
+
+
+def commit(year, month, day=15, sha=None, ddl=DDL):
+    return Commit(sha=sha or f"{year}-{month}",
+                  timestamp=datetime(year, month, day), ddl_text=ddl)
+
+
+class TestMonthIndex:
+    def test_same_month(self):
+        assert month_index(datetime(2020, 3, 1), datetime(2020, 3, 31)) == 0
+
+    def test_next_month(self):
+        assert month_index(datetime(2020, 3, 1), datetime(2020, 4, 1)) == 1
+
+    def test_across_years(self):
+        assert month_index(datetime(2019, 11, 1),
+                           datetime(2021, 2, 1)) == 15
+
+
+class TestConstruction:
+    def test_sorts_commits(self):
+        history = SchemaHistory("p", [commit(2021, 5), commit(2020, 1)])
+        assert history.commits[0].timestamp.year == 2020
+
+    def test_defaults_window_to_commits(self):
+        history = SchemaHistory("p", [commit(2020, 1), commit(2020, 6)])
+        assert history.project_start == datetime(2020, 1, 15)
+        assert history.pup_months == 6
+
+    def test_explicit_window(self):
+        history = SchemaHistory(
+            "p", [commit(2020, 6)],
+            project_start=datetime(2020, 1, 1),
+            project_end=datetime(2020, 12, 31))
+        assert history.pup_months == 12
+        assert history.commit_month(history.commits[0]) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(HistoryError):
+            SchemaHistory("p", [])
+
+    def test_start_after_first_commit_raises(self):
+        with pytest.raises(HistoryError):
+            SchemaHistory("p", [commit(2020, 1)],
+                          project_start=datetime(2020, 6, 1))
+
+    def test_end_before_last_commit_raises(self):
+        with pytest.raises(HistoryError):
+            SchemaHistory("p", [commit(2020, 6)],
+                          project_end=datetime(2020, 1, 1))
+
+    def test_len(self):
+        assert len(SchemaHistory("p", [commit(2020, 1)])) == 1
+
+
+class TestVersions:
+    def test_versions_parse_schemas(self):
+        history = SchemaHistory("p", [commit(2020, 1)])
+        versions = history.versions()
+        assert versions[0].schema.table("t") is not None
+
+    def test_versions_cached(self):
+        history = SchemaHistory("p", [commit(2020, 1)])
+        assert history.versions() is history.versions()
+
+    def test_parse_issues_counted(self):
+        noisy = "INSERT INTO x VALUES (1); CREATE TABLE t (a INT);"
+        history = SchemaHistory("p", [commit(2020, 1, ddl=noisy)])
+        assert history.versions()[0].parse_issues == 1
+
+    def test_version_timestamp_shortcut(self):
+        history = SchemaHistory("p", [commit(2020, 1)])
+        assert history.versions()[0].timestamp == datetime(2020, 1, 15)
+
+
+class TestDirectoryLoading:
+    def test_loads_sorted(self, tmp_path):
+        (tmp_path / "2020-03-01.sql").write_text(DDL)
+        (tmp_path / "2020-01-01.sql").write_text(DDL)
+        history = load_history_from_directory(tmp_path, "proj")
+        assert history.project_name == "proj"
+        assert len(history) == 2
+        assert history.commits[0].timestamp == datetime(2020, 1, 1)
+
+    def test_timestamp_with_time(self, tmp_path):
+        (tmp_path / "2020-01-02T0930.sql").write_text(DDL)
+        history = load_history_from_directory(tmp_path)
+        assert history.commits[0].timestamp == datetime(2020, 1, 2, 9, 30)
+
+    def test_ignores_unnamed_files(self, tmp_path):
+        (tmp_path / "2020-01-01.sql").write_text(DDL)
+        (tmp_path / "readme.sql").write_text(DDL)
+        assert len(load_history_from_directory(tmp_path)) == 1
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(HistoryError):
+            load_history_from_directory(tmp_path)
+
+
+class TestJsonlRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        history = SchemaHistory(
+            "proj", [commit(2020, 2), commit(2020, 7)],
+            project_start=datetime(2020, 1, 1),
+            project_end=datetime(2021, 1, 1),
+            dialect=Dialect.MYSQL)
+        path = tmp_path / "history.jsonl"
+        save_history_to_jsonl(history, path)
+        loaded = load_history_from_jsonl(path)
+        assert loaded.project_name == "proj"
+        assert loaded.pup_months == history.pup_months
+        assert loaded.dialect is Dialect.MYSQL
+        assert [c.ddl_text for c in loaded.commits] \
+            == [c.ddl_text for c in history.commits]
+
+    def test_load_without_header(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(
+            '{"sha": "a", "timestamp": "2020-01-15T00:00:00", '
+            '"ddl": "CREATE TABLE t (a INT);"}\n')
+        history = load_history_from_jsonl(path)
+        assert history.project_name == "h"
+        assert len(history) == 1
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(HistoryError):
+            load_history_from_jsonl(path)
+
+    def test_missing_timestamp_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"sha": "a", "ddl": "x"}\n')
+        with pytest.raises(HistoryError):
+            load_history_from_jsonl(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(HistoryError):
+            load_history_from_jsonl(path)

@@ -1,0 +1,63 @@
+"""Unit tests for the size-over-time series."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.history.sizes import SizeSeries, size_series
+from tests.conftest import make_history
+from datetime import datetime
+
+
+class TestSizeSeries:
+    def test_forward_fill(self):
+        history = make_history(
+            ["CREATE TABLE t (a INT);",
+             "CREATE TABLE t (a INT, b INT); CREATE TABLE u (c INT);"],
+            months_apart=2,
+            project_end=datetime(2020, 7, 1))
+        series = size_series(history)
+        assert series.months == 7
+        assert series.tables == (1, 1, 2, 2, 2, 2, 2)
+        assert series.attributes == (1, 1, 3, 3, 3, 3, 3)
+
+    def test_zero_before_birth(self):
+        history = make_history(
+            ["CREATE TABLE t (a INT);"],
+            start_month=2,
+            project_start=datetime(2020, 1, 1),
+            project_end=datetime(2020, 12, 31))
+        series = size_series(history)
+        assert series.tables[:2] == (0, 0)
+        assert series.tables[2] == 1
+
+    def test_growth_and_shrink_months(self):
+        history = make_history(
+            ["CREATE TABLE t (a INT, b INT);",
+             "CREATE TABLE t (a INT);",
+             "CREATE TABLE t (a INT, b INT, c INT);"])
+        series = size_series(history)
+        assert series.growth_months() == (0, 2)
+        assert series.shrink_months() == (1,)
+
+    def test_final_and_peak(self):
+        history = make_history(
+            ["CREATE TABLE t (a INT, b INT, c INT);",
+             "CREATE TABLE t (a INT);"])
+        series = size_series(history)
+        assert series.peak_attributes == 3
+        assert series.final_attributes == 1
+        assert series.final_tables == 1
+
+    def test_multiple_commits_in_month_last_wins(self):
+        history = make_history(
+            ["CREATE TABLE t (a INT);",
+             "CREATE TABLE t (a INT, b INT);"],
+            months_apart=0)
+        series = size_series(history)
+        assert series.attributes[0] == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(MetricError):
+            SizeSeries(tables=(), attributes=())
+        with pytest.raises(MetricError):
+            SizeSeries(tables=(1,), attributes=(1, 2))

@@ -1,0 +1,36 @@
+"""Unit tests for the synthetic source-code series."""
+
+import random
+
+from repro.history.sourcecode import synthetic_source_series
+
+
+class TestSyntheticSource:
+    def test_length_matches_months(self):
+        series = synthetic_source_series(24, random.Random(1))
+        assert series.months == 24
+
+    def test_endpoints_always_active(self):
+        for seed in range(10):
+            series = synthetic_source_series(18, random.Random(seed))
+            assert series.monthly[0] > 0
+            assert series.monthly[-1] > 0
+
+    def test_deterministic_under_seed(self):
+        a = synthetic_source_series(30, random.Random(7))
+        b = synthetic_source_series(30, random.Random(7))
+        assert a.monthly == b.monthly
+
+    def test_single_month(self):
+        series = synthetic_source_series(1, random.Random(3))
+        assert series.months == 1
+        assert series.total > 0
+
+    def test_quiet_months_occur(self):
+        series = synthetic_source_series(
+            120, random.Random(5), quiet_probability=0.5)
+        assert 0 in series.monthly
+
+    def test_all_nonnegative(self):
+        series = synthetic_source_series(60, random.Random(11))
+        assert min(series.monthly) >= 0

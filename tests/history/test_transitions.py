@@ -1,0 +1,44 @@
+"""Unit tests for per-version transitions."""
+
+from repro.diff.changes import ChangeKind
+from repro.history.transitions import compute_transitions
+from tests.conftest import make_history
+
+
+class TestTransitions:
+    def test_first_transition_is_birth(self, simple_history):
+        transitions = compute_transitions(simple_history)
+        assert transitions[0].is_birth
+        assert transitions[0].previous is None
+        assert all(not t.is_birth for t in transitions[1:])
+
+    def test_birth_diff_counts_initial_attributes(self, simple_history):
+        birth = compute_transitions(simple_history)[0]
+        assert birth.diff.total_affected == 2
+        assert all(c.kind is ChangeKind.BORN_WITH_TABLE
+                   for c in birth.diff)
+
+    def test_months_follow_commits(self, simple_history):
+        transitions = compute_transitions(simple_history)
+        assert [t.month for t in transitions] == [0, 1, 2]
+
+    def test_chain_links_versions(self, simple_history):
+        transitions = compute_transitions(simple_history)
+        assert transitions[1].previous is transitions[0].version
+        assert transitions[2].previous is transitions[1].version
+
+    def test_single_commit_history(self):
+        history = make_history(["CREATE TABLE t (a INT);"])
+        transitions = compute_transitions(history)
+        assert len(transitions) == 1
+        assert transitions[0].diff.total_affected == 1
+
+    def test_late_birth_month_offset(self):
+        from datetime import datetime
+        history = make_history(["CREATE TABLE t (a INT);"],
+                               project_start=datetime(2019, 1, 1),
+                               project_end=datetime(2022, 1, 1),
+                               start_month=14)
+        transitions = compute_transitions(history)
+        # Commits are placed relative to 2020; project starts 2019-01.
+        assert transitions[0].month == 12 + 14

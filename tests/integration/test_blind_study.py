@@ -1,0 +1,71 @@
+"""Integration: the study run fully blind (no generator ground truth).
+
+``records_from_histories`` classifies every history from its measured
+labels alone — the situation a user with a real GitHub corpus is in.
+The paper's headline shapes must survive without the ground-truth
+assignments (only the 8 injected exception projects may drift to a
+neighboring pattern).
+"""
+
+import pytest
+
+from repro.patterns.taxonomy import Family, Pattern, family_of
+from repro.study.pipeline import (
+    records_from_corpus,
+    records_from_histories,
+    run_study,
+)
+
+
+@pytest.fixture(scope="module")
+def blind_results(full_corpus):
+    histories = [p.history for p in full_corpus]
+    return run_study(records_from_histories(histories))
+
+
+class TestBlindStudy:
+    def test_everything_classified(self, blind_results):
+        assert blind_results.total == 151
+        unclassified = sum(1 for r in blind_results.records
+                           if r.pattern is Pattern.UNCLASSIFIED)
+        assert unclassified == 0
+
+    def test_agreement_with_ground_truth(self, full_corpus,
+                                         blind_results):
+        truth = {p.name: p.intended_pattern for p in full_corpus}
+        disagreements = [r.name for r in blind_results.records
+                         if r.pattern is not truth[r.name]]
+        # Only the 8 injected exception projects may land elsewhere.
+        exceptional = {p.name for p in full_corpus if p.is_exception}
+        assert set(disagreements) <= exceptional
+        assert len(disagreements) <= 8
+
+    def test_family_shares_survive(self, blind_results):
+        by_family = {family: 0 for family in Family}
+        for record in blind_results.records:
+            by_family[family_of(record.pattern)] += 1
+        total = blind_results.total
+        assert by_family[Family.BE_QUICK_OR_BE_DEAD] / total \
+            == pytest.approx(2 / 3, abs=0.06)
+        assert by_family[Family.STAIRWAY_TO_HEAVEN] / total \
+            == pytest.approx(0.25, abs=0.06)
+        assert by_family[Family.SCARED_TO_FALL_ASLEEP_AGAIN] / total \
+            == pytest.approx(0.11, abs=0.06)
+
+    def test_exception_flags_only_on_near_misses(self, blind_results):
+        flagged = [r for r in blind_results.records if r.is_exception]
+        # Tolerant classification flags near misses; strict matches
+        # never carry the flag.
+        from repro.patterns.classifier import classify
+        for record in flagged:
+            assert classify(record.labeled) is Pattern.UNCLASSIFIED
+
+    def test_headline_stats_match_ground_truth_study(self, full_study,
+                                                     blind_results):
+        # Label-level statistics are classification-independent: they
+        # must be identical between the two runs.
+        assert blind_results.stats34 == full_study.stats34
+        assert blind_results.table1.rows == full_study.table1.rows
+
+    def test_tree_still_separates(self, blind_results):
+        assert len(blind_results.tree_misclassified) <= 8

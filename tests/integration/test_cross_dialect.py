@@ -1,0 +1,112 @@
+"""Integration: the same logical schema spelled in three dialects.
+
+Dialect-specific spellings (backticks vs double quotes, AUTO_INCREMENT
+vs SERIAL vs AUTOINCREMENT, display widths, inline vs table-level
+constraints) must all build the *same* logical schema — the property
+that makes histories comparable when a project migrates engines.
+"""
+
+from repro.diff.engine import diff_schemas
+from repro.schema.builder import build_schema
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.parser import parse_script
+
+MYSQL = """
+CREATE TABLE `users` (
+  `id` INT(11) NOT NULL AUTO_INCREMENT,
+  `email` VARCHAR(255) NOT NULL,
+  `is_admin` TINYINT(1) NOT NULL DEFAULT 0,
+  `balance` NUMERIC(10,2),
+  PRIMARY KEY (`id`),
+  UNIQUE KEY `uq_email` (`email`)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4;
+
+CREATE TABLE `sessions` (
+  `token` VARCHAR(64) NOT NULL,
+  `user_id` INT(11) NOT NULL,
+  PRIMARY KEY (`token`),
+  CONSTRAINT `fk_user` FOREIGN KEY (`user_id`)
+    REFERENCES `users` (`id`) ON DELETE CASCADE
+) ENGINE=InnoDB;
+"""
+
+POSTGRES = """
+CREATE TABLE public.users (
+    id serial NOT NULL,
+    email character varying(255) NOT NULL,
+    is_admin boolean NOT NULL DEFAULT false,
+    balance numeric(10,2)
+);
+ALTER TABLE ONLY public.users ADD CONSTRAINT users_pkey
+    PRIMARY KEY (id);
+ALTER TABLE ONLY public.users ADD CONSTRAINT uq_email UNIQUE (email);
+
+CREATE TABLE public.sessions (
+    token character varying(64) NOT NULL,
+    user_id integer NOT NULL
+);
+ALTER TABLE ONLY public.sessions ADD CONSTRAINT sessions_pkey
+    PRIMARY KEY (token);
+ALTER TABLE ONLY public.sessions ADD CONSTRAINT fk_user
+    FOREIGN KEY (user_id) REFERENCES public.users(id)
+    ON DELETE CASCADE;
+"""
+
+SQLITE = """
+CREATE TABLE users (
+  id INTEGER NOT NULL PRIMARY KEY,
+  email VARCHAR(255) NOT NULL UNIQUE,
+  is_admin BOOLEAN NOT NULL DEFAULT 0,
+  balance DECIMAL(10,2)
+);
+CREATE TABLE sessions (
+  token VARCHAR(64) NOT NULL PRIMARY KEY,
+  user_id INTEGER NOT NULL REFERENCES users (id) ON DELETE CASCADE
+);
+"""
+
+
+def schema_for(sql, dialect):
+    script = parse_script(sql, dialect)
+    assert all(s.reason == "non-ddl" for s in script.skipped), \
+        script.skipped
+    return build_schema(script)
+
+
+class TestCrossDialect:
+    def test_mysql_vs_postgres_no_logical_diff(self):
+        mysql = schema_for(MYSQL, Dialect.MYSQL)
+        postgres = schema_for(POSTGRES, Dialect.POSTGRES)
+        delta = diff_schemas(mysql, postgres)
+        assert delta.total_affected == 0, list(delta)
+        assert delta.tables_added == ()
+        assert delta.tables_dropped == ()
+
+    def test_mysql_vs_sqlite_no_logical_diff(self):
+        mysql = schema_for(MYSQL, Dialect.MYSQL)
+        sqlite = schema_for(SQLITE, Dialect.SQLITE)
+        delta = diff_schemas(mysql, sqlite)
+        assert delta.total_affected == 0, list(delta)
+
+    def test_canonical_types_identical(self):
+        mysql = schema_for(MYSQL, Dialect.MYSQL)
+        postgres = schema_for(POSTGRES, Dialect.POSTGRES)
+        for table_name in ("users", "sessions"):
+            m_table = mysql.table(table_name)
+            p_table = postgres.table(table_name)
+            for attr in m_table.attributes:
+                other = p_table.attribute(attr.name)
+                assert other is not None, attr.name
+                assert attr.data_type == other.data_type, attr.name
+
+    def test_key_participation_identical(self):
+        schemas = [schema_for(MYSQL, Dialect.MYSQL),
+                   schema_for(POSTGRES, Dialect.POSTGRES),
+                   schema_for(SQLITE, Dialect.SQLITE)]
+        for schema in schemas:
+            users = schema.table("users")
+            sessions = schema.table("sessions")
+            assert users.primary_key == ("id",)
+            assert sessions.primary_key == ("token",)
+            assert sessions.attribute("user_id").in_foreign_key
+            assert ("email",) in users.unique_keys

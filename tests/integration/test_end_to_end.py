@@ -1,0 +1,167 @@
+"""End-to-end integration tests: DDL text in, paper results out."""
+
+from datetime import datetime
+
+import pytest
+
+from repro import quick_profile
+from repro.corpus.generator import generate_corpus
+from repro.history.commit import Commit
+from repro.history.repository import SchemaHistory
+from repro.labels.quantization import label_profile
+from repro.metrics.profile import ProjectProfile
+from repro.patterns.classifier import classify
+from repro.patterns.taxonomy import Family, Pattern, family_of
+from repro.study.pipeline import records_from_corpus, run_study
+
+
+class TestHandWrittenHistory:
+    """A curated, human-verifiable project from raw SQL to a pattern."""
+
+    def build(self):
+        base = """
+        -- web shop schema, v1
+        CREATE TABLE users (
+          id INT PRIMARY KEY AUTO_INCREMENT,
+          email VARCHAR(255) NOT NULL UNIQUE,
+          created_at TIMESTAMP DEFAULT CURRENT_TIMESTAMP
+        ) ENGINE=InnoDB;
+        CREATE TABLE products (
+          id INT PRIMARY KEY,
+          title VARCHAR(128),
+          price DECIMAL(10,2)
+        );
+        """
+        with_orders = base + """
+        CREATE TABLE orders (
+          id INT PRIMARY KEY,
+          user_id INT REFERENCES users (id) ON DELETE CASCADE,
+          total DECIMAL(10,2),
+          placed_at TIMESTAMP
+        );
+        """
+        refactored = with_orders.replace("VARCHAR(128)", "TEXT")
+        commits = [
+            Commit("v1", datetime(2018, 1, 3), base),
+            Commit("v2", datetime(2018, 2, 14), with_orders),
+            Commit("v3", datetime(2018, 3, 2), refactored),
+        ]
+        return SchemaHistory("webshop", commits,
+                             project_start=datetime(2018, 1, 1),
+                             project_end=datetime(2021, 12, 31))
+
+    def test_measures(self):
+        profile = ProjectProfile.from_history(self.build())
+        assert profile.pup_months == 48
+        assert profile.totals.schema_size_at_birth == 6
+        assert profile.heartbeat.monthly[:3] == (6, 4, 1)
+        assert profile.landmarks.top_band_month == 1
+
+    def test_classifies_radical_sign(self):
+        labeled = quick_profile(self.build())
+        assert classify(labeled) is Pattern.RADICAL_SIGN
+        assert family_of(Pattern.RADICAL_SIGN) \
+            is Family.BE_QUICK_OR_BE_DEAD
+
+
+class TestFullReproduction:
+    """The headline shapes of the paper, asserted end to end."""
+
+    def test_family_shares(self, full_study):
+        records = full_study.records
+        by_family = {family: 0 for family in Family}
+        for record in records:
+            by_family[family_of(record.pattern)] += 1
+        total = len(records)
+        # Paper: ~2/3, ~25 %, ~11 %.
+        assert by_family[Family.BE_QUICK_OR_BE_DEAD] / total \
+            == pytest.approx(2 / 3, abs=0.05)
+        assert by_family[Family.STAIRWAY_TO_HEAVEN] / total \
+            == pytest.approx(0.25, abs=0.05)
+        assert by_family[Family.SCARED_TO_FALL_ASLEEP_AGAIN] / total \
+            == pytest.approx(0.11, abs=0.05)
+
+    def test_birth_statistics_shape(self, full_study):
+        stats = full_study.stats34
+        # ~1/3 born at V0; ~2/3 born by 25 % of life; ~half in the
+        # first 10 %.
+        assert 48 <= stats.born_at_v0 <= 56
+        assert 95 <= stats.born_first_25pct <= 115
+        assert 65 <= stats.born_first_10pct <= 95
+
+    def test_aversion_to_change(self, full_study):
+        stats = full_study.stats34
+        # Paper: 98/151 zero active growth months; 76 % at most one.
+        assert stats.zero_active_growth >= 80
+        assert stats.at_most_one_active_growth / stats.total >= 0.65
+
+    def test_activity_medians_ordering(self, full_study):
+        activity = {row.pattern: row.median_post_birth
+                    for row in full_study.activity.rows}
+        # Order-of-magnitude split between the quiet and busy patterns.
+        quiet_max = max(activity[Pattern.FLATLINER],
+                        activity[Pattern.RADICAL_SIGN],
+                        activity[Pattern.SIGMOID],
+                        activity[Pattern.LATE_RISER],
+                        activity[Pattern.SIESTA],
+                        activity[Pattern.QUANTUM_STEPS])
+        busy_min = min(activity[Pattern.SMOKING_FUNNEL],
+                       activity[Pattern.REGULARLY_CURATED])
+        assert busy_min > 4 * quiet_max
+
+    def test_fig7_headline_probabilities(self, full_study):
+        prediction = full_study.prediction
+        # Born M0 -> ~75 % frozen (Flatliner + Radical Sign).
+        assert prediction.frozen_probability(0) \
+            == pytest.approx(0.75, abs=0.08)
+        # Not born till M12 -> sharp focused change majority (paper 64 %).
+        late_sharp = prediction.family_probability(
+            Family.BE_QUICK_OR_BE_DEAD, 3)
+        assert late_sharp == pytest.approx(0.64, abs=0.10)
+
+    def test_expansion_bias(self, full_study):
+        assert full_study.change_mix.overall_expansion_fraction > 0.6
+        assert full_study.change_mix.overall_table_granule_fraction > 0.5
+
+    def test_reproducibility_under_seed(self):
+        population = {Pattern.FLATLINER: 2, Pattern.SIESTA: 1,
+                      Pattern.RADICAL_SIGN: 2}
+        a = generate_corpus(seed=77, population=population)
+        b = generate_corpus(seed=77, population=population)
+        results_a = run_study(records_from_corpus(a))
+        results_b = run_study(records_from_corpus(b))
+        assert results_a.stats34 == results_b.stats34
+
+
+class TestFailureInjection:
+    """Corrupted DDL mid-history must not break the pipeline."""
+
+    def test_noisy_history_still_profiles(self):
+        good = "CREATE TABLE t (a INT);"
+        noisy = good + "\nTHIS IS NOT SQL AT ALL ((;\nINSERT INTO x;"
+        commits = [
+            Commit("a", datetime(2020, 1, 1), good),
+            Commit("b", datetime(2020, 6, 1), noisy),
+        ]
+        history = SchemaHistory("noisy", commits,
+                                project_end=datetime(2021, 6, 1))
+        profile = ProjectProfile.from_history(history)
+        assert profile.total_activity == 1  # noise adds no change
+        assert history.versions()[1].parse_issues > 0
+
+    def test_schema_destroyed_and_recreated(self):
+        v1 = "CREATE TABLE t (a INT, b INT);"
+        v2 = "-- everything dropped"
+        v3 = "CREATE TABLE t (a INT, b INT, c INT);"
+        commits = [
+            Commit("1", datetime(2020, 1, 1), v1),
+            Commit("2", datetime(2020, 5, 1), v2),
+            Commit("3", datetime(2020, 9, 1), v3),
+        ]
+        history = SchemaHistory("reborn", commits,
+                                project_end=datetime(2021, 2, 1))
+        profile = ProjectProfile.from_history(history)
+        # 2 born, 2 dropped, 3 born again.
+        assert profile.total_activity == 7
+        labeled = label_profile(profile)
+        assert classify(labeled) is not None

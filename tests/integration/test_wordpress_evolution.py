@@ -1,0 +1,110 @@
+"""Integration scenario: a WordPress-like project evolving over years.
+
+Builds a multi-year history on top of the WordPress-style fixture dump
+(early growth, a plugin era adding tables mid-life, then freeze) and
+runs the complete pipeline on it — the realistic end-to-end scenario a
+downstream user would hit first.
+"""
+
+from datetime import datetime
+from pathlib import Path
+
+import pytest
+
+from repro import quick_profile
+from repro.diff import diff_schemas, migration_script
+from repro.history.commit import Commit
+from repro.history.repository import SchemaHistory
+from repro.history.sizes import size_series
+from repro.metrics.tables import rigidity_share, table_lives
+from repro.patterns.classifier import classify
+from repro.patterns.taxonomy import Pattern
+from repro.schema.builder import build_schema
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.parser import parse_script
+
+FIXTURES = Path(__file__).parent.parent / "fixtures"
+
+_PLUGIN_ERA = """
+CREATE TABLE `wp_woocommerce_orders` (
+  `id` bigint(20) unsigned NOT NULL AUTO_INCREMENT,
+  `status` varchar(20) NOT NULL DEFAULT 'pending',
+  `customer_id` bigint(20) unsigned NOT NULL DEFAULT 0,
+  `total_amount` decimal(26,8) DEFAULT NULL,
+  `date_created` datetime DEFAULT NULL,
+  PRIMARY KEY (`id`),
+  KEY `status` (`status`)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4;
+
+CREATE TABLE `wp_woocommerce_order_items` (
+  `order_item_id` bigint(20) unsigned NOT NULL AUTO_INCREMENT,
+  `order_item_name` text NOT NULL,
+  `order_id` bigint(20) unsigned NOT NULL,
+  PRIMARY KEY (`order_item_id`),
+  KEY `order_id` (`order_id`)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4;
+"""
+
+
+@pytest.fixture(scope="module")
+def history():
+    base = (FIXTURES / "wordpress_style.sql").read_text()
+    with_plugin = base + _PLUGIN_ERA
+    refactored = with_plugin.replace(
+        "`user_status` int(11) NOT NULL DEFAULT 0",
+        "`user_status` bigint NOT NULL DEFAULT 0")
+    commits = [
+        Commit("v1", datetime(2016, 2, 10), base),
+        Commit("v2", datetime(2016, 3, 5), base),      # content-only
+        Commit("v3", datetime(2017, 1, 20), with_plugin),
+        Commit("v4", datetime(2017, 2, 14), refactored),
+    ]
+    return SchemaHistory("wp-like", commits,
+                         project_start=datetime(2016, 1, 1),
+                         project_end=datetime(2021, 12, 31),
+                         dialect=Dialect.MYSQL)
+
+
+class TestWordPressScenario:
+    def test_heartbeat_shape(self, history):
+        labeled = quick_profile(history)
+        profile = labeled.profile
+        # Birth carries the 4 fixture tables; plugin era adds 8 attrs;
+        # the refactor changes one type.
+        assert profile.totals.schema_size_at_birth == 38
+        assert profile.heartbeat.monthly[profile.birth_month] == 38
+        assert profile.total_activity == 38 + 8 + 1
+
+    def test_classified_pattern(self, history):
+        labeled = quick_profile(history)
+        # Birth at ~2 % of life, top band reached with the plugin era at
+        # ~19 % of a 6-year project: a textbook Radical Sign.
+        assert classify(labeled) is Pattern.RADICAL_SIGN
+
+    def test_size_series(self, history):
+        series = size_series(history)
+        assert series.tables[1] == 4
+        assert series.final_tables == 6
+        assert series.growth_months() != ()
+
+    def test_table_lives(self, history):
+        lives = table_lives(history)
+        assert len(lives) == 6
+        assert rigidity_share(lives) >= 4 / 6  # only wp_users changed
+        woo = [l for l in lives if "woocommerce" in l.name]
+        assert all(l.birth_month == 12 for l in woo)
+
+    def test_migration_between_eras(self, history):
+        versions = history.versions()
+        old_schema = versions[0].schema
+        new_schema = versions[-1].schema
+        script = migration_script(old_schema, new_schema,
+                                  dialect=Dialect.MYSQL)
+        # Apply and verify closure.
+        from repro.schema.builder import SchemaBuilder
+        builder = SchemaBuilder()
+        builder.apply_script(
+            parse_script(history.commits[0].ddl_text, Dialect.MYSQL))
+        builder.apply_script(parse_script(script, Dialect.MYSQL))
+        closure = diff_schemas(builder.snapshot(), new_schema)
+        assert closure.total_affected == 0

@@ -1,0 +1,148 @@
+"""Unit tests for the Table-1 quantization."""
+
+import pytest
+
+from repro.errors import LabelError
+from repro.labels.classes import (
+    ActiveGrowthClass,
+    ActivePupClass,
+    BirthTimingClass,
+    BirthVolumeClass,
+    IntervalBirthToTopClass,
+    IntervalTopToEndClass,
+    TopBandTimingClass,
+)
+from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme, label_profile
+from repro.metrics.profile import ProjectProfile
+from tests.conftest import make_history
+
+S = DEFAULT_SCHEME
+
+
+class TestBirthVolume:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, BirthVolumeClass.LOW),
+        (0.25, BirthVolumeClass.LOW),
+        (0.2500001, BirthVolumeClass.FAIR),
+        (0.75, BirthVolumeClass.FAIR),
+        (0.76, BirthVolumeClass.HIGH),
+        (0.999, BirthVolumeClass.HIGH),
+        (1.0, BirthVolumeClass.FULL),
+    ])
+    def test_boundaries(self, value, expected):
+        assert S.birth_volume(value) is expected
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(LabelError):
+            S.birth_volume(1.5)
+        with pytest.raises(LabelError):
+            S.birth_volume(-0.2)
+
+
+class TestTimings:
+    def test_v0_is_month_zero_not_pct_zero(self):
+        assert S.birth_timing(0, 0.0) is BirthTimingClass.V0
+        # month 1 of a very long project: pct ~0 but not V0
+        assert S.birth_timing(1, 0.001) is BirthTimingClass.EARLY
+
+    @pytest.mark.parametrize("pct,expected", [
+        (0.1, BirthTimingClass.EARLY),
+        (0.25, BirthTimingClass.EARLY),
+        (0.26, BirthTimingClass.MIDDLE),
+        (0.75, BirthTimingClass.MIDDLE),
+        (0.76, BirthTimingClass.LATE),
+        (1.0, BirthTimingClass.LATE),
+    ])
+    def test_birth_boundaries(self, pct, expected):
+        assert S.birth_timing(3, pct) is expected
+
+    def test_top_band_same_scheme(self):
+        assert S.top_band_timing(0, 0.0) is TopBandTimingClass.V0
+        assert S.top_band_timing(9, 0.5) is TopBandTimingClass.MIDDLE
+
+
+class TestIntervals:
+    def test_zero_is_months_not_pct(self):
+        assert S.interval_birth_to_top(0, 0.0) \
+            is IntervalBirthToTopClass.ZERO
+        assert S.interval_birth_to_top(1, 0.004) \
+            is IntervalBirthToTopClass.SOON
+
+    @pytest.mark.parametrize("pct,expected", [
+        (0.05, IntervalBirthToTopClass.SOON),
+        (0.1, IntervalBirthToTopClass.SOON),
+        (0.2, IntervalBirthToTopClass.FAIR),
+        (0.35, IntervalBirthToTopClass.FAIR),
+        (0.5, IntervalBirthToTopClass.LONG),
+        (0.75, IntervalBirthToTopClass.LONG),
+        (0.76, IntervalBirthToTopClass.VERY_LONG),
+    ])
+    def test_birth_to_top_boundaries(self, pct, expected):
+        assert S.interval_birth_to_top(2, pct) is expected
+
+    @pytest.mark.parametrize("pct,expected", [
+        (0.0, IntervalTopToEndClass.SOON),
+        (0.25, IntervalTopToEndClass.SOON),
+        (0.5, IntervalTopToEndClass.FAIR),
+        (0.75, IntervalTopToEndClass.FAIR),
+        (0.9, IntervalTopToEndClass.LONG),
+        (1.0, IntervalTopToEndClass.FULL),
+    ])
+    def test_top_to_end_boundaries(self, pct, expected):
+        assert S.interval_top_to_end(pct) is expected
+
+
+class TestActivity:
+    def test_zero_months(self):
+        assert S.active_growth(0, 0.0) is ActiveGrowthClass.ZERO
+        assert S.active_pup(0, 0.0) is ActivePupClass.ZERO
+
+    @pytest.mark.parametrize("share,expected", [
+        (0.1, ActiveGrowthClass.FEW),
+        (0.2, ActiveGrowthClass.FEW),
+        (0.5, ActiveGrowthClass.FAIR),
+        (0.75, ActiveGrowthClass.FAIR),
+        (0.9, ActiveGrowthClass.HIGH),
+    ])
+    def test_growth_boundaries(self, share, expected):
+        assert S.active_growth(2, share) is expected
+
+    @pytest.mark.parametrize("share,expected", [
+        (0.05, ActivePupClass.FAIR),
+        (0.08, ActivePupClass.FAIR),
+        (0.3, ActivePupClass.HIGH),
+        (0.5, ActivePupClass.HIGH),
+        (0.6, ActivePupClass.ULTRA),
+    ])
+    def test_pup_boundaries(self, share, expected):
+        assert S.active_pup(2, share) is expected
+
+
+class TestCustomScheme:
+    def test_boundaries_configurable(self):
+        scheme = LabelScheme(birth_volume_bounds=(0.1, 0.5))
+        assert scheme.birth_volume(0.3) is BirthVolumeClass.FAIR
+        assert DEFAULT_SCHEME.birth_volume(0.3) is BirthVolumeClass.FAIR
+        assert scheme.birth_volume(0.2) is BirthVolumeClass.FAIR
+        assert DEFAULT_SCHEME.birth_volume(0.2) is BirthVolumeClass.LOW
+
+
+class TestLabelProfile:
+    def test_full_labeling(self, simple_history):
+        profile = ProjectProfile.from_history(simple_history)
+        labeled = label_profile(profile)
+        assert labeled.name == "test-project"
+        assert labeled.birth_timing is BirthTimingClass.V0
+        assert labeled.top_band_timing is TopBandTimingClass.EARLY
+        assert labeled.active_growth_months == 1
+        features = labeled.feature_dict()
+        assert set(features) == {
+            "birth_volume", "birth_timing", "top_band_timing",
+            "interval_birth_to_top", "interval_top_to_end",
+            "active_growth", "active_pup", "has_single_vault"}
+
+    def test_labels_enum_ordering(self):
+        assert BirthVolumeClass.LOW < BirthVolumeClass.FULL
+        assert BirthTimingClass.V0 < BirthTimingClass.LATE
+        assert BirthTimingClass.EARLY <= BirthTimingClass.EARLY
+        assert IntervalBirthToTopClass.ZERO.order == 0

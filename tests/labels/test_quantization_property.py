@@ -1,0 +1,65 @@
+"""Property tests: quantization is total and consistent on [0, 1]."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.labels.classes import (
+    BirthTimingClass,
+    BirthVolumeClass,
+    IntervalBirthToTopClass,
+    IntervalTopToEndClass,
+)
+from repro.labels.quantization import DEFAULT_SCHEME
+
+fractions = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+months = st.integers(0, 500)
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=fractions)
+def test_birth_volume_total(value):
+    assert isinstance(DEFAULT_SCHEME.birth_volume(value),
+                      BirthVolumeClass)
+
+
+@settings(max_examples=200, deadline=None)
+@given(month=months, pct=fractions)
+def test_birth_timing_total(month, pct):
+    label = DEFAULT_SCHEME.birth_timing(month, pct)
+    assert isinstance(label, BirthTimingClass)
+    if month == 0:
+        assert label is BirthTimingClass.V0
+    else:
+        assert label is not BirthTimingClass.V0
+
+
+@settings(max_examples=200, deadline=None)
+@given(month=months, pct=fractions)
+def test_interval_birth_top_total(month, pct):
+    label = DEFAULT_SCHEME.interval_birth_to_top(month, pct)
+    assert isinstance(label, IntervalBirthToTopClass)
+    assert (label is IntervalBirthToTopClass.ZERO) == (month == 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pct=fractions)
+def test_interval_top_end_total(pct):
+    assert isinstance(DEFAULT_SCHEME.interval_top_to_end(pct),
+                      IntervalTopToEndClass)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=fractions, b=fractions)
+def test_birth_volume_monotone(a, b):
+    """Larger fractions never get a smaller ordinal label."""
+    low, high = sorted((a, b))
+    assert DEFAULT_SCHEME.birth_volume(low).order \
+        <= DEFAULT_SCHEME.birth_volume(high).order
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=fractions, b=fractions, month=st.integers(1, 500))
+def test_timing_monotone_for_nonzero_months(a, b, month):
+    low, high = sorted((a, b))
+    assert DEFAULT_SCHEME.birth_timing(month, low).order \
+        <= DEFAULT_SCHEME.birth_timing(month, high).order

@@ -1,0 +1,42 @@
+"""Unit tests for label-scheme serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import LabelError
+from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme
+
+
+class TestSchemeSerialization:
+    def test_roundtrip(self):
+        restored = LabelScheme.from_dict(DEFAULT_SCHEME.to_dict())
+        assert restored == DEFAULT_SCHEME
+
+    def test_json_compatible(self):
+        text = json.dumps(DEFAULT_SCHEME.to_dict())
+        restored = LabelScheme.from_dict(json.loads(text))
+        assert restored == DEFAULT_SCHEME
+
+    def test_custom_scheme_roundtrip(self):
+        scheme = LabelScheme(birth_volume_bounds=(0.1, 0.6),
+                             timing_bounds=(0.3, 0.8))
+        assert LabelScheme.from_dict(scheme.to_dict()) == scheme
+
+    def test_missing_key_raises(self):
+        data = DEFAULT_SCHEME.to_dict()
+        del data["timing_bounds"]
+        with pytest.raises(LabelError):
+            LabelScheme.from_dict(data)
+
+    def test_wrong_arity_raises(self):
+        data = DEFAULT_SCHEME.to_dict()
+        data["interval_birth_top_bounds"] = [0.1, 0.2]
+        with pytest.raises(LabelError):
+            LabelScheme.from_dict(data)
+
+    def test_restored_scheme_labels_identically(self):
+        restored = LabelScheme.from_dict(DEFAULT_SCHEME.to_dict())
+        for value in (0.0, 0.2, 0.25, 0.5, 0.75, 0.9, 1.0):
+            assert restored.birth_volume(value) \
+                is DEFAULT_SCHEME.birth_volume(value)

@@ -1,0 +1,49 @@
+"""Unit tests for activity-volume aggregates."""
+
+from repro.diff.changes import ChangeKind
+from repro.diff.stats import ChangeBreakdown
+from repro.history.heartbeat import ActivitySeries, schema_heartbeat
+from repro.metrics.activity import compute_activity_totals
+from tests.conftest import make_history
+
+
+def breakdown(**kinds):
+    return ChangeBreakdown.from_counts(
+        {ChangeKind[k.upper()]: v for k, v in kinds.items()})
+
+
+class TestActivityTotals:
+    def test_from_history(self, simple_history):
+        series = schema_heartbeat(simple_history)
+        totals = compute_activity_totals(series, birth_month=0)
+        assert totals.total_activity == 6
+        assert totals.birth_activity == 2
+        assert totals.post_birth_activity == 4
+        assert totals.schema_size_at_birth == 2
+
+    def test_expansion_maintenance_split(self, simple_history):
+        series = schema_heartbeat(simple_history)
+        totals = compute_activity_totals(series, birth_month=0)
+        assert totals.expansion == 5   # 2 + 3 born
+        assert totals.maintenance == 1  # the type change
+        assert totals.expansion_fraction == 5 / 6
+
+    def test_without_breakdowns(self):
+        series = ActivitySeries((4, 2))
+        totals = compute_activity_totals(series, birth_month=0)
+        assert totals.total_activity == 6
+        assert totals.expansion == 0
+        assert totals.schema_size_at_birth == 0
+
+    def test_zero_activity(self):
+        series = ActivitySeries((0, 0),
+                                breakdowns=(breakdown(), breakdown()))
+        totals = compute_activity_totals(series, birth_month=0)
+        assert totals.total_activity == 0
+        assert totals.expansion_fraction == 0.0
+
+    def test_late_birth(self):
+        series = ActivitySeries((0, 0, 5, 3))
+        totals = compute_activity_totals(series, birth_month=2)
+        assert totals.birth_activity == 5
+        assert totals.post_birth_activity == 3

@@ -1,0 +1,125 @@
+"""Unit tests for landmark computation."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.history.heartbeat import ActivitySeries
+from repro.metrics.landmarks import compute_landmarks
+
+
+def landmarks(monthly, birth=None):
+    return compute_landmarks(ActivitySeries(tuple(monthly)),
+                             birth_month=birth)
+
+
+class TestBirth:
+    def test_birth_from_first_activity(self):
+        marks = landmarks([0, 0, 5, 0])
+        assert marks.birth_month == 2
+
+    def test_explicit_birth_wins(self):
+        marks = landmarks([0, 0, 5, 0], birth=1)
+        assert marks.birth_month == 1
+        assert marks.birth_volume_fraction == 0.0
+
+    def test_zero_activity_without_birth_raises(self):
+        with pytest.raises(MetricError):
+            landmarks([0, 0, 0])
+
+    def test_zero_activity_with_birth_is_degenerate_full(self):
+        marks = landmarks([0, 0, 0], birth=1)
+        assert marks.birth_volume_fraction == 1.0
+        assert marks.top_band_month == 1
+
+    def test_birth_out_of_range_raises(self):
+        with pytest.raises(MetricError):
+            landmarks([1, 0], birth=5)
+
+    def test_birth_volume_fraction(self):
+        marks = landmarks([3, 0, 1])
+        assert marks.birth_volume_fraction == 0.75
+
+    def test_born_at_v0_flag(self):
+        assert landmarks([5]).born_at_v0
+        assert not landmarks([0, 5]).born_at_v0
+
+
+class TestTopBand:
+    def test_immediate_top(self):
+        marks = landmarks([10, 1])  # 10/11 > 0.9
+        assert marks.top_band_month == 0
+        assert marks.top_at_v0
+
+    def test_delayed_top(self):
+        marks = landmarks([5, 0, 4, 1])
+        assert marks.top_band_month == 2
+
+    def test_exact_90_percent_counts(self):
+        marks = landmarks([9, 1])
+        assert marks.top_band_month == 0
+
+    def test_top_before_birth_raises(self):
+        # Activity before the declared birth is inconsistent input.
+        with pytest.raises(MetricError):
+            landmarks([100, 0, 1], birth=2)
+
+
+class TestIntervalsAndPcts:
+    def test_pct_normalization(self):
+        marks = landmarks([0, 0, 0, 0, 5], birth=4)
+        assert marks.birth_pct == 1.0
+        assert marks.pup_months == 5
+
+    def test_single_month_project(self):
+        marks = landmarks([7])
+        assert marks.birth_pct == 0.0
+        assert marks.interval_birth_to_top_pct == 0.0
+        assert marks.interval_top_to_end_pct == 0.0
+
+    def test_tail_pct(self):
+        marks = landmarks([10, 0, 0, 0, 0])  # top at month 0, 5 months
+        assert marks.interval_top_to_end_pct == 1.0
+
+    def test_interval_months(self):
+        marks = landmarks([1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9])
+        assert marks.interval_birth_to_top_months == 10
+        assert marks.interval_birth_to_top_pct == 1.0
+
+
+class TestVault:
+    def test_vault_when_interval_small(self):
+        monthly = [5, 5] + [0] * 40
+        marks = landmarks(monthly)
+        assert marks.has_vault
+
+    def test_no_vault_when_interval_long(self):
+        monthly = [5] + [0] * 20 + [5]
+        marks = landmarks(monthly)
+        assert not marks.has_vault
+
+
+class TestActiveGrowthMonths:
+    def test_counts_strict_interior(self):
+        # birth=0, top=4; interior months 1..3, two of them active.
+        marks = landmarks([1, 2, 0, 2, 10])
+        assert marks.active_growth_months == 2
+
+    def test_zero_when_interval_zero(self):
+        marks = landmarks([10, 1])
+        assert marks.active_growth_months == 0
+
+    def test_birth_and_top_not_counted(self):
+        marks = landmarks([5, 0, 0, 10])
+        assert marks.active_growth_months == 0
+
+    def test_pct_growth_normalization(self):
+        marks = landmarks([1, 2, 0, 2, 10])
+        assert marks.active_pct_growth == pytest.approx(2 / 3)
+
+    def test_pct_pup_normalization(self):
+        marks = landmarks([1, 2, 0, 2, 10])
+        assert marks.active_pct_pup == pytest.approx(2 / 5)
+
+    def test_pct_growth_zero_interior(self):
+        marks = landmarks([5, 10])
+        assert marks.active_pct_growth == 0.0

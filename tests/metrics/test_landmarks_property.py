@@ -1,0 +1,88 @@
+"""Property tests for landmark invariants over arbitrary heartbeats."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.history.heartbeat import ActivitySeries
+from repro.metrics.landmarks import VAULT_FRACTION, compute_landmarks
+
+# Series with at least one active month (so birth is derivable).
+active_series = st.lists(st.integers(0, 30), min_size=1,
+                         max_size=80).filter(lambda m: sum(m) > 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(monthly=active_series)
+def test_landmark_ordering(monthly):
+    marks = compute_landmarks(ActivitySeries(tuple(monthly)))
+    assert 0 <= marks.birth_month <= marks.top_band_month \
+        < marks.pup_months
+
+
+@settings(max_examples=200, deadline=None)
+@given(monthly=active_series)
+def test_percentages_bounded(monthly):
+    marks = compute_landmarks(ActivitySeries(tuple(monthly)))
+    for value in (marks.birth_pct, marks.top_band_pct,
+                  marks.interval_birth_to_top_pct,
+                  marks.interval_top_to_end_pct,
+                  marks.birth_volume_fraction,
+                  marks.active_pct_growth, marks.active_pct_pup):
+        assert -1e-9 <= value <= 1 + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(monthly=active_series)
+def test_vault_consistent_with_interval(monthly):
+    marks = compute_landmarks(ActivitySeries(tuple(monthly)))
+    assert marks.has_vault \
+        == (marks.interval_birth_to_top_pct < VAULT_FRACTION)
+
+
+@settings(max_examples=200, deadline=None)
+@given(monthly=active_series)
+def test_agm_bounded_by_interior(monthly):
+    marks = compute_landmarks(ActivitySeries(tuple(monthly)))
+    interior = max(marks.interval_birth_to_top_months - 1, 0)
+    assert 0 <= marks.active_growth_months <= interior
+
+
+@settings(max_examples=200, deadline=None)
+@given(monthly=active_series)
+def test_cumulative_at_top_is_at_least_90pct(monthly):
+    series = ActivitySeries(tuple(monthly))
+    marks = compute_landmarks(series)
+    fractions = series.cumulative_fraction()
+    assert fractions[marks.top_band_month] >= 0.9 - 1e-9
+    if marks.top_band_month > marks.birth_month:
+        assert fractions[marks.top_band_month - 1] < 0.9
+
+
+@settings(max_examples=200, deadline=None)
+@given(monthly=active_series)
+def test_tail_and_point_sum_to_whole(monthly):
+    marks = compute_landmarks(ActivitySeries(tuple(monthly)))
+    if marks.pup_months > 1:
+        assert marks.top_band_pct + marks.interval_top_to_end_pct \
+            == pytest_approx_one()
+    else:
+        assert marks.interval_top_to_end_pct == 0.0
+
+
+def pytest_approx_one():
+    import pytest
+    return pytest.approx(1.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(monthly=active_series, scale=st.integers(2, 7))
+def test_birth_volume_invariant_under_scaling(monthly, scale):
+    """Multiplying all activity by a constant leaves every fractional
+    landmark unchanged."""
+    base = compute_landmarks(ActivitySeries(tuple(monthly)))
+    scaled = compute_landmarks(ActivitySeries(
+        tuple(v * scale for v in monthly)))
+    assert base.birth_month == scaled.birth_month
+    assert base.top_band_month == scaled.top_band_month
+    assert abs(base.birth_volume_fraction
+               - scaled.birth_volume_fraction) < 1e-9
+    assert base.active_growth_months == scaled.active_growth_months

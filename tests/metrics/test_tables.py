@@ -1,0 +1,85 @@
+"""Unit tests for per-table lives."""
+
+from repro.metrics.tables import rigidity_share, table_lives
+from tests.conftest import make_history
+
+
+def lives_of(ddl_texts, **kwargs):
+    return table_lives(make_history(ddl_texts, **kwargs))
+
+
+class TestTableLives:
+    def test_single_frozen_table(self):
+        lives = lives_of(["CREATE TABLE t (a INT, b INT);"])
+        assert len(lives) == 1
+        life = lives[0]
+        assert life.name == "t"
+        assert life.birth_month == 0
+        assert life.is_alive
+        assert life.birth_size == 2
+        assert life.final_size == 2
+        assert life.update_events == 0
+        assert life.duration_months is None
+
+    def test_dropped_table_closed(self):
+        lives = lives_of([
+            "CREATE TABLE t (a INT);",
+            "-- gone",
+        ])
+        assert len(lives) == 1
+        assert lives[0].death_month == 1
+        assert lives[0].duration_months == 1
+        assert not lives[0].is_alive
+
+    def test_updates_tracked(self):
+        v1 = "CREATE TABLE t (a INT);"
+        v2 = "CREATE TABLE t (a INT, b INT);"
+        v3 = "CREATE TABLE t (a TEXT, b INT);"
+        lives = lives_of([v1, v2, v3])
+        life = lives[0]
+        assert life.update_events == 2  # injection + type change
+        assert life.active_months == 2
+        assert life.final_size == 2
+
+    def test_recreated_table_two_lives(self):
+        v1 = "CREATE TABLE t (a INT);"
+        v2 = "-- dropped"
+        v3 = "CREATE TABLE t (a INT, b INT, c INT);"
+        lives = lives_of([v1, v2, v3])
+        assert len(lives) == 2
+        first, second = lives
+        assert first.death_month == 1
+        assert second.birth_month == 2
+        assert second.birth_size == 3
+        assert second.is_alive
+
+    def test_multiple_tables_sorted_by_birth(self):
+        v1 = "CREATE TABLE b (x INT);"
+        v2 = v1 + " CREATE TABLE a (y INT);"
+        lives = lives_of([v1, v2])
+        assert [l.name for l in lives] == ["b", "a"]
+        assert [l.birth_month for l in lives] == [0, 1]
+
+
+class TestRigidityShare:
+    def test_all_rigid(self):
+        lives = lives_of(["CREATE TABLE t (a INT); "
+                          "CREATE TABLE u (b INT);"])
+        assert rigidity_share(lives) == 1.0
+
+    def test_mixed(self):
+        v1 = "CREATE TABLE t (a INT); CREATE TABLE u (b INT);"
+        v2 = "CREATE TABLE t (a INT, extra INT); CREATE TABLE u (b INT);"
+        lives = lives_of([v1, v2])
+        assert rigidity_share(lives) == 0.5
+
+    def test_empty_list(self):
+        assert rigidity_share([]) == 0.0
+
+    def test_corpus_tables_mostly_rigid(self, small_corpus):
+        # The table-level aversion-to-change trait must emerge from the
+        # generated corpus too.
+        all_lives = []
+        for project in small_corpus:
+            all_lives.extend(table_lives(project.history))
+        assert rigidity_share(all_lives) > 0.5

@@ -1,0 +1,76 @@
+"""Unit tests for heartbeat vectors and vector helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import MetricError
+from repro.history.heartbeat import ActivitySeries
+from repro.metrics.timeseries import (
+    euclidean_distance,
+    heartbeat_vector,
+    mean_vector,
+)
+
+
+class TestHeartbeatVector:
+    def test_default_20_points(self):
+        vector = heartbeat_vector(ActivitySeries((1, 2, 3)))
+        assert len(vector) == 20
+
+    def test_flatliner_vector_all_ones(self):
+        vector = heartbeat_vector(ActivitySeries((5, 0, 0, 0)))
+        assert vector == tuple([1.0] * 20)
+
+    def test_late_riser_vector_mostly_zero(self):
+        monthly = [0] * 19 + [10]
+        vector = heartbeat_vector(ActivitySeries(tuple(monthly)))
+        assert vector[0] == 0.0
+        assert sum(1 for v in vector if v == 0.0) >= 18
+
+    def test_custom_points(self):
+        assert len(heartbeat_vector(ActivitySeries((1,)), points=5)) == 5
+
+
+class TestEuclidean:
+    def test_zero_distance(self):
+        assert euclidean_distance((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+    def test_known_distance(self):
+        assert euclidean_distance((0, 0), (3, 4)) == 5.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(MetricError):
+            euclidean_distance((1,), (1, 2))
+
+    def test_symmetry(self):
+        a, b = (0.1, 0.9, 0.4), (0.7, 0.2, 0.5)
+        assert euclidean_distance(a, b) == euclidean_distance(b, a)
+
+    def test_triangle_inequality(self):
+        a, b, c = (0, 0), (1, 1), (2, 0)
+        assert euclidean_distance(a, c) <= (
+            euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-12)
+
+
+class TestMeanVector:
+    def test_mean(self):
+        assert mean_vector([(0.0, 1.0), (1.0, 0.0)]) == (0.5, 0.5)
+
+    def test_single_vector(self):
+        assert mean_vector([(0.3, 0.7)]) == (0.3, 0.7)
+
+    def test_empty_raises(self):
+        with pytest.raises(MetricError):
+            mean_vector([])
+
+    def test_ragged_raises(self):
+        with pytest.raises(MetricError):
+            mean_vector([(1.0,), (1.0, 2.0)])
+
+    def test_mean_within_hull(self):
+        vectors = [(0.0, 0.2), (1.0, 0.8), (0.5, 0.5)]
+        mean = mean_vector(vectors)
+        for dim in range(2):
+            values = [v[dim] for v in vectors]
+            assert min(values) <= mean[dim] <= max(values)

@@ -1,0 +1,63 @@
+"""Unit + property tests for bootstrap confidence intervals."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.mining.bootstrap import bootstrap_median_ci
+
+
+class TestBootstrapMedian:
+    def test_point_is_sample_median(self):
+        ci = bootstrap_median_ci([1, 2, 3, 4, 100])
+        assert ci.point == 3.0
+
+    def test_interval_contains_point(self):
+        ci = bootstrap_median_ci([3, 1, 4, 1, 5, 9, 2, 6])
+        assert ci.contains(ci.point)
+
+    def test_constant_sample_degenerate_interval(self):
+        ci = bootstrap_median_ci([7.0] * 12)
+        assert (ci.low, ci.point, ci.high) == (7.0, 7.0, 7.0)
+
+    def test_deterministic_under_seed(self):
+        sample = [1, 5, 2, 8, 3]
+        a = bootstrap_median_ci(sample, seed=3)
+        b = bootstrap_median_ci(sample, seed=3)
+        assert a == b
+
+    def test_wider_confidence_wider_interval(self):
+        sample = list(range(30))
+        narrow = bootstrap_median_ci(sample, confidence=0.5)
+        wide = bootstrap_median_ci(sample, confidence=0.99)
+        assert wide.high - wide.low >= narrow.high - narrow.low
+
+    def test_single_observation(self):
+        ci = bootstrap_median_ci([42])
+        assert (ci.low, ci.high) == (42.0, 42.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_median_ci([])
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_median_ci([1, 2], confidence=1.5)
+
+    def test_too_few_iterations_raises(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_median_ci([1, 2], iterations=3)
+
+    def test_str_rendering(self):
+        text = str(bootstrap_median_ci([1, 2, 3]))
+        assert "[" in text and "]" in text
+
+
+@settings(max_examples=60, deadline=None)
+@given(sample=st.lists(st.integers(-100, 100), min_size=1, max_size=40),
+       seed=st.integers(0, 1000))
+def test_interval_ordered_and_within_sample_range(sample, seed):
+    ci = bootstrap_median_ci(sample, seed=seed, iterations=200)
+    assert ci.low <= ci.point <= ci.high
+    assert min(sample) <= ci.low
+    assert ci.high <= max(sample)

@@ -1,0 +1,54 @@
+"""Unit tests for centroid/MDC computation."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.mining.centroids import centroid_report
+
+
+class TestCentroidReport:
+    def test_single_point_group(self):
+        report = centroid_report({"a": [(0.0, 1.0)]})
+        assert report.centroids["a"] == (0.0, 1.0)
+        assert report.mdc["a"] == 0.0
+        assert report.sizes["a"] == 1
+
+    def test_mdc_of_symmetric_group(self):
+        report = centroid_report({"a": [(0.0, 0.0), (2.0, 0.0)]})
+        assert report.centroids["a"] == (1.0, 0.0)
+        assert report.mdc["a"] == pytest.approx(1.0)
+        assert report.max_distance["a"] == pytest.approx(1.0)
+
+    def test_centroid_distance(self):
+        report = centroid_report({
+            "a": [(0.0, 0.0)], "b": [(3.0, 4.0)]})
+        assert report.centroid_distance("a", "b") == pytest.approx(5.0)
+
+    def test_pairwise_distances(self):
+        report = centroid_report({
+            "a": [(0.0,)], "b": [(1.0,)], "c": [(3.0,)]})
+        pairs = report.pairwise_centroid_distances()
+        assert pairs[("a", "b")] == pytest.approx(1.0)
+        assert pairs[("a", "c")] == pytest.approx(3.0)
+        assert len(pairs) == 3
+
+    def test_separation_ratio(self):
+        report = centroid_report({
+            "a": [(0.0,), (0.2,)], "b": [(5.0,), (5.2,)]})
+        # MDC = 0.1 each; centroid gap = 5.0 -> ratio 50.
+        assert report.separation_ratio() == pytest.approx(50.0)
+
+    def test_separation_ratio_single_group_raises(self):
+        report = centroid_report({"a": [(0.0,)]})
+        with pytest.raises(AnalysisError):
+            report.separation_ratio()
+
+    def test_empty_groups_raise(self):
+        with pytest.raises(AnalysisError):
+            centroid_report({})
+        with pytest.raises(AnalysisError):
+            centroid_report({"a": []})
+
+    def test_zero_mdc_ratio_infinite(self):
+        report = centroid_report({"a": [(0.0,)], "b": [(1.0,)]})
+        assert report.separation_ratio() == float("inf")

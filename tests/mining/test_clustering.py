@@ -1,0 +1,96 @@
+"""Unit tests for k-means, agglomerative clustering and silhouette."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.mining.clustering import agglomerative, kmeans, silhouette_score
+
+# Two well-separated blobs in 2-D.
+BLOB_A = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1), (0.1, 0.1)]
+BLOB_B = [(5.0, 5.0), (5.1, 5.0), (5.0, 5.1), (5.1, 5.1)]
+POINTS = BLOB_A + BLOB_B
+
+
+def groups_of(assignment):
+    return {frozenset(i for i, a in enumerate(assignment) if a == c)
+            for c in set(assignment)}
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        assignment = kmeans(POINTS, k=2, seed=1)
+        assert groups_of(assignment) == {frozenset(range(4)),
+                                         frozenset(range(4, 8))}
+
+    def test_k_equals_n(self):
+        assignment = kmeans(POINTS, k=len(POINTS), seed=0)
+        assert len(set(assignment)) == len(POINTS)
+
+    def test_k_one(self):
+        assert set(kmeans(POINTS, k=1)) == {0}
+
+    def test_deterministic_under_seed(self):
+        assert kmeans(POINTS, k=2, seed=5) == kmeans(POINTS, k=2, seed=5)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(AnalysisError):
+            kmeans(POINTS, k=0)
+        with pytest.raises(AnalysisError):
+            kmeans(POINTS, k=99)
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            kmeans([], k=1)
+
+    def test_duplicate_points(self):
+        points = [(1.0, 1.0)] * 5 + [(9.0, 9.0)] * 5
+        assignment = kmeans(points, k=2, seed=3)
+        assert len(set(assignment)) == 2
+
+
+class TestAgglomerative:
+    def test_separates_blobs(self):
+        assignment = agglomerative(POINTS, k=2)
+        assert groups_of(assignment) == {frozenset(range(4)),
+                                         frozenset(range(4, 8))}
+
+    def test_k_equals_n(self):
+        assignment = agglomerative(POINTS, k=len(POINTS))
+        assert len(set(assignment)) == len(POINTS)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(AnalysisError):
+            agglomerative(POINTS, k=0)
+
+    def test_compact_labels(self):
+        assignment = agglomerative(POINTS, k=3)
+        assert set(assignment) == {0, 1, 2}
+
+
+class TestSilhouette:
+    def test_good_clustering_high_score(self):
+        assignment = [0, 0, 0, 0, 1, 1, 1, 1]
+        assert silhouette_score(POINTS, assignment) > 0.9
+
+    def test_bad_clustering_low_score(self):
+        assignment = [0, 1, 0, 1, 0, 1, 0, 1]
+        good = silhouette_score(POINTS, [0] * 4 + [1] * 4)
+        bad = silhouette_score(POINTS, assignment)
+        assert bad < good
+
+    def test_bounds(self):
+        score = silhouette_score(POINTS, [0, 0, 1, 1, 0, 0, 1, 1])
+        assert -1.0 <= score <= 1.0
+
+    def test_singleton_contributes_zero(self):
+        points = [(0.0,), (0.1,), (5.0,)]
+        score = silhouette_score(points, [0, 0, 1])
+        assert -1.0 <= score <= 1.0
+
+    def test_single_cluster_raises(self):
+        with pytest.raises(AnalysisError):
+            silhouette_score(POINTS, [0] * 8)
+
+    def test_misaligned_raises(self):
+        with pytest.raises(AnalysisError):
+            silhouette_score(POINTS, [0, 1])

@@ -1,0 +1,98 @@
+"""Unit + property tests for Spearman correlation (vs scipy)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.errors import AnalysisError
+from repro.mining.correlation import rankdata, spearman_matrix, spearman_rho
+
+
+class TestRankData:
+    def test_simple(self):
+        assert rankdata([10, 30, 20]) == [1.0, 3.0, 2.0]
+
+    def test_ties_get_average_rank(self):
+        assert rankdata([5, 5, 1]) == [2.5, 2.5, 1.0]
+
+    def test_all_equal(self):
+        assert rankdata([7, 7, 7]) == [2.0, 2.0, 2.0]
+
+    def test_empty(self):
+        assert rankdata([]) == []
+
+    def test_matches_scipy(self):
+        values = [3.1, 2.2, 2.2, 9.0, -1.0, 2.2]
+        assert rankdata(values) == list(scipy_stats.rankdata(values))
+
+
+class TestSpearman:
+    def test_perfect_positive(self):
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) \
+            == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert spearman_rho([1, 2, 3], [5, 4, 3]) == pytest.approx(-1.0)
+
+    def test_monotone_nonlinear_is_one(self):
+        x = [1, 2, 3, 4, 5]
+        y = [v ** 3 for v in x]
+        assert spearman_rho(x, y) == pytest.approx(1.0)
+
+    def test_constant_sample_nan(self):
+        assert math.isnan(spearman_rho([1, 1, 1], [1, 2, 3]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            spearman_rho([1], [1, 2])
+
+    def test_too_short_raises(self):
+        with pytest.raises(AnalysisError):
+            spearman_rho([1], [2])
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=st.lists(
+    st.tuples(st.floats(-100, 100, allow_nan=False),
+              st.floats(-100, 100, allow_nan=False)),
+    min_size=3, max_size=50))
+def test_matches_scipy_property(pairs):
+    x = [p[0] for p in pairs]
+    y = [p[1] for p in pairs]
+    ours = spearman_rho(x, y)
+    theirs = scipy_stats.spearmanr(x, y).statistic
+    if math.isnan(theirs):
+        assert math.isnan(ours)
+    else:
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs=st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+    min_size=3, max_size=40))
+def test_symmetry_and_bounds(pairs):
+    x = [p[0] for p in pairs]
+    y = [p[1] for p in pairs]
+    rho_xy = spearman_rho(x, y)
+    rho_yx = spearman_rho(y, x)
+    if not math.isnan(rho_xy):
+        assert -1 - 1e-9 <= rho_xy <= 1 + 1e-9
+        assert rho_xy == pytest.approx(rho_yx)
+
+
+class TestMatrix:
+    def test_diagonal_is_one(self):
+        matrix = spearman_matrix({"a": [1, 2, 3], "b": [3, 1, 2]})
+        assert matrix[("a", "a")] == 1.0
+        assert matrix[("b", "b")] == 1.0
+
+    def test_symmetric_entries(self):
+        matrix = spearman_matrix({"a": [1, 2, 3], "b": [3, 1, 2]})
+        assert matrix[("a", "b")] == matrix[("b", "a")]
+
+    def test_all_pairs_present(self):
+        matrix = spearman_matrix({"a": [1, 2], "b": [2, 1], "c": [1, 1]})
+        assert len(matrix) == 9

@@ -1,0 +1,150 @@
+"""Unit and property tests for the categorical decision tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.mining.decision_tree import DecisionTree, gini_impurity
+
+
+class TestGini:
+    def test_pure_is_zero(self):
+        assert gini_impurity(["a", "a", "a"]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert gini_impurity([]) == 0.0
+
+    def test_even_binary_is_half(self):
+        assert gini_impurity(["a", "b"]) == pytest.approx(0.5)
+
+    def test_bounded(self):
+        assert 0 <= gini_impurity(list("aabbccdd")) < 1
+
+
+SAMPLES = [
+    {"color": "red", "size": "big"},
+    {"color": "red", "size": "small"},
+    {"color": "blue", "size": "big"},
+    {"color": "blue", "size": "small"},
+]
+LABELS = ["hot", "hot", "cold", "cold"]
+
+
+class TestFitPredict:
+    def test_perfect_separation_on_one_feature(self):
+        tree = DecisionTree().fit(SAMPLES, LABELS)
+        assert tree.training_errors(SAMPLES, LABELS) == []
+        assert tree.root.feature == "color"
+
+    def test_predict_unseen_value_falls_back(self):
+        tree = DecisionTree().fit(SAMPLES, LABELS)
+        assert tree.predict({"color": "green", "size": "big"}) \
+            in ("hot", "cold")
+
+    def test_xor_not_learnable_greedily(self):
+        # Greedy gini gain is exactly zero for both XOR features, so the
+        # tree (correctly, per CART semantics) stays a majority leaf.
+        samples = [{"a": x, "b": y} for x in "01" for y in "01"]
+        labels = [str(int(s["a"] != s["b"])) for s in samples]
+        tree = DecisionTree(max_depth=2).fit(samples, labels)
+        assert tree.root.is_leaf
+
+    def test_hierarchical_labels_learned(self):
+        samples = [{"a": x, "b": y} for x in "012" for y in "01"]
+        labels = [s["a"] + s["b"] for s in samples]
+        tree = DecisionTree(max_depth=3).fit(samples, labels)
+        assert tree.training_errors(samples, labels) == []
+
+    def test_max_depth_zero_is_majority_vote(self):
+        tree = DecisionTree(max_depth=0).fit(SAMPLES, ["x", "x", "x", "y"])
+        assert tree.root.is_leaf
+        assert tree.predict({"color": "red", "size": "big"}) == "x"
+
+    def test_min_samples_split(self):
+        tree = DecisionTree(min_samples_split=10).fit(SAMPLES, LABELS)
+        assert tree.root.is_leaf
+
+    def test_constant_features_yield_leaf(self):
+        samples = [{"a": "x"}] * 4
+        tree = DecisionTree().fit(samples, ["p", "p", "q", "q"])
+        assert tree.root.is_leaf
+
+    def test_empty_input_raises(self):
+        with pytest.raises(AnalysisError):
+            DecisionTree().fit([], [])
+
+    def test_misaligned_raises(self):
+        with pytest.raises(AnalysisError):
+            DecisionTree().fit(SAMPLES, ["a"])
+
+    def test_inconsistent_features_raise(self):
+        with pytest.raises(AnalysisError):
+            DecisionTree().fit([{"a": "1"}, {"b": "1"}], ["x", "y"])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(AnalysisError):
+            DecisionTree().predict({"a": "1"})
+
+    def test_negative_depth_raises(self):
+        with pytest.raises(AnalysisError):
+            DecisionTree(max_depth=-1)
+
+
+class TestRender:
+    def test_render_mentions_feature_and_leaves(self):
+        tree = DecisionTree().fit(SAMPLES, LABELS)
+        text = tree.render()
+        assert "color" in text
+        assert "hot" in text and "cold" in text
+
+    def test_render_before_fit_raises(self):
+        with pytest.raises(AnalysisError):
+            DecisionTree().render()
+
+    def test_leaf_count(self):
+        tree = DecisionTree().fit(SAMPLES, LABELS)
+        assert tree.root.leaf_count() == 2
+
+    def test_dot_export(self):
+        tree = DecisionTree().fit(SAMPLES, LABELS)
+        dot = tree.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert 'label="color?' in dot
+        assert dot.count("->") == 2  # one edge per branch value
+
+    def test_dot_before_fit_raises(self):
+        with pytest.raises(AnalysisError):
+            DecisionTree().to_dot()
+
+    def test_dot_leaf_only(self):
+        tree = DecisionTree(max_depth=0).fit(SAMPLES, LABELS)
+        dot = tree.to_dot("t")
+        assert "digraph t" in dot
+        assert "->" not in dot
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.lists(
+    st.tuples(st.sampled_from("abc"), st.sampled_from("xy"),
+              st.sampled_from("pq")),
+    min_size=1, max_size=40))
+def test_deep_tree_fits_functional_labels(data):
+    """When the label is a function of the features, an unbounded tree
+    reaches zero training error."""
+    samples = [{"f1": a, "f2": b} for a, b, _ in data]
+    labels = [a + b for a, b, _ in data]  # label determined by features
+    tree = DecisionTree(max_depth=10).fit(samples, labels)
+    assert tree.training_errors(samples, labels) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.lists(
+    st.tuples(st.sampled_from("ab"), st.sampled_from("pq")),
+    min_size=1, max_size=30))
+def test_prediction_total(data):
+    samples = [{"f": a} for a, _ in data]
+    labels = [l for _, l in data]
+    tree = DecisionTree().fit(samples, labels)
+    for value in "abcz":
+        assert tree.predict({"f": value}) in set(labels)

@@ -1,0 +1,94 @@
+"""Unit tests for the birth-time Naive Bayes predictor."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.mining.predictor import (
+    NaiveBayesPredictor,
+    leave_one_out,
+    size_bin,
+    table_bin,
+)
+
+SAMPLES = [
+    {"bucket": "m0", "size": "small"},
+    {"bucket": "m0", "size": "small"},
+    {"bucket": "m0", "size": "large"},
+    {"bucket": "late", "size": "small"},
+    {"bucket": "late", "size": "large"},
+    {"bucket": "late", "size": "large"},
+]
+LABELS = ["flat", "flat", "flat", "late", "late", "late"]
+
+
+class TestBins:
+    def test_size_bins_monotone(self):
+        order = ["tiny", "small", "medium", "large"]
+        bins = [size_bin(n) for n in (1, 10, 30, 100)]
+        assert bins == order
+
+    def test_table_bins(self):
+        assert table_bin(1) == "1"
+        assert table_bin(3) == "2-4"
+        assert table_bin(7) == "5-10"
+        assert table_bin(20) == ">10"
+
+
+class TestNaiveBayes:
+    def test_learns_dominant_feature(self):
+        model = NaiveBayesPredictor().fit(SAMPLES, LABELS)
+        assert model.predict({"bucket": "m0", "size": "small"}) == "flat"
+        assert model.predict({"bucket": "late", "size": "large"}) \
+            == "late"
+
+    def test_proba_normalized(self):
+        model = NaiveBayesPredictor().fit(SAMPLES, LABELS)
+        posterior = model.predict_proba({"bucket": "m0", "size": "small"})
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        assert all(0 <= p <= 1 for p in posterior.values())
+
+    def test_unseen_value_does_not_crash(self):
+        model = NaiveBayesPredictor().fit(SAMPLES, LABELS)
+        assert model.predict({"bucket": "weird", "size": "small"}) \
+            in ("flat", "late")
+
+    def test_smoothing_avoids_zero_probability(self):
+        model = NaiveBayesPredictor(alpha=1.0).fit(SAMPLES, LABELS)
+        posterior = model.predict_proba(
+            {"bucket": "m0", "size": "large"})
+        assert min(posterior.values()) > 0
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(AnalysisError):
+            NaiveBayesPredictor().fit([], [])
+
+    def test_misaligned_raises(self):
+        with pytest.raises(AnalysisError):
+            NaiveBayesPredictor().fit(SAMPLES, LABELS[:2])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(AnalysisError):
+            NaiveBayesPredictor().predict({"a": "b"})
+
+    def test_bad_alpha_raises(self):
+        with pytest.raises(AnalysisError):
+            NaiveBayesPredictor(alpha=0)
+
+
+class TestLeaveOneOut:
+    def test_reports_all_accuracies(self):
+        report = leave_one_out(SAMPLES, LABELS, bucket_feature="bucket")
+        assert report.total == len(SAMPLES)
+        assert 0 <= report.accuracy <= 1
+        assert 0 <= report.baseline_accuracy <= 1
+        assert 0 <= report.bucket_only_accuracy <= 1
+
+    def test_separable_data_high_accuracy(self):
+        report = leave_one_out(SAMPLES, LABELS, bucket_feature="bucket")
+        assert report.accuracy == 1.0
+        assert report.bucket_only_accuracy == 1.0
+        assert report.baseline_accuracy == 0.5
+
+    def test_too_few_raises(self):
+        with pytest.raises(AnalysisError):
+            leave_one_out(SAMPLES[:1], LABELS[:1])

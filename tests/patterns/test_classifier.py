@@ -1,0 +1,117 @@
+"""Unit tests for the pattern classifier (strict + tolerant)."""
+
+from repro.labels.quantization import label_profile
+from repro.metrics.profile import ProjectProfile
+from repro.patterns.classifier import classify, classify_with_tolerance
+from repro.patterns.taxonomy import Pattern
+from tests.conftest import make_history
+from datetime import datetime
+
+
+def history_profile(monthly_ddl, start=None, end=None):
+    history = make_history(monthly_ddl, project_start=start,
+                           project_end=end)
+    return label_profile(ProjectProfile.from_history(history))
+
+
+BASE = "CREATE TABLE users (id INT PRIMARY KEY, email TEXT);"
+
+
+class TestStrictOnRealHistories:
+    def test_flatliner(self):
+        labeled = history_profile(
+            [BASE], start=datetime(2020, 1, 1), end=datetime(2022, 1, 1))
+        assert classify(labeled) is Pattern.FLATLINER
+
+    def test_radical_sign(self):
+        grow = BASE + " CREATE TABLE a (x INT, y INT);"
+        labeled = history_profile(
+            [BASE, grow],
+            start=datetime(2020, 1, 1), end=datetime(2025, 1, 1))
+        assert classify(labeled) is Pattern.RADICAL_SIGN
+
+    def test_late_riser(self):
+        # Commit lands 2021-12 (start_month=23 from the 2020 base);
+        # project spans 2018-01 .. 2022-06 -> birth at ~89 % of life.
+        history = make_history(
+            [BASE], start_month=23,
+            project_start=datetime(2018, 1, 1),
+            project_end=datetime(2022, 6, 30))
+        labeled = label_profile(ProjectProfile.from_history(history))
+        assert classify(labeled) is Pattern.LATE_RISER
+
+    def test_sigmoid(self):
+        history = make_history(
+            [BASE], start_month=12,
+            project_start=datetime(2019, 1, 1),
+            project_end=datetime(2021, 12, 31))
+        labeled = label_profile(ProjectProfile.from_history(history))
+        assert classify(labeled) is Pattern.SIGMOID
+
+
+class TestStrictOnCorpus:
+    def test_small_corpus_all_strictly_classified(self, small_corpus):
+        for project in small_corpus:
+            labeled = label_profile(
+                ProjectProfile.from_history(project.history))
+            assert classify(labeled) is project.intended_pattern, \
+                project.name
+
+
+class TestTolerant:
+    def test_exact_match_not_exception(self, small_corpus):
+        project = small_corpus.projects[0]
+        labeled = label_profile(
+            ProjectProfile.from_history(project.history))
+        result = classify_with_tolerance(labeled)
+        assert result.pattern is project.intended_pattern
+        assert not result.is_exception
+        assert result.violations == ()
+
+    def test_near_miss_assigned_with_exception_flag(self, full_corpus):
+        from repro.patterns.classifier import classify
+        exceptional = [p for p in full_corpus if p.is_exception]
+        assert exceptional
+        for project in exceptional:
+            labeled = label_profile(
+                ProjectProfile.from_history(project.history))
+            if classify(labeled) is not Pattern.UNCLASSIFIED:
+                continue  # the paper's RC-overlap Siestas match strictly
+            result = classify_with_tolerance(labeled)
+            assert result.pattern is not Pattern.UNCLASSIFIED
+            assert result.is_exception
+            assert len(result.violations) == 1
+
+    def test_hopeless_input_stays_unclassified(self):
+        # Construct labels violating >1 constraint of every definition:
+        # late birth + middle top is temporally impossible and far from
+        # everything.
+        class Fake:
+            from repro.labels.classes import (
+                BirthTimingClass as B,
+                TopBandTimingClass as T,
+                IntervalBirthToTopClass as I,
+            )
+            birth_timing = B.LATE
+            top_band_timing = T.V0
+            interval_birth_to_top = I.VERY_LONG
+            active_growth_months = 50
+
+        result = classify_with_tolerance(Fake(), max_violations=1)
+        assert result.pattern is Pattern.UNCLASSIFIED
+
+    def test_max_violations_widens_net(self):
+        class Fake:
+            from repro.labels.classes import (
+                BirthTimingClass as B,
+                TopBandTimingClass as T,
+                IntervalBirthToTopClass as I,
+            )
+            birth_timing = B.LATE
+            top_band_timing = T.V0
+            interval_birth_to_top = I.VERY_LONG
+            active_growth_months = 50
+
+        relaxed = classify_with_tolerance(Fake(), max_violations=4)
+        assert relaxed.pattern is not Pattern.UNCLASSIFIED
+        assert relaxed.is_exception

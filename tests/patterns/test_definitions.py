@@ -1,0 +1,162 @@
+"""Unit tests for the formal pattern definitions."""
+
+import itertools
+
+import pytest
+
+from repro.labels.classes import (
+    BirthTimingClass,
+    IntervalBirthToTopClass,
+    TopBandTimingClass,
+)
+from repro.patterns.definitions import (
+    DEFINITIONS,
+    UNBOUNDED,
+    Variant,
+    definition_of,
+)
+from repro.patterns.taxonomy import Pattern
+
+
+class FakeLabeled:
+    """Minimal stand-in exposing the four defining features."""
+
+    def __init__(self, birth, top, interval, agm):
+        self.birth_timing = birth
+        self.top_band_timing = top
+        self.interval_birth_to_top = interval
+        self.active_growth_months = agm
+
+
+def combos():
+    """Every combination of the defining feature values, AGM in a
+    representative set."""
+    for birth, top, interval, agm in itertools.product(
+            BirthTimingClass, TopBandTimingClass,
+            IntervalBirthToTopClass, (0, 1, 2, 3, 4, 10)):
+        yield FakeLabeled(birth, top, interval, agm)
+
+
+class TestVariant:
+    def test_violations_empty_on_match(self):
+        variant = Variant(birth=frozenset({BirthTimingClass.V0}),
+                          top=frozenset({TopBandTimingClass.V0}))
+        fake = FakeLabeled(BirthTimingClass.V0, TopBandTimingClass.V0,
+                           IntervalBirthToTopClass.ZERO, 0)
+        assert variant.violations(fake) == ()
+        assert variant.matches(fake)
+
+    def test_violations_lists_each_failed_constraint(self):
+        variant = Variant(birth=frozenset({BirthTimingClass.V0}),
+                          top=frozenset({TopBandTimingClass.V0}),
+                          interval=frozenset(
+                              {IntervalBirthToTopClass.ZERO}),
+                          agm_max=0)
+        fake = FakeLabeled(BirthTimingClass.LATE, TopBandTimingClass.LATE,
+                           IntervalBirthToTopClass.LONG, 7)
+        assert set(variant.violations(fake)) == {
+            "birth_timing", "top_band_timing", "interval_birth_to_top",
+            "active_growth_months"}
+
+    def test_interval_none_means_any(self):
+        variant = Variant(birth=frozenset(BirthTimingClass),
+                          top=frozenset(TopBandTimingClass),
+                          interval=None, agm_max=UNBOUNDED)
+        for fake in combos():
+            assert variant.matches(fake)
+
+
+class TestDefinitionRegions:
+    def test_every_definition_has_a_matching_point(self):
+        for definition in DEFINITIONS:
+            assert any(definition.matches(fake) for fake in combos()), \
+                f"{definition.pattern} matches nothing"
+
+    def test_definitions_pairwise_disjoint(self):
+        """No feature combination satisfies two definitions — the formal
+        disjointedness claim of §5.3."""
+        for fake in combos():
+            matching = [d.pattern for d in DEFINITIONS if d.matches(fake)]
+            assert len(matching) <= 1, (
+                f"overlap at birth={fake.birth_timing} "
+                f"top={fake.top_band_timing} "
+                f"interval={fake.interval_birth_to_top} "
+                f"agm={fake.active_growth_months}: {matching}")
+
+    def test_space_not_fully_covered(self):
+        """§5.5: the taxonomy intentionally leaves parts of the space
+        unpopulated (completeness is argued, not forced)."""
+        unmatched = [fake for fake in combos()
+                     if not any(d.matches(fake) for d in DEFINITIONS)]
+        assert unmatched
+
+    def test_impossible_combinations_unmatched(self):
+        # Late birth with early top band is temporally impossible; no
+        # definition should claim it.
+        fake = FakeLabeled(BirthTimingClass.LATE, TopBandTimingClass.EARLY,
+                           IntervalBirthToTopClass.ZERO, 0)
+        assert not any(d.matches(fake) for d in DEFINITIONS)
+
+
+class TestSpecificDefinitions:
+    def test_flatliner_region(self):
+        definition = definition_of(Pattern.FLATLINER)
+        assert definition.matches(FakeLabeled(
+            BirthTimingClass.V0, TopBandTimingClass.V0,
+            IntervalBirthToTopClass.ZERO, 0))
+        assert not definition.matches(FakeLabeled(
+            BirthTimingClass.V0, TopBandTimingClass.EARLY,
+            IntervalBirthToTopClass.SOON, 0))
+
+    def test_radical_sign_takes_v0_and_early_birth(self):
+        definition = definition_of(Pattern.RADICAL_SIGN)
+        for birth in (BirthTimingClass.V0, BirthTimingClass.EARLY):
+            assert definition.matches(FakeLabeled(
+                birth, TopBandTimingClass.EARLY,
+                IntervalBirthToTopClass.SOON, 0))
+
+    def test_quantum_vs_regular_split_on_agm(self):
+        quantum = definition_of(Pattern.QUANTUM_STEPS)
+        regular = definition_of(Pattern.REGULARLY_CURATED)
+        low = FakeLabeled(BirthTimingClass.EARLY,
+                          TopBandTimingClass.MIDDLE,
+                          IntervalBirthToTopClass.LONG, 3)
+        high = FakeLabeled(BirthTimingClass.EARLY,
+                           TopBandTimingClass.MIDDLE,
+                           IntervalBirthToTopClass.LONG, 4)
+        assert quantum.matches(low) and not regular.matches(low)
+        assert regular.matches(high) and not quantum.matches(high)
+
+    def test_siesta_needs_very_long_interval(self):
+        definition = definition_of(Pattern.SIESTA)
+        assert definition.matches(FakeLabeled(
+            BirthTimingClass.EARLY, TopBandTimingClass.LATE,
+            IntervalBirthToTopClass.VERY_LONG, 2))
+        assert not definition.matches(FakeLabeled(
+            BirthTimingClass.EARLY, TopBandTimingClass.LATE,
+            IntervalBirthToTopClass.LONG, 2))
+
+    def test_smoking_funnel_vs_sigmoid(self):
+        funnel = definition_of(Pattern.SMOKING_FUNNEL)
+        sigmoid = definition_of(Pattern.SIGMOID)
+        dense = FakeLabeled(BirthTimingClass.MIDDLE,
+                            TopBandTimingClass.MIDDLE,
+                            IntervalBirthToTopClass.FAIR, 5)
+        frozen = FakeLabeled(BirthTimingClass.MIDDLE,
+                             TopBandTimingClass.MIDDLE,
+                             IntervalBirthToTopClass.ZERO, 0)
+        assert funnel.matches(dense) and not sigmoid.matches(dense)
+        assert sigmoid.matches(frozen) and not funnel.matches(frozen)
+
+    def test_definition_of_unclassified_raises(self):
+        with pytest.raises(KeyError):
+            definition_of(Pattern.UNCLASSIFIED)
+
+    def test_min_violations_picks_best_variant(self):
+        definition = definition_of(Pattern.QUANTUM_STEPS)
+        # One constraint away from either variant: exactly one violation
+        # must be reported (not the union across variants).
+        fake = FakeLabeled(BirthTimingClass.MIDDLE,
+                           TopBandTimingClass.MIDDLE,
+                           IntervalBirthToTopClass.FAIR, 2)
+        assert len(definition.min_violations(fake)) == 1

@@ -1,0 +1,37 @@
+"""Unit tests for pattern descriptions."""
+
+import pytest
+
+from repro.patterns.describe import describe, describe_all
+from repro.patterns.taxonomy import (
+    Family,
+    Pattern,
+    REAL_PATTERNS,
+    family_of,
+)
+
+
+class TestDescribe:
+    def test_every_real_pattern_described(self):
+        descriptions = describe_all()
+        assert {d.pattern for d in descriptions} == set(REAL_PATTERNS)
+
+    def test_fields_non_empty(self):
+        for description in describe_all():
+            assert description.shape
+            assert description.meaning
+            assert description.advice
+            assert description.family is family_of(description.pattern)
+
+    def test_unclassified_raises(self):
+        with pytest.raises(KeyError):
+            describe(Pattern.UNCLASSIFIED)
+
+    def test_flatliner_narrative(self):
+        description = describe(Pattern.FLATLINER)
+        assert "flat" in description.shape
+        assert description.family is Family.BE_QUICK_OR_BE_DEAD
+
+    def test_descriptions_distinct(self):
+        shapes = [d.shape for d in describe_all()]
+        assert len(set(shapes)) == len(shapes)

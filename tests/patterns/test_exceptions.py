@@ -1,0 +1,56 @@
+"""Unit tests for Table-2 exception accounting."""
+
+from repro.labels.quantization import label_profile
+from repro.metrics.profile import ProjectProfile
+from repro.patterns.classifier import ClassificationResult
+from repro.patterns.exceptions import (
+    count_strict_matches,
+    exception_report,
+)
+from repro.patterns.taxonomy import (
+    PAPER_EXCEPTIONS,
+    Pattern,
+    REAL_PATTERNS,
+)
+
+
+def records_of(corpus):
+    for project in corpus:
+        labeled = label_profile(
+            ProjectProfile.from_history(project.history))
+        yield labeled, ClassificationResult(
+            pattern=project.intended_pattern,
+            is_exception=project.is_exception)
+
+
+class TestExceptionReport:
+    def test_population_matches_corpus(self, small_corpus):
+        report = exception_report(records_of(small_corpus))
+        assert report.total == len(small_corpus)
+        assert report.unclassified == 0
+
+    def test_clean_corpus_has_no_exceptions(self, small_corpus):
+        report = exception_report(records_of(small_corpus))
+        assert report.total_exceptions == 0
+
+    def test_full_corpus_reproduces_paper_exceptions(self, full_corpus):
+        report = exception_report(records_of(full_corpus))
+        by_pattern = {row[0]: row for row in report.rows}
+        for pattern in REAL_PATTERNS:
+            _, population, exceptions, overlaps = by_pattern[pattern]
+            assert exceptions == PAPER_EXCEPTIONS[pattern], pattern
+            assert overlaps == 0
+
+    def test_unclassified_counted(self, small_corpus):
+        pairs = list(records_of(small_corpus))
+        labeled = pairs[0][0]
+        pairs.append((labeled, ClassificationResult(
+            pattern=Pattern.UNCLASSIFIED)))
+        report = exception_report(pairs)
+        assert report.unclassified == 1
+
+
+class TestStrictMatchCount:
+    def test_at_most_one_definition_matches(self, small_corpus):
+        for labeled, _result in records_of(small_corpus):
+            assert count_strict_matches(labeled) == 1

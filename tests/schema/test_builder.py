@@ -1,0 +1,234 @@
+"""Unit tests for the DDL-to-schema builder."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.builder import SchemaBuilder, build_schema
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.parser import parse_script
+from repro.sqlddl.ast_nodes import DataType
+
+
+def build(sql, strict=False, dialect=Dialect.GENERIC):
+    return build_schema(parse_script(sql, dialect), strict=strict)
+
+
+class TestCreate:
+    def test_simple_table(self):
+        schema = build("CREATE TABLE Users (Id INT, Email VARCHAR(50));")
+        table = schema.table("users")
+        assert table is not None  # names normalized to lower case
+        assert table.attribute_names == ("id", "email")
+
+    def test_types_canonicalized(self):
+        schema = build("CREATE TABLE t (a INT(11), b TINYINT(1));")
+        table = schema.table("t")
+        assert table.attribute("a").data_type == DataType("INTEGER")
+        assert table.attribute("b").data_type == DataType("BOOLEAN")
+
+    def test_inline_pk_flags(self):
+        schema = build("CREATE TABLE t (id INT PRIMARY KEY, x INT);")
+        table = schema.table("t")
+        assert table.attribute("id").in_primary_key
+        assert not table.attribute("x").in_primary_key
+        assert table.primary_key == ("id",)
+
+    def test_table_level_pk(self):
+        schema = build("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));")
+        assert build("CREATE TABLE t (a INT, b INT, "
+                     "PRIMARY KEY (a, b));").table("t").primary_key \
+            == ("a", "b")
+        assert schema.table("t").attribute("b").in_primary_key
+
+    def test_pk_implies_not_null(self):
+        schema = build("CREATE TABLE t (id INT PRIMARY KEY);")
+        assert schema.table("t").attribute("id").not_null
+
+    def test_inline_fk_flags(self):
+        schema = build("CREATE TABLE t (u INT REFERENCES users (id));")
+        table = schema.table("t")
+        assert table.attribute("u").in_foreign_key
+        assert table.foreign_keys[0].ref_table == "users"
+
+    def test_table_level_fk(self):
+        schema = build(
+            "CREATE TABLE t (u INT, FOREIGN KEY (u) REFERENCES users (id));")
+        assert schema.table("t").attribute("u").in_foreign_key
+
+    def test_unique_constraint_recorded(self):
+        schema = build("CREATE TABLE t (a INT, UNIQUE (a));")
+        assert schema.table("t").unique_keys == (("a",),)
+
+    def test_temporary_ignored(self):
+        schema = build("CREATE TEMPORARY TABLE tmp (a INT);")
+        assert schema.table_count == 0
+
+    def test_if_not_exists_skips_duplicate(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "CREATE TABLE IF NOT EXISTS t (b INT);")
+        assert schema.table("t").attribute_names == ("a",)
+
+    def test_duplicate_create_lenient_replaces(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script(
+            "CREATE TABLE t (a INT); CREATE TABLE t (b INT);"))
+        assert builder.snapshot().table("t").attribute_names == ("b",)
+        assert builder.issues
+
+    def test_duplicate_create_strict_raises(self):
+        with pytest.raises(SchemaError):
+            build("CREATE TABLE t (a INT); CREATE TABLE t (b INT);",
+                  strict=True)
+
+
+class TestDrop:
+    def test_drop_table(self):
+        schema = build("CREATE TABLE t (a INT); DROP TABLE t;")
+        assert schema.table_count == 0
+
+    def test_drop_missing_lenient(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script("DROP TABLE ghost;"))
+        assert builder.issues
+
+    def test_drop_missing_if_exists_silent(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script("DROP TABLE IF EXISTS ghost;"))
+        assert not builder.issues
+
+    def test_drop_missing_strict_raises(self):
+        with pytest.raises(SchemaError):
+            build("DROP TABLE ghost;", strict=True)
+
+
+class TestAlter:
+    def test_add_column(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "ALTER TABLE t ADD COLUMN b TEXT;")
+        assert schema.table("t").attribute_names == ("a", "b")
+
+    def test_add_column_first(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "ALTER TABLE t ADD COLUMN b INT FIRST;",
+                       dialect=Dialect.MYSQL)
+        assert schema.table("t").attribute_names == ("b", "a")
+
+    def test_add_column_after(self):
+        schema = build("CREATE TABLE t (a INT, c INT);"
+                       "ALTER TABLE t ADD COLUMN b INT AFTER a;",
+                       dialect=Dialect.MYSQL)
+        assert schema.table("t").attribute_names == ("a", "b", "c")
+
+    def test_drop_column(self):
+        schema = build("CREATE TABLE t (a INT, b INT);"
+                       "ALTER TABLE t DROP COLUMN a;")
+        assert schema.table("t").attribute_names == ("b",)
+
+    def test_drop_column_cleans_keys(self):
+        schema = build(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b), "
+            "UNIQUE (a));"
+            "ALTER TABLE t DROP COLUMN a;")
+        table = schema.table("t")
+        assert table.primary_key == ("b",)
+        assert table.unique_keys == ()
+
+    def test_modify_column_type(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "ALTER TABLE t MODIFY COLUMN a BIGINT;",
+                       dialect=Dialect.MYSQL)
+        assert schema.table("t").attribute("a").data_type \
+            == DataType("BIGINT")
+
+    def test_change_column_renames(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "ALTER TABLE t CHANGE COLUMN a b TEXT;",
+                       dialect=Dialect.MYSQL)
+        table = schema.table("t")
+        assert table.attribute("b").data_type == DataType("TEXT")
+        assert table.attribute("a") is None
+
+    def test_alter_column_type_postgres(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "ALTER TABLE t ALTER COLUMN a TYPE TEXT;",
+                       dialect=Dialect.POSTGRES)
+        assert schema.table("t").attribute("a").data_type \
+            == DataType("TEXT")
+
+    def test_set_not_null(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "ALTER TABLE t ALTER COLUMN a SET NOT NULL;")
+        assert schema.table("t").attribute("a").not_null
+
+    def test_add_fk_constraint(self):
+        schema = build("CREATE TABLE users (id INT PRIMARY KEY);"
+                       "CREATE TABLE t (u INT);"
+                       "ALTER TABLE t ADD CONSTRAINT fk FOREIGN KEY (u) "
+                       "REFERENCES users (id);")
+        assert schema.table("t").attribute("u").in_foreign_key
+
+    def test_drop_named_fk(self):
+        schema = build("CREATE TABLE t (u INT, CONSTRAINT fk FOREIGN KEY "
+                       "(u) REFERENCES users (id));"
+                       "ALTER TABLE t DROP CONSTRAINT fk;")
+        table = schema.table("t")
+        assert table.foreign_keys == ()
+        assert not table.attribute("u").in_foreign_key
+
+    def test_drop_primary_key(self):
+        schema = build("CREATE TABLE t (id INT PRIMARY KEY);"
+                       "ALTER TABLE t DROP PRIMARY KEY;",
+                       dialect=Dialect.MYSQL)
+        assert schema.table("t").primary_key == ()
+
+    def test_rename_table(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "ALTER TABLE t RENAME TO t2;")
+        assert schema.table("t2") is not None
+        assert schema.table("t") is None
+
+    def test_rename_column_updates_keys(self):
+        schema = build("CREATE TABLE t (a INT PRIMARY KEY);"
+                       "ALTER TABLE t RENAME COLUMN a TO b;")
+        table = schema.table("t")
+        assert table.primary_key == ("b",)
+        assert table.attribute("b").in_primary_key
+
+    def test_alter_missing_table_lenient(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script(
+            "ALTER TABLE ghost ADD COLUMN a INT;"))
+        assert builder.issues
+
+    def test_alter_missing_column_lenient(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script(
+            "CREATE TABLE t (a INT);"
+            "ALTER TABLE t DROP COLUMN ghost;"))
+        assert builder.issues
+
+    def test_duplicate_column_add_lenient(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script(
+            "CREATE TABLE t (a INT);"
+            "ALTER TABLE t ADD COLUMN a TEXT;"))
+        assert builder.issues
+        assert builder.snapshot().table("t").attribute("a").data_type \
+            == DataType("INTEGER")
+
+    def test_rename_to_existing_table_refused(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script(
+            "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"
+            "ALTER TABLE a RENAME TO b;"))
+        assert builder.issues
+        snapshot = builder.snapshot()
+        assert snapshot.table("a") and snapshot.table("b")
+
+
+class TestIndexes:
+    def test_create_index_no_logical_effect(self):
+        schema = build("CREATE TABLE t (a INT);"
+                       "CREATE INDEX idx ON t (a);"
+                       "DROP INDEX idx;")
+        assert schema.table("t").attribute_names == ("a",)

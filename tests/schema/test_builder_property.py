@@ -1,0 +1,100 @@
+"""Property test: the schema builder agrees with a reference model.
+
+A random sequence of DDL operations is applied twice — once through the
+real parser+builder (as SQL text), once to a trivially simple reference
+model (dicts of name -> type string). The resulting schemas must agree
+on table names, column names and canonical types.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.schema.builder import build_schema
+from repro.sqlddl.normalize import canonical_type_name
+from repro.sqlddl.parser import parse_script
+
+_TABLES = ("alpha", "beta", "gamma")
+_COLUMNS = ("c1", "c2", "c3", "c4")
+_TYPES = ("INT", "TEXT", "BOOLEAN", "DATE")
+
+operations = st.one_of(
+    st.tuples(st.just("create"), st.sampled_from(_TABLES),
+              st.sampled_from(_COLUMNS), st.sampled_from(_TYPES)),
+    st.tuples(st.just("drop"), st.sampled_from(_TABLES)),
+    st.tuples(st.just("add_col"), st.sampled_from(_TABLES),
+              st.sampled_from(_COLUMNS), st.sampled_from(_TYPES)),
+    st.tuples(st.just("drop_col"), st.sampled_from(_TABLES),
+              st.sampled_from(_COLUMNS)),
+    st.tuples(st.just("retype"), st.sampled_from(_TABLES),
+              st.sampled_from(_COLUMNS), st.sampled_from(_TYPES)),
+    st.tuples(st.just("rename_col"), st.sampled_from(_TABLES),
+              st.sampled_from(_COLUMNS), st.sampled_from(_COLUMNS)),
+)
+
+
+def apply_reference(model: dict, op: tuple) -> str | None:
+    """Apply one op to the reference model; returns the SQL equivalent
+    (None when the op is a no-op for the reference and must be skipped
+    in the SQL stream too)."""
+    kind = op[0]
+    if kind == "create":
+        _, table, column, type_name = op
+        if table in model:
+            return None
+        model[table] = {column: canonical_type_name(type_name)}
+        return f"CREATE TABLE {table} ({column} {type_name});"
+    if kind == "drop":
+        _, table = op
+        if table not in model:
+            return None
+        del model[table]
+        return f"DROP TABLE {table};"
+    if kind == "add_col":
+        _, table, column, type_name = op
+        if table not in model or column in model[table]:
+            return None
+        model[table][column] = canonical_type_name(type_name)
+        return f"ALTER TABLE {table} ADD COLUMN {column} {type_name};"
+    if kind == "drop_col":
+        _, table, column = op
+        if table not in model or column not in model[table] \
+                or len(model[table]) == 1:
+            return None
+        del model[table][column]
+        return f"ALTER TABLE {table} DROP COLUMN {column};"
+    if kind == "retype":
+        _, table, column, type_name = op
+        if table not in model or column not in model[table]:
+            return None
+        model[table][column] = canonical_type_name(type_name)
+        return (f"ALTER TABLE {table} ALTER COLUMN {column} "
+                f"TYPE {type_name};")
+    if kind == "rename_col":
+        _, table, old, new = op
+        if table not in model or old not in model[table] \
+                or new in model[table]:
+            return None
+        model[table][new] = model[table].pop(old)
+        return f"ALTER TABLE {table} RENAME COLUMN {old} TO {new};"
+    raise AssertionError(f"unknown op {kind}")
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=st.lists(operations, min_size=0, max_size=25))
+def test_builder_agrees_with_reference_model(ops):
+    reference: dict[str, dict[str, str]] = {}
+    statements: list[str] = []
+    for op in ops:
+        sql = apply_reference(reference, op)
+        if sql is not None:
+            statements.append(sql)
+
+    schema = build_schema(parse_script("\n".join(statements)))
+
+    assert set(schema.table_names) == set(reference)
+    for table_name, columns in reference.items():
+        table = schema.table(table_name)
+        assert set(table.attribute_names) == set(columns)
+        for column_name, type_name in columns.items():
+            actual = table.attribute(column_name).data_type
+            assert actual is not None
+            assert actual.name == type_name

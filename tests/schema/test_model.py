@@ -1,0 +1,84 @@
+"""Unit tests for the logical schema model."""
+
+from repro.schema.model import (
+    Attribute,
+    EMPTY_SCHEMA,
+    ForeignKey,
+    Schema,
+    Table,
+)
+from repro.sqlddl.ast_nodes import DataType
+
+
+def make_table(name="users", cols=("id", "email")):
+    return Table(name=name,
+                 attributes=tuple(Attribute(name=c,
+                                            data_type=DataType("INTEGER"))
+                                  for c in cols),
+                 primary_key=(cols[0],))
+
+
+class TestAttribute:
+    def test_with_keys(self):
+        attr = Attribute("a", DataType("INTEGER"))
+        updated = attr.with_keys(in_pk=True, in_fk=True)
+        assert updated.in_primary_key and updated.in_foreign_key
+        assert updated.name == "a"
+        assert not attr.in_primary_key  # original unchanged
+
+    def test_hashable(self):
+        assert len({Attribute("a"), Attribute("a")}) == 1
+
+
+class TestTable:
+    def test_attribute_lookup(self):
+        table = make_table()
+        assert table.attribute("email").name == "email"
+        assert table.attribute("missing") is None
+
+    def test_contains(self):
+        table = make_table()
+        assert "id" in table
+        assert "nope" not in table
+
+    def test_len_counts_attributes(self):
+        assert len(make_table(cols=("a", "b", "c"))) == 3
+
+    def test_attribute_names_order(self):
+        assert make_table().attribute_names == ("id", "email")
+
+
+class TestSchema:
+    def test_empty(self):
+        assert EMPTY_SCHEMA.table_count == 0
+        assert EMPTY_SCHEMA.attribute_count == 0
+        assert len(EMPTY_SCHEMA) == 0
+
+    def test_lookup(self):
+        schema = Schema(tables=(make_table(), make_table("orders")))
+        assert schema.table("orders").name == "orders"
+        assert schema.table("missing") is None
+        assert "users" in schema
+
+    def test_attribute_count(self):
+        schema = Schema(tables=(make_table(cols=("a",)),
+                                make_table("t2", cols=("a", "b", "c"))))
+        assert schema.attribute_count == 4
+
+    def test_as_dict_is_fresh(self):
+        schema = Schema(tables=(make_table(),))
+        mapping = schema.as_dict()
+        mapping["hacked"] = None
+        assert "hacked" not in schema
+
+    def test_iteration(self):
+        schema = Schema(tables=(make_table("a"), make_table("b")))
+        assert [t.name for t in schema] == ["a", "b"]
+
+    def test_foreign_key_record(self):
+        fk = ForeignKey(columns=("u",), ref_table="users",
+                        ref_columns=("id",))
+        table = Table(name="orders",
+                      attributes=(Attribute("u", in_foreign_key=True),),
+                      foreign_keys=(fk,))
+        assert table.foreign_keys[0].ref_table == "users"

@@ -1,0 +1,45 @@
+"""Unit tests for schema validation."""
+
+from repro.schema.builder import build_schema
+from repro.schema.validate import validate_schema
+from repro.sqlddl.parser import parse_script
+
+
+def validate(sql):
+    return validate_schema(build_schema(parse_script(sql)))
+
+
+class TestValidation:
+    def test_clean_schema(self):
+        issues = validate(
+            "CREATE TABLE users (id INT PRIMARY KEY);"
+            "CREATE TABLE orders (id INT PRIMARY KEY, "
+            "u INT REFERENCES users (id));")
+        assert issues == []
+
+    def test_dangling_fk_table(self):
+        issues = validate("CREATE TABLE t (u INT REFERENCES ghost (id));")
+        assert any(i.kind == "dangling-fk-table" for i in issues)
+
+    def test_dangling_fk_column(self):
+        issues = validate(
+            "CREATE TABLE users (id INT);"
+            "CREATE TABLE t (u INT REFERENCES users (ghost));")
+        assert any(i.kind == "dangling-fk-column" for i in issues)
+
+    def test_fk_without_ref_columns_ok(self):
+        issues = validate(
+            "CREATE TABLE users (id INT);"
+            "CREATE TABLE t (u INT REFERENCES users);")
+        assert issues == []
+
+    def test_empty_table_flagged(self):
+        # A table whose only column was dropped.
+        issues = validate("CREATE TABLE t (a INT);"
+                          "ALTER TABLE t DROP COLUMN a;")
+        assert any(i.kind == "empty-table" for i in issues)
+
+    def test_issue_carries_table_and_detail(self):
+        issues = validate("CREATE TABLE t (u INT REFERENCES ghost (id));")
+        assert issues[0].table == "t"
+        assert "ghost" in issues[0].detail

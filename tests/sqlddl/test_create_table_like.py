@@ -1,0 +1,75 @@
+"""Unit tests for CREATE TABLE ... LIKE support."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.schema.builder import SchemaBuilder, build_schema
+from repro.sqlddl import ast_nodes as ast
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.parser import parse_script, parse_statement
+from repro.sqlddl.writer import write_statement
+
+
+class TestParseLike:
+    def test_basic(self):
+        stmt = parse_statement("CREATE TABLE b LIKE a")
+        assert isinstance(stmt, ast.CreateTableLike)
+        assert stmt.name == "b"
+        assert stmt.template == "a"
+
+    def test_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS b LIKE a")
+        assert stmt.if_not_exists
+
+    def test_quoted_names(self):
+        stmt = parse_statement("CREATE TABLE `b copy` LIKE `a`",
+                               Dialect.MYSQL)
+        assert stmt.name == "b copy"
+
+    def test_writer_roundtrip(self):
+        stmt = parse_statement("CREATE TABLE b LIKE a")
+        assert parse_statement(write_statement(stmt)) == stmt
+
+    def test_garbage_after_template_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE b LIKE a (x INT)")
+
+
+class TestBuilderLike:
+    def test_clones_structure(self):
+        schema = build_schema(parse_script(
+            "CREATE TABLE a (id INT PRIMARY KEY, x TEXT, UNIQUE (x));"
+            "CREATE TABLE b LIKE a;"))
+        clone = schema.table("b")
+        assert clone.attribute_names == ("id", "x")
+        assert clone.primary_key == ("id",)
+        assert clone.unique_keys == (("x",),)
+
+    def test_clone_is_independent(self):
+        schema = build_schema(parse_script(
+            "CREATE TABLE a (id INT);"
+            "CREATE TABLE b LIKE a;"
+            "ALTER TABLE b ADD COLUMN extra TEXT;"))
+        assert schema.table("a").attribute_names == ("id",)
+        assert schema.table("b").attribute_names == ("id", "extra")
+
+    def test_missing_template_lenient(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script("CREATE TABLE b LIKE ghost;"))
+        assert builder.issues
+        assert builder.snapshot().table("b") is None
+
+    def test_if_not_exists_skips(self):
+        schema = build_schema(parse_script(
+            "CREATE TABLE a (id INT); CREATE TABLE b (y TEXT);"
+            "CREATE TABLE IF NOT EXISTS b LIKE a;"))
+        assert schema.table("b").attribute_names == ("y",)
+
+    def test_diff_counts_clone_as_birth(self):
+        from repro.diff.engine import diff_schemas
+        old = build_schema(parse_script("CREATE TABLE a (x INT, y INT);"))
+        new = build_schema(parse_script(
+            "CREATE TABLE a (x INT, y INT); CREATE TABLE b LIKE a;"))
+        delta = diff_schemas(old, new)
+        assert delta.tables_added == ("b",)
+        assert delta.total_affected == 2

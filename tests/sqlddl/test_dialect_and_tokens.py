@@ -1,0 +1,86 @@
+"""Unit tests for dialect traits, the token model and the error types."""
+
+import pytest
+
+from repro import errors
+from repro.sqlddl.dialect import (
+    ALL_AUTOINCREMENT_WORDS,
+    ALL_SERIAL_TYPES,
+    Dialect,
+)
+from repro.sqlddl.tokens import Token, TokenType
+
+
+class TestDialect:
+    def test_from_name(self):
+        assert Dialect.from_name("mysql") is Dialect.MYSQL
+        assert Dialect.from_name("POSTGRES") is Dialect.POSTGRES
+
+    def test_from_name_unknown(self):
+        with pytest.raises(KeyError):
+            Dialect.from_name("oracle")
+
+    def test_traits_shape(self):
+        for dialect in Dialect:
+            traits = dialect.traits
+            assert traits.name
+            assert traits.identifier_quotes
+            assert traits.default_quote in ('"', "`")
+
+    def test_mysql_quirks(self):
+        traits = Dialect.MYSQL.traits
+        assert "`" in traits.identifier_quotes
+        assert traits.hash_comments
+        assert "AUTO_INCREMENT" in traits.autoincrement_words
+
+    def test_postgres_quirks(self):
+        traits = Dialect.POSTGRES.traits
+        assert not traits.hash_comments
+        assert "SERIAL" in traits.serial_types
+
+    def test_aggregated_word_sets(self):
+        assert "AUTO_INCREMENT" in ALL_AUTOINCREMENT_WORDS
+        assert "AUTOINCREMENT" in ALL_AUTOINCREMENT_WORDS
+        assert "SERIAL" in ALL_SERIAL_TYPES
+
+
+class TestToken:
+    def test_is_word_case_insensitive(self):
+        token = Token(TokenType.WORD, "create")
+        assert token.is_word("CREATE")
+        assert not token.is_word("DROP")
+
+    def test_is_word_only_for_words(self):
+        token = Token(TokenType.STRING, "CREATE")
+        assert not token.is_word("CREATE")
+
+    def test_is_punct(self):
+        assert Token(TokenType.PUNCT, ";").is_punct(";")
+        assert not Token(TokenType.PUNCT, ",").is_punct(";")
+
+    def test_describe(self):
+        assert "word" in Token(TokenType.WORD, "x").describe()
+        assert Token(TokenType.EOF, "").describe() == "end of input"
+
+    def test_upper(self):
+        assert Token(TokenType.WORD, "select").upper() == "SELECT"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("LexError", "ParseError", "SchemaError",
+                     "HistoryError", "MetricError", "LabelError",
+                     "ClassificationError", "CorpusError",
+                     "AnalysisError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_lex_error_carries_position(self):
+        error = errors.LexError("bad", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3" in str(error)
+
+    def test_parse_error_statement_offset(self):
+        error = errors.ParseError("bad", 1, 2, statement_start=10)
+        assert error.statement_start == 10

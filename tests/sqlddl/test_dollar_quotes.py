@@ -1,0 +1,58 @@
+"""Unit tests for PostgreSQL dollar-quoted string lexing."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.lexer import tokenize
+from repro.sqlddl.parser import parse_script
+from repro.sqlddl.tokens import TokenType
+
+
+class TestDollarQuotes:
+    def test_plain_dollar_dollar(self):
+        tokens = tokenize("$$hello world$$", Dialect.POSTGRES)
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_tagged(self):
+        tokens = tokenize("$fn$ SELECT 'x'; $fn$", Dialect.POSTGRES)
+        assert tokens[0].type is TokenType.STRING
+        assert "SELECT 'x';" in tokens[0].value
+
+    def test_inner_dollars_kept(self):
+        tokens = tokenize("$a$cost is $5$a$", Dialect.POSTGRES)
+        assert tokens[0].value == "cost is $5"
+
+    def test_multiline_body(self):
+        tokens = tokenize("$$line1\nline2$$")
+        assert tokens[0].value == "line1\nline2"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize("$$oops")
+
+    def test_bare_dollar_still_punct(self):
+        tokens = tokenize("a $ b")
+        assert tokens[1].type is TokenType.PUNCT
+        assert tokens[1].value == "$"
+
+    def test_dollar_in_identifier_unaffected(self):
+        tokens = tokenize("v$stats")
+        assert tokens[0].value == "v$stats"
+
+    def test_function_body_in_dump_skipped_cleanly(self):
+        dump = """
+        CREATE TABLE t (a INT);
+        CREATE FUNCTION f() RETURNS trigger AS $body$
+          BEGIN
+            INSERT INTO log VALUES (now());
+            RETURN NEW;
+          END;
+        $body$ LANGUAGE plpgsql;
+        CREATE TABLE u (b INT);
+        """
+        script = parse_script(dump, Dialect.POSTGRES)
+        assert [s.name for s in script.statements
+                if hasattr(s, "name")] == ["t", "u"]
+        assert any(s.reason == "non-ddl" for s in script.skipped)

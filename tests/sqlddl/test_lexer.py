@@ -1,0 +1,149 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.lexer import tokenize
+from repro.sqlddl.tokens import TokenType
+
+
+def kinds(text, dialect=Dialect.GENERIC):
+    return [t.type for t in tokenize(text, dialect)[:-1]]
+
+
+def values(text, dialect=Dialect.GENERIC):
+    return [t.value for t in tokenize(text, dialect)[:-1]]
+
+
+class TestBasicTokens:
+    def test_words_and_punct(self):
+        tokens = tokenize("CREATE TABLE t (a INT);")
+        assert [t.value for t in tokens[:-1]] == [
+            "CREATE", "TABLE", "t", "(", "a", "INT", ")", ";"]
+
+    def test_eof_is_last(self):
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        assert len(tokenize("  \n\t  ")) == 1
+
+    def test_number_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == "42"
+
+    def test_number_decimal(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_number_scientific(self):
+        assert tokenize("1e5")[0].value == "1e5"
+        assert tokenize("2.5E-3")[0].value == "2.5E-3"
+
+    def test_number_leading_dot(self):
+        assert tokenize(".5")[0].value == ".5"
+
+    def test_word_with_underscore_and_digits(self):
+        assert tokenize("user_2fa")[0].value == "user_2fa"
+
+    def test_word_with_dollar(self):
+        assert tokenize("v$stats")[0].value == "v$stats"
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_backslash_escape(self):
+        assert tokenize(r"'a\'b'")[0].value == "a'b"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+
+class TestQuotedIdentifiers:
+    def test_backticks_mysql(self):
+        token = tokenize("`my table`", Dialect.MYSQL)[0]
+        assert token.type is TokenType.QUOTED_IDENT
+        assert token.value == "my table"
+
+    def test_double_quotes(self):
+        token = tokenize('"col name"', Dialect.POSTGRES)[0]
+        assert token.type is TokenType.QUOTED_IDENT
+        assert token.value == "col name"
+
+    def test_doubled_closing_quote(self):
+        assert tokenize('"a""b"')[0].value == 'a"b'
+
+    def test_brackets_generic(self):
+        token = tokenize("[weird]", Dialect.GENERIC)[0]
+        assert token.type is TokenType.QUOTED_IDENT
+        assert token.value == "weird"
+
+    def test_backtick_not_identifier_quote_in_postgres(self):
+        with pytest.raises(LexError):
+            tokenize("`x`", Dialect.POSTGRES)
+
+    def test_unterminated_identifier_raises(self):
+        with pytest.raises(LexError):
+            tokenize("`oops", Dialect.MYSQL)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a -- comment\nb") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert values("a -- trailing") == ["a"]
+
+    def test_hash_comment_mysql(self):
+        assert values("a # note\nb", Dialect.MYSQL) == ["a", "b"]
+
+    def test_hash_not_comment_in_postgres(self):
+        with pytest.raises(LexError):
+            tokenize("a # b", Dialect.POSTGRES)
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_nested_star_inside_block(self):
+        assert values("a /* * ** */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+    def test_double_dash_requires_both(self):
+        # A single '-' is punctuation, not a comment.
+        assert values("a - b") == ["a", "-", "b"]
+
+
+class TestErrorHandling:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a \x00 b")
+        assert info.value.line == 1
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("ab\ncd \x01")
+        assert info.value.line == 2

@@ -1,0 +1,87 @@
+"""Unit tests for identifier and type normalization."""
+
+from repro.sqlddl.ast_nodes import DataType
+from repro.sqlddl.normalize import (
+    canonical_type,
+    canonical_type_name,
+    normalize_identifier,
+    types_equal,
+)
+
+
+class TestIdentifiers:
+    def test_lowercases(self):
+        assert normalize_identifier("Users") == "users"
+
+    def test_strips_whitespace(self):
+        assert normalize_identifier("  users ") == "users"
+
+    def test_preserves_inner_content(self):
+        assert normalize_identifier("My Table") == "my table"
+
+
+class TestTypeNames:
+    def test_int_alias(self):
+        assert canonical_type_name("int") == "INTEGER"
+        assert canonical_type_name("INT4") == "INTEGER"
+
+    def test_serial_family(self):
+        assert canonical_type_name("SERIAL") == "INTEGER"
+        assert canonical_type_name("BIGSERIAL") == "BIGINT"
+
+    def test_character_varying(self):
+        assert canonical_type_name("character   varying") == "VARCHAR"
+
+    def test_bool(self):
+        assert canonical_type_name("BOOL") == "BOOLEAN"
+
+    def test_unknown_passthrough(self):
+        assert canonical_type_name("GEOMETRY") == "GEOMETRY"
+
+    def test_numeric_is_decimal(self):
+        assert canonical_type_name("NUMERIC") == "DECIMAL"
+
+    def test_timestamptz(self):
+        assert (canonical_type_name("TIMESTAMPTZ")
+                == "TIMESTAMP WITH TIME ZONE")
+
+
+class TestCanonicalType:
+    def test_none_passthrough(self):
+        assert canonical_type(None) is None
+
+    def test_display_width_stripped(self):
+        assert canonical_type(DataType("INT", ("11",))) \
+            == DataType("INTEGER")
+
+    def test_varchar_length_kept(self):
+        assert canonical_type(DataType("VARCHAR", ("255",))).params \
+            == ("255",)
+
+    def test_tinyint1_is_boolean(self):
+        assert canonical_type(DataType("TINYINT", ("1",))) \
+            == DataType("BOOLEAN")
+
+    def test_tinyint4_stays_tinyint(self):
+        assert canonical_type(DataType("TINYINT", ("4",))).name \
+            == "TINYINT"
+
+    def test_zerofill_dropped_unsigned_kept(self):
+        result = canonical_type(
+            DataType("INT", unsigned=True, zerofill=True))
+        assert result.unsigned and not result.zerofill
+
+
+class TestTypesEqual:
+    def test_alias_spellings_equal(self):
+        assert types_equal(DataType("INT", ("11",)), DataType("INTEGER"))
+
+    def test_different_lengths_not_equal(self):
+        assert not types_equal(DataType("VARCHAR", ("10",)),
+                               DataType("VARCHAR", ("20",)))
+
+    def test_none_equals_none(self):
+        assert types_equal(None, None)
+
+    def test_none_not_equal_typed(self):
+        assert not types_equal(None, DataType("INTEGER"))

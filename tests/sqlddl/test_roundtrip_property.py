@@ -1,0 +1,170 @@
+"""Property-based round-trip tests: write(parse(ast)) is the identity.
+
+Random DDL ASTs are generated from a constrained vocabulary, rendered to
+SQL, re-parsed, and compared structurally.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlddl import ast_nodes as ast
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.parser import parse_script, parse_statement
+from repro.sqlddl.writer import write_script, write_statement
+
+_SAFE_START = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+_SAFE_REST = _SAFE_START + "0123456789"
+
+identifiers = st.text(alphabet=_SAFE_REST, min_size=1, max_size=12).filter(
+    lambda s: s[0] in _SAFE_START)
+
+# Identifiers that force quoting (spaces, mixed case, reserved words).
+weird_identifiers = st.one_of(
+    identifiers,
+    st.sampled_from(["my table", "select", "primary", "Key", "1abc",
+                     'quo"ted', "back`tick"]),
+)
+
+type_names = st.sampled_from([
+    "INTEGER", "BIGINT", "SMALLINT", "TEXT", "BOOLEAN", "DATE",
+    "TIMESTAMP", "BLOB", "REAL",
+])
+
+parameterized_types = st.builds(
+    ast.DataType,
+    name=st.sampled_from(["VARCHAR", "CHAR", "DECIMAL"]),
+    params=st.lists(st.integers(1, 999).map(str), min_size=1,
+                    max_size=2).map(tuple),
+)
+
+data_types = st.one_of(
+    st.builds(ast.DataType, name=type_names),
+    parameterized_types,
+    st.builds(ast.DataType, name=st.just("INTEGER"),
+              unsigned=st.booleans()),
+)
+
+defaults = st.one_of(
+    st.none(),
+    st.integers(-999, 999).map(str),
+    st.sampled_from(["NULL", "CURRENT_TIMESTAMP", "'text'", "now()"]),
+)
+
+references = st.one_of(
+    st.none(),
+    st.builds(ast.ForeignKeyRef,
+              table=identifiers,
+              columns=st.lists(identifiers, min_size=1,
+                               max_size=2).map(tuple),
+              on_delete=st.sampled_from([None, "CASCADE", "SET NULL",
+                                         "RESTRICT", "NO ACTION"]),
+              on_update=st.sampled_from([None, "CASCADE"])),
+)
+
+column_defs = st.builds(
+    ast.ColumnDef,
+    name=weird_identifiers,
+    data_type=data_types,
+    not_null=st.booleans(),
+    default=defaults,
+    primary_key=st.booleans(),
+    unique=st.booleans(),
+    auto_increment=st.booleans(),
+    references=references,
+    comment=st.one_of(st.none(), st.text(
+        alphabet="abc xyz'!?", min_size=1, max_size=10)),
+)
+
+table_constraints = st.one_of(
+    st.builds(ast.PrimaryKeyConstraint,
+              columns=st.lists(identifiers, min_size=1,
+                               max_size=3).map(tuple),
+              name=st.one_of(st.none(), identifiers)),
+    st.builds(ast.ForeignKeyConstraint,
+              columns=st.lists(identifiers, min_size=1,
+                               max_size=2).map(tuple),
+              ref_table=identifiers,
+              ref_columns=st.lists(identifiers, min_size=0,
+                                   max_size=2).map(tuple),
+              name=st.one_of(st.none(), identifiers),
+              on_delete=st.sampled_from([None, "CASCADE"]),
+              on_update=st.sampled_from([None, "SET DEFAULT"])),
+    st.builds(ast.UniqueConstraint,
+              columns=st.lists(identifiers, min_size=1,
+                               max_size=3).map(tuple),
+              name=st.one_of(st.none(), identifiers)),
+    st.builds(ast.IndexKey,
+              columns=st.lists(identifiers, min_size=1,
+                               max_size=2).map(tuple),
+              name=st.one_of(st.none(), identifiers)),
+)
+
+create_tables = st.builds(
+    ast.CreateTable,
+    name=weird_identifiers,
+    columns=st.lists(column_defs, min_size=1, max_size=5).map(tuple),
+    constraints=st.lists(table_constraints, min_size=0,
+                         max_size=3).map(tuple),
+    if_not_exists=st.booleans(),
+    temporary=st.booleans(),
+)
+
+alter_actions = st.one_of(
+    st.builds(ast.AddColumn, column=column_defs,
+              position=st.sampled_from([None, "FIRST"])),
+    st.builds(ast.DropColumn, name=weird_identifiers,
+              if_exists=st.booleans()),
+    st.builds(ast.ModifyColumn, column=column_defs),
+    st.builds(ast.ChangeColumn, old_name=identifiers,
+              column=column_defs),
+    st.builds(ast.AlterColumnType, name=identifiers,
+              data_type=data_types),
+    st.builds(ast.AlterColumnDefault, name=identifiers,
+              default=defaults),
+    st.builds(ast.AlterColumnNullability, name=identifiers,
+              not_null=st.booleans()),
+    st.builds(ast.AddConstraint, constraint=table_constraints),
+    st.builds(ast.RenameTable, new_name=identifiers),
+    st.builds(ast.RenameColumn, old_name=identifiers,
+              new_name=identifiers),
+)
+
+alter_tables = st.builds(
+    ast.AlterTable,
+    name=weird_identifiers,
+    actions=st.lists(alter_actions, min_size=1, max_size=4).map(tuple),
+    if_exists=st.booleans(),
+)
+
+drop_tables = st.builds(
+    ast.DropTable,
+    names=st.lists(weird_identifiers, min_size=1, max_size=3).map(tuple),
+    if_exists=st.booleans(),
+)
+
+statements = st.one_of(create_tables, alter_tables, drop_tables)
+
+
+@settings(max_examples=150, deadline=None)
+@given(stmt=statements)
+def test_statement_roundtrip_generic(stmt):
+    rendered = write_statement(stmt, Dialect.GENERIC)
+    parsed = parse_statement(rendered, Dialect.GENERIC)
+    assert parsed == stmt
+
+
+@settings(max_examples=80, deadline=None)
+@given(stmt=create_tables)
+def test_statement_roundtrip_mysql(stmt):
+    rendered = write_statement(stmt, Dialect.MYSQL)
+    parsed = parse_statement(rendered, Dialect.MYSQL)
+    assert parsed == stmt
+
+
+@settings(max_examples=50, deadline=None)
+@given(stmts=st.lists(statements, min_size=0, max_size=5))
+def test_script_roundtrip(stmts):
+    script = ast.Script(statements=tuple(stmts))
+    rendered = write_script(script)
+    parsed = parse_script(rendered)
+    assert parsed.statements == script.statements
+    assert parsed.skipped == ()

@@ -1,0 +1,110 @@
+"""Unit tests for view support across parser, writer, builder, diff."""
+
+import pytest
+
+from repro.diff.engine import diff_schemas
+from repro.errors import ParseError
+from repro.schema.builder import SchemaBuilder, build_schema
+from repro.sqlddl import ast_nodes as ast
+from repro.sqlddl.parser import parse_script, parse_statement
+from repro.sqlddl.writer import write_statement
+
+
+class TestParseViews:
+    def test_create_view(self):
+        stmt = parse_statement(
+            "CREATE VIEW v AS SELECT id, email FROM users")
+        assert isinstance(stmt, ast.CreateView)
+        assert stmt.name == "v"
+        assert "SELECT" in stmt.query
+        assert "users" in stmt.query
+
+    def test_or_replace(self):
+        stmt = parse_statement("CREATE OR REPLACE VIEW v AS SELECT 1")
+        assert stmt.or_replace
+
+    def test_view_with_column_list(self):
+        stmt = parse_statement(
+            "CREATE VIEW v (a, b) AS SELECT x, y FROM t")
+        assert stmt.columns == ("a", "b")
+
+    def test_drop_view(self):
+        stmt = parse_statement("DROP VIEW IF EXISTS v1, v2")
+        assert isinstance(stmt, ast.DropView)
+        assert stmt.names == ("v1", "v2")
+        assert stmt.if_exists
+
+    def test_or_without_replace_fails(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE OR VIEW v AS SELECT 1")
+
+    def test_view_in_script(self):
+        script = parse_script(
+            "CREATE TABLE t (a INT);"
+            "CREATE VIEW v AS SELECT a FROM t WHERE a > 0;"
+            "DROP VIEW v;")
+        assert len(script.statements) == 3
+        assert not script.skipped
+
+
+class TestWriteViews:
+    def test_roundtrip_create_view(self):
+        stmt = parse_statement(
+            "CREATE OR REPLACE VIEW v (a) AS SELECT x FROM t")
+        rendered = write_statement(stmt)
+        again = parse_statement(rendered)
+        assert again.name == stmt.name
+        assert again.columns == stmt.columns
+        assert again.or_replace == stmt.or_replace
+
+    def test_roundtrip_drop_view(self):
+        stmt = parse_statement("DROP VIEW IF EXISTS a, b")
+        assert parse_statement(write_statement(stmt)) == stmt
+
+
+class TestBuilderViews:
+    def test_views_in_snapshot(self):
+        schema = build_schema(parse_script(
+            "CREATE TABLE t (a INT);"
+            "CREATE VIEW V_Top AS SELECT a FROM t;"))
+        assert schema.views == ("v_top",)
+
+    def test_drop_view_removes(self):
+        schema = build_schema(parse_script(
+            "CREATE VIEW v AS SELECT 1; DROP VIEW v;"))
+        assert schema.views == ()
+
+    def test_or_replace_no_duplicate(self):
+        schema = build_schema(parse_script(
+            "CREATE VIEW v AS SELECT 1;"
+            "CREATE OR REPLACE VIEW v AS SELECT 2;"))
+        assert schema.views == ("v",)
+
+    def test_duplicate_view_lenient(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script(
+            "CREATE VIEW v AS SELECT 1; CREATE VIEW v AS SELECT 2;"))
+        assert builder.issues
+
+    def test_drop_missing_view_lenient(self):
+        builder = SchemaBuilder()
+        builder.apply_script(parse_script("DROP VIEW ghost;"))
+        assert builder.issues
+
+
+class TestDiffViews:
+    def test_view_changes_reported_but_not_counted(self):
+        old = build_schema(parse_script("CREATE TABLE t (a INT);"))
+        new = build_schema(parse_script(
+            "CREATE TABLE t (a INT);"
+            "CREATE VIEW v AS SELECT a FROM t;"))
+        delta = diff_schemas(old, new)
+        assert delta.views_added == ("v",)
+        assert delta.total_affected == 0  # attribute unit untouched
+
+    def test_view_dropped(self):
+        old = build_schema(parse_script(
+            "CREATE VIEW v AS SELECT 1;"))
+        new = build_schema(parse_script("CREATE TABLE t (a INT);"))
+        delta = diff_schemas(old, new)
+        assert delta.views_dropped == ("v",)

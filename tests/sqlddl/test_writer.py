@@ -1,0 +1,123 @@
+"""Unit tests for the SQL writer (rendering + targeted round trips)."""
+
+import pytest
+
+from repro.sqlddl import ast_nodes as ast
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.parser import parse_statement
+from repro.sqlddl.writer import (
+    quote_identifier,
+    write_script,
+    write_statement,
+)
+
+
+def roundtrip(sql: str, dialect: Dialect = Dialect.GENERIC):
+    """parse -> write -> parse; returns (first AST, re-parsed AST)."""
+    first = parse_statement(sql, dialect)
+    rendered = write_statement(first, dialect)
+    second = parse_statement(rendered, dialect)
+    return first, second
+
+
+class TestQuoting:
+    def test_safe_name_unquoted(self):
+        assert quote_identifier("users") == "users"
+
+    def test_space_quoted(self):
+        assert quote_identifier("my table") == '"my table"'
+
+    def test_leading_digit_quoted(self):
+        assert quote_identifier("1st") == '"1st"'
+
+    def test_reserved_word_quoted(self):
+        assert quote_identifier("key") == '"key"'
+        assert quote_identifier("primary") == '"primary"'
+
+    def test_mysql_backtick(self):
+        assert quote_identifier("my table", Dialect.MYSQL) == "`my table`"
+
+    def test_embedded_quote_doubled(self):
+        assert quote_identifier('a"b') == '"a""b"'
+
+    def test_empty_name_quoted(self):
+        assert quote_identifier("") == '""'
+
+
+class TestStatementRendering:
+    def test_create_contains_all_columns(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT NOT NULL, b TEXT DEFAULT 'x', "
+            "PRIMARY KEY (a))")
+        out = write_statement(stmt)
+        assert "a INTEGER" not in out  # writer preserves spelling
+        assert "a INT NOT NULL" in out
+        assert "PRIMARY KEY (a)" in out
+
+    def test_drop_if_exists(self):
+        stmt = ast.DropTable(names=("a", "b"), if_exists=True)
+        assert write_statement(stmt) == "DROP TABLE IF EXISTS a, b"
+
+    def test_alter_multiple_actions(self):
+        stmt = parse_statement(
+            "ALTER TABLE t ADD a INT, DROP COLUMN b")
+        out = write_statement(stmt)
+        assert "ADD COLUMN a INT" in out
+        assert "DROP COLUMN b" in out
+
+    def test_unknown_statement_type_raises(self):
+        with pytest.raises(TypeError):
+            write_statement("not a statement")  # type: ignore[arg-type]
+
+    def test_script_rendering_ends_with_newline(self):
+        stmt = parse_statement("CREATE TABLE t (a INT)")
+        script = ast.Script(statements=(stmt,))
+        out = write_script(script)
+        assert out.endswith(";\n")
+
+    def test_empty_script(self):
+        assert write_script(ast.Script(statements=())) == ""
+
+
+class TestRoundTrips:
+    CASES = [
+        "CREATE TABLE t (a INT)",
+        "CREATE TABLE t (a INT NOT NULL DEFAULT 0)",
+        "CREATE TABLE IF NOT EXISTS t (a VARCHAR(255) UNIQUE)",
+        "CREATE TABLE t (id INT PRIMARY KEY, u INT REFERENCES x (id) "
+        "ON DELETE CASCADE ON UPDATE NO ACTION)",
+        "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b), "
+        "UNIQUE (b), CHECK (a > 0))",
+        "CREATE TABLE t (a DECIMAL(10, 2), b DOUBLE PRECISION)",
+        "CREATE TABLE t (a TIMESTAMP WITH TIME ZONE)",
+        "DROP TABLE IF EXISTS a, b",
+        "ALTER TABLE t ADD COLUMN a INT, DROP COLUMN b",
+        "ALTER TABLE t MODIFY COLUMN a BIGINT",
+        "ALTER TABLE t CHANGE COLUMN a b INT",
+        "ALTER TABLE t ALTER COLUMN a TYPE TEXT",
+        "ALTER TABLE t ALTER COLUMN a SET DEFAULT 5",
+        "ALTER TABLE t ALTER COLUMN a DROP NOT NULL",
+        "ALTER TABLE t ADD CONSTRAINT fk FOREIGN KEY (u) "
+        "REFERENCES users (id)",
+        "ALTER TABLE t DROP CONSTRAINT c",
+        "ALTER TABLE t RENAME TO t2",
+        "ALTER TABLE t RENAME COLUMN a TO b",
+        "CREATE UNIQUE INDEX idx ON t (a, b)",
+        "DROP INDEX idx ON t",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_roundtrip_stable(self, sql):
+        first, second = roundtrip(sql)
+        assert first == second
+
+    def test_mysql_identifier_roundtrip(self):
+        first, second = roundtrip(
+            "CREATE TABLE `my tbl` (`a col` INT)", Dialect.MYSQL)
+        assert first == second
+        assert first.name == "my tbl"
+
+    def test_comment_roundtrip(self):
+        first, second = roundtrip(
+            "CREATE TABLE t (a INT COMMENT 'it''s')", Dialect.MYSQL)
+        assert second.columns[0].comment == "it's"

@@ -1,0 +1,58 @@
+"""Unit tests for study comparison."""
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.patterns.taxonomy import Family, Pattern
+from repro.study.compare import compare_studies
+from repro.study.pipeline import records_from_corpus, run_study
+
+QUIET_MIX = {Pattern.FLATLINER: 4, Pattern.RADICAL_SIGN: 4,
+             Pattern.SIESTA: 2}
+LIVELY_MIX = {Pattern.REGULARLY_CURATED: 5, Pattern.SMOKING_FUNNEL: 3,
+              Pattern.QUANTUM_STEPS: 2}
+
+
+@pytest.fixture(scope="module")
+def quiet_results():
+    return run_study(records_from_corpus(
+        generate_corpus(seed=6, population=QUIET_MIX,
+                        with_exceptions=False)))
+
+
+@pytest.fixture(scope="module")
+def lively_results():
+    return run_study(records_from_corpus(
+        generate_corpus(seed=6, population=LIVELY_MIX,
+                        with_exceptions=False)))
+
+
+class TestCompareStudies:
+    def test_self_comparison_is_zero(self, quiet_results):
+        delta = compare_studies(quiet_results, quiet_results)
+        assert delta.zero_agm_share_delta == 0.0
+        assert delta.vault_share_delta == 0.0
+        assert delta.median_activity_delta == 0.0
+        assert delta.tree_errors_delta == 0
+        assert all(v == 0.0 for v in delta.family_share_delta.values())
+
+    def test_lively_vs_quiet_direction(self, quiet_results,
+                                       lively_results):
+        delta = compare_studies(quiet_results, lively_results)
+        assert delta.livelier
+        assert delta.median_activity_delta > 0
+        assert delta.family_share_delta[Family.STAIRWAY_TO_HEAVEN] > 0
+        assert delta.family_share_delta[Family.BE_QUICK_OR_BE_DEAD] < 0
+
+    def test_totals_recorded(self, quiet_results, lively_results):
+        delta = compare_studies(quiet_results, lively_results)
+        assert delta.baseline_total == 10
+        assert delta.variant_total == 10
+
+    def test_antisymmetry(self, quiet_results, lively_results):
+        forward = compare_studies(quiet_results, lively_results)
+        backward = compare_studies(lively_results, quiet_results)
+        assert forward.vault_share_delta \
+            == pytest.approx(-backward.vault_share_delta)
+        assert forward.median_activity_delta \
+            == pytest.approx(-backward.median_activity_delta)

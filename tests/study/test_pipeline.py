@@ -1,0 +1,98 @@
+"""Unit/integration tests for the study pipeline."""
+
+import pytest
+
+from repro.analysis.records import StudyRecord
+from repro.errors import AnalysisError
+from repro.patterns.taxonomy import PAPER_POPULATION, Pattern
+from repro.study.pipeline import (
+    records_from_corpus,
+    records_from_histories,
+    run_study,
+)
+
+
+class TestRecordsFromCorpus:
+    def test_one_record_per_project(self, small_corpus):
+        records = records_from_corpus(small_corpus)
+        assert len(records) == len(small_corpus)
+        assert all(isinstance(r, StudyRecord) for r in records)
+
+    def test_clean_corpus_no_exceptions(self, small_corpus):
+        records = records_from_corpus(small_corpus)
+        assert not any(r.is_exception for r in records)
+
+    def test_pattern_is_ground_truth(self, small_corpus):
+        records = records_from_corpus(small_corpus)
+        for project, record in zip(small_corpus, records):
+            assert record.pattern is project.intended_pattern
+
+
+class TestRecordsFromHistories:
+    def test_blind_classification(self, small_corpus):
+        histories = [p.history for p in small_corpus]
+        records = records_from_histories(histories)
+        intended = [p.intended_pattern for p in small_corpus]
+        assigned = [r.pattern for r in records]
+        assert assigned == intended  # clean corpus: blind = truth
+
+
+class TestRunStudy:
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            run_study([])
+
+    def test_full_study_bundle(self, full_study):
+        results = full_study
+        assert results.total == 151
+        assert results.table1.total == 151
+        assert results.table2.total == 151
+        assert results.stats34.total == 151
+        assert len(results.prediction.bucket_totals) == 4
+
+    def test_population_reproduced(self, full_study):
+        population = {row[0]: row[1] for row in full_study.table2.rows}
+        assert population == PAPER_POPULATION
+
+    def test_decision_tree_few_errors(self, full_study):
+        # Paper: 4 of 151 misclassified. Shape: a small handful.
+        assert len(full_study.tree_misclassified) <= 6
+
+    def test_strict_agreement_high(self, full_study):
+        # All non-exception projects classify strictly to their pattern.
+        exceptions = sum(
+            1 for r in full_study.records if r.is_exception)
+        assert full_study.strict_agreement == 151 - exceptions
+
+    def test_top_tail_anticorrelation(self, full_study):
+        rho = full_study.correlations[
+            ("PointOfTopBand_pctPUP", "IntervalTopToEnd_pctPUP")]
+        assert rho < -0.95  # paper: "extremely strongly anti-correlated"
+
+    def test_birth_top_correlation(self, full_study):
+        rho = full_study.correlations[
+            ("PointOfBirth_pctPUP", "PointOfTopBand_pctPUP")]
+        assert 0.4 < rho < 0.95  # paper: 0.61
+
+    def test_active_months_normalizations_correlate(self, full_study):
+        rho = full_study.correlations[
+            ("ActiveGrowthMonths", "ActiveMonths_pctPUP")]
+        assert rho > 0.8
+
+    def test_centroids_cover_every_pattern(self, full_study):
+        assert set(full_study.centroids.mdc) \
+            == {p.value for p in PAPER_POPULATION}
+
+    def test_mdc_in_paper_range(self, full_study):
+        # Paper: MDC between 0.06 and 1.25 for 20-point vectors.
+        for value in full_study.centroids.mdc.values():
+            assert 0.0 <= value <= 1.6
+
+    def test_all_measures_non_normal(self, full_study):
+        assert full_study.normality.all_non_normal
+        assert full_study.normality.max_p_value < 1e-3
+
+    def test_coverage_no_unexpected_sharing(self, full_study):
+        # The paper acknowledges a couple of shared spots (Siesta/RC and
+        # the exception cells); sharing must stay marginal.
+        assert len(full_study.coverage.shared_cells) <= 4

@@ -1,0 +1,86 @@
+"""Integration tests for the command-line interface."""
+
+import json
+from datetime import datetime
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.dataset import save_corpus
+from repro.history.repository import save_history_to_jsonl
+from tests.conftest import make_history
+
+
+@pytest.fixture
+def history_jsonl(tmp_path):
+    history = make_history(
+        ["CREATE TABLE t (a INT);",
+         "CREATE TABLE t (a INT); CREATE TABLE u (b INT, c INT);"],
+        project_start=datetime(2020, 1, 1),
+        project_end=datetime(2022, 1, 1),
+        name="cli-proj")
+    path = tmp_path / "proj.jsonl"
+    save_history_to_jsonl(history, path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus.json"
+        # A tiny corpus via the default population takes ~seconds; use
+        # the real command but a fixed seed.
+        code = main(["generate", str(out), "--seed", "3"])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert len(document["projects"]) == 151
+        assert "wrote 151 projects" in capsys.readouterr().out
+
+
+class TestStudy:
+    def test_study_on_saved_corpus(self, tmp_path, capsys, small_corpus):
+        path = tmp_path / "c.json"
+        save_corpus(small_corpus, path)
+        code = main(["study", "--corpus", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Fig. 7" in out
+        assert "Sec. 6.1" in out
+
+
+class TestProfile:
+    def test_profile_output(self, history_jsonl, capsys):
+        code = main(["profile", str(history_jsonl)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-proj" in out
+        assert "pattern:" in out
+        assert "schema birth:" in out
+
+    def test_directory_input(self, tmp_path, capsys):
+        (tmp_path / "2020-01-01.sql").write_text(
+            "CREATE TABLE t (a INT);")
+        (tmp_path / "2021-06-01.sql").write_text(
+            "CREATE TABLE t (a INT, b INT);")
+        code = main(["profile", str(tmp_path)])
+        assert code == 0
+        assert "pattern:" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["profile", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChart:
+    def test_ascii_chart(self, history_jsonl, capsys):
+        code = main(["chart", str(history_jsonl)])
+        assert code == 0
+        assert "* schema" in capsys.readouterr().out
+
+    def test_svg_chart(self, history_jsonl, tmp_path, capsys):
+        svg = tmp_path / "out.svg"
+        code = main(["chart", str(history_jsonl), "--svg", str(svg)])
+        assert code == 0
+        assert svg.read_text().startswith("<svg")

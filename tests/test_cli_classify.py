@@ -1,0 +1,62 @@
+"""Integration tests for the classify-batch CLI command."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.cli import main
+from repro.history.repository import save_history_to_jsonl
+from tests.conftest import make_history
+
+DDL = "CREATE TABLE t (a INT, b INT);"
+
+
+@pytest.fixture
+def history_dir(tmp_path):
+    # One directory-style history.
+    sub = tmp_path / "proj-dir"
+    sub.mkdir()
+    (sub / "2020-01-10.sql").write_text(DDL)
+    (sub / "2021-06-10.sql").write_text(
+        DDL + " CREATE TABLE u (c INT);")
+    # One JSONL history.
+    history = make_history([DDL], name="proj-jsonl",
+                           project_start=datetime(2020, 1, 1),
+                           project_end=datetime(2022, 1, 1))
+    save_history_to_jsonl(history, tmp_path / "proj-jsonl.jsonl")
+    # One too-short history (for the protocol flag).
+    short = make_history([DDL], name="shorty",
+                         project_start=datetime(2020, 1, 1),
+                         project_end=datetime(2020, 6, 1))
+    save_history_to_jsonl(short, tmp_path / "shorty.jsonl")
+    return tmp_path
+
+
+class TestClassifyCommand:
+    def test_classifies_all(self, history_dir, capsys):
+        code = main(["classify", str(history_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "proj-dir" in out
+        assert "proj-jsonl" in out
+        assert "shorty" in out
+        assert "Classified 3 histories" in out
+
+    def test_protocol_excludes_short(self, history_dir, capsys):
+        code = main(["classify", str(history_dir), "--apply-protocol"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Classified 2 histories" in captured.out
+        assert "shorty" not in captured.out
+        assert "short-lifespan" in captured.err
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        code = main(["classify", str(tmp_path)])
+        assert code == 1
+        assert "no histories" in capsys.readouterr().err
+
+    def test_unreadable_entries_skipped(self, history_dir, capsys):
+        (history_dir / "broken.jsonl").write_text("{nope}\n")
+        code = main(["classify", str(history_dir)])
+        assert code == 0
+        assert "skipping broken.jsonl" in capsys.readouterr().err

@@ -1,0 +1,46 @@
+"""Unit tests for the annotated (Fig.-1 style) chart."""
+
+from repro.history.heartbeat import ActivitySeries
+from repro.metrics.landmarks import compute_landmarks
+from repro.viz.ascii_chart import annotated_chart
+
+
+def chart_for(monthly, **kwargs):
+    series = ActivitySeries(tuple(monthly))
+    marks = compute_landmarks(series)
+    return annotated_chart(series, marks, **kwargs), marks
+
+
+class TestAnnotatedChart:
+    def test_distinct_markers(self):
+        out, marks = chart_for([2, 0, 0, 0, 0, 0, 0, 0, 0, 8] + [0] * 10)
+        assert "B" in out and "T" in out
+        assert "B=birth" in out
+        assert "T=top band" in out
+
+    def test_coincident_markers_merged(self):
+        out, _marks = chart_for([10] + [0] * 19)
+        assert "#" in out
+        assert "#=birth+top" in out
+
+    def test_vault_flag(self):
+        out, marks = chart_for([10] + [0] * 19)
+        assert marks.has_vault
+        assert "[vault]" in out
+
+    def test_no_vault_no_flag(self):
+        out, marks = chart_for([2] + [0] * 17 + [8, 0])
+        assert not marks.has_vault
+        assert "[vault]" not in out
+
+    def test_includes_base_chart(self):
+        out, _marks = chart_for([1, 2, 3], title="x")
+        assert "* schema" in out
+        assert out.splitlines()[0] == "x"
+
+    def test_marker_positions_ordered(self):
+        out, _marks = chart_for([2, 0, 0, 0, 0, 0, 0, 0, 0, 8] + [0] * 10,
+                                width=40)
+        marker_line = next(l for l in out.splitlines()
+                           if "B" in l and "T" in l and "=" not in l)
+        assert marker_line.index("B") < marker_line.index("T")

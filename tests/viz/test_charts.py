@@ -1,0 +1,72 @@
+"""Unit tests for ASCII and SVG chart rendering."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.history.heartbeat import ActivitySeries
+from repro.viz.ascii_chart import ascii_chart
+from repro.viz.svg_chart import svg_chart
+
+FLAT = ActivitySeries((10, 0, 0, 0, 0))
+LATE = ActivitySeries((0, 0, 0, 0, 10))
+
+
+class TestAsciiChart:
+    def test_contains_axes_and_legend(self):
+        out = ascii_chart(FLAT)
+        assert "100% +" in out
+        assert "0% +" in out
+        assert "* schema" in out
+
+    def test_title(self):
+        out = ascii_chart(FLAT, title="flatliner-01")
+        assert out.splitlines()[0] == "flatliner-01"
+
+    def test_flatliner_marks_on_top_row(self):
+        out = ascii_chart(FLAT, width=30, height=8)
+        top_row = out.splitlines()[0]
+        assert "*" in top_row
+
+    def test_late_riser_marks_on_bottom_then_top(self):
+        out = ascii_chart(LATE, width=30, height=8)
+        lines = out.splitlines()
+        assert "*" in lines[-3]  # bottom data row: long zero stretch
+
+    def test_source_line_included(self):
+        out = ascii_chart(FLAT, source=ActivitySeries((1, 1, 1, 1, 1)))
+        assert ". source" in out
+        assert "." in out
+
+    def test_dimensions_respected(self):
+        out = ascii_chart(FLAT, width=40, height=10)
+        data_lines = [l for l in out.splitlines()
+                      if l.startswith(("100%", "  0%", "     |"))]
+        assert len(data_lines) == 10
+
+    def test_degenerate_dimensions_raise(self):
+        with pytest.raises(MetricError):
+            ascii_chart(FLAT, width=1)
+        with pytest.raises(MetricError):
+            ascii_chart(FLAT, height=1)
+
+
+class TestSvgChart:
+    def test_valid_svg_document(self):
+        out = svg_chart(FLAT)
+        assert out.startswith("<svg")
+        assert out.endswith("</svg>")
+        assert "polyline" in out
+
+    def test_title_escaped(self):
+        out = svg_chart(FLAT, title="a <b> & c")
+        assert "a &lt;b&gt; &amp; c" in out
+
+    def test_source_adds_second_polyline(self):
+        with_source = svg_chart(FLAT, source=LATE)
+        without = svg_chart(FLAT)
+        assert with_source.count("polyline") \
+            == without.count("polyline") + 1
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+        ET.fromstring(svg_chart(FLAT, source=LATE, title="t"))

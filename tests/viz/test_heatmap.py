@@ -1,0 +1,52 @@
+"""Unit tests for the correlation heatmap renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import MetricError
+from repro.viz.heatmap import ascii_heatmap, svg_heatmap
+
+NAMES = ["a", "b"]
+MATRIX = {("a", "a"): 1.0, ("b", "b"): 1.0,
+          ("a", "b"): -0.5, ("b", "a"): -0.5}
+
+
+class TestAsciiHeatmap:
+    def test_contains_values(self):
+        out = ascii_heatmap(NAMES, MATRIX)
+        assert "+1.00" in out
+        assert "-0.50" in out
+
+    def test_legend(self):
+        out = ascii_heatmap(NAMES, MATRIX)
+        assert "A=a" in out and "B=b" in out
+
+    def test_missing_pair_raises(self):
+        with pytest.raises(MetricError):
+            ascii_heatmap(["a", "c"], MATRIX)
+
+    def test_narrow_cell_raises(self):
+        with pytest.raises(MetricError):
+            ascii_heatmap(NAMES, MATRIX, cell_width=3)
+
+    def test_row_per_name(self):
+        out = ascii_heatmap(NAMES, MATRIX)
+        data_lines = [l for l in out.splitlines()
+                      if l.startswith(("a ", "b "))]
+        assert len(data_lines) == 2
+
+
+class TestSvgHeatmap:
+    def test_valid_xml(self):
+        ET.fromstring(svg_heatmap(NAMES, MATRIX))
+
+    def test_cell_count(self):
+        out = svg_heatmap(NAMES, MATRIX)
+        assert out.count("<rect") == 1 + 4  # background + 2x2 cells
+
+    def test_color_poles(self):
+        from repro.viz.heatmap import _rho_color
+        assert _rho_color(1.0) == "rgb(255,0,0)"
+        assert _rho_color(-1.0) == "rgb(0,0,255)"
+        assert _rho_color(0.0) == "rgb(255,255,255)"

@@ -1,0 +1,40 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.viz.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "b"], [["x", 1], ["yy", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["a"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_width_fits_longest(self):
+        out = format_table(["h"], [["very-long-cell"]])
+        separator = out.splitlines()[1]
+        assert len(separator) >= len("very-long-cell")
+
+    def test_floats_three_decimals(self):
+        out = format_table(["v"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_no_trailing_whitespace_on_lines(self):
+        out = format_table(["a", "b"], [["x", "y"]])
+        for line in out.splitlines():
+            assert line == line.rstrip()

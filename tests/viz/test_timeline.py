@@ -1,0 +1,68 @@
+"""Unit tests for the table-life timeline."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.tables import table_lives
+from repro.viz.timeline import table_timeline
+from tests.conftest import make_history
+from datetime import datetime
+
+
+@pytest.fixture
+def lives():
+    v1 = "CREATE TABLE users (id INT, email TEXT);"
+    v2 = v1 + " CREATE TABLE posts (id INT);"
+    v3 = ("CREATE TABLE users (id INT, email TEXT, name TEXT);"
+          " CREATE TABLE posts (id INT);")
+    history = make_history([v1, v2, v3],
+                           project_start=datetime(2020, 1, 1),
+                           project_end=datetime(2021, 12, 31))
+    return table_lives(history), history.pup_months
+
+
+class TestTimeline:
+    def test_row_per_table(self, lives):
+        table_lives_, pup = lives
+        out = table_timeline(table_lives_, pup)
+        assert "users" in out
+        assert "posts" in out
+
+    def test_birth_and_update_markers(self, lives):
+        table_lives_, pup = lives
+        out = table_timeline(table_lives_, pup)
+        users_row = next(l for l in out.splitlines()
+                         if l.startswith("users"))
+        assert "+" in users_row
+        assert "*" in users_row  # the name-column injection
+
+    def test_dropped_table_marked(self):
+        history = make_history(["CREATE TABLE t (a INT);", "-- gone"],
+                               project_end=datetime(2021, 1, 1))
+        out = table_timeline(table_lives(history), history.pup_months)
+        assert "x" in out.splitlines()[0]
+
+    def test_max_rows_summarized(self, lives):
+        table_lives_, pup = lives
+        out = table_timeline(table_lives_, pup, max_rows=1)
+        assert "and 1 more tables" in out
+
+    def test_legend(self, lives):
+        table_lives_, pup = lives
+        assert "+ birth" in table_timeline(table_lives_, pup)
+
+    def test_empty_raises(self):
+        with pytest.raises(MetricError):
+            table_timeline([], 10)
+
+    def test_degenerate_width_raises(self, lives):
+        table_lives_, pup = lives
+        with pytest.raises(MetricError):
+            table_timeline(table_lives_, pup, width=5)
+
+    def test_long_names_truncated(self):
+        history = make_history(
+            ["CREATE TABLE a_very_long_table_name_indeed_it_is (a INT);"],
+            project_end=datetime(2021, 1, 1))
+        out = table_timeline(table_lives(history), history.pup_months)
+        assert "a_very_long_table_name_i" in out
