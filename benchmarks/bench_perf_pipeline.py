@@ -1,11 +1,16 @@
 """PERF — throughput of the pipeline stages.
 
 Not a paper artifact: timings of the substrate (parser, builder, diff,
-heartbeat) and of the full study, so regressions are visible.
+heartbeat), of the full study, and of the execution engine's three
+modes (serial, process-parallel, warm content-addressed cache), so
+regressions are visible.
 """
 
+import os
 import random
+import time
 
+from benchmarks.conftest import STUDY_CONFIG, record
 from repro.corpus.ddlgen import DdlScribe
 from repro.corpus.generator import generate_corpus
 from repro.diff.engine import diff_schemas
@@ -14,7 +19,15 @@ from repro.metrics.profile import ProjectProfile
 from repro.patterns.taxonomy import Pattern
 from repro.schema.builder import build_schema
 from repro.sqlddl.parser import parse_script
-from repro.study.pipeline import records_from_corpus, run_study
+from repro.study.pipeline import (
+    records_from_corpus,
+    run_full_study,
+    run_study,
+)
+
+#: Worker count of the parallel benchmarks (bounded: CI runners are
+#: small, and oversubscription would only measure scheduler noise).
+PARALLEL_JOBS = min(4, os.cpu_count() or 1)
 
 
 def _big_dump(tables: int = 60) -> str:
@@ -79,3 +92,90 @@ def test_perf_generate_small_corpus(benchmark):
 def test_perf_full_study(benchmark, records):
     results = benchmark(run_study, records)
     assert results.total == 151
+
+
+# ----------------------------------------------------------------------
+# execution-engine modes: serial vs. parallel map vs. warm cache
+
+
+def _forget_parsed_versions(corpus):
+    """Reset the histories' derived parse caches: every engine-mode
+    measurement starts from raw DDL text, not a half-warm corpus."""
+    for project in corpus.projects:
+        project.history._versions = None
+
+
+def test_perf_records_serial(benchmark, corpus):
+    def run():
+        _forget_parsed_versions(corpus)
+        return records_from_corpus(corpus, config=STUDY_CONFIG)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 151
+
+
+def test_perf_records_parallel(benchmark, corpus):
+    config = STUDY_CONFIG.replace(jobs=PARALLEL_JOBS)
+
+    def run():
+        _forget_parsed_versions(corpus)
+        return records_from_corpus(corpus, config=config)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 151
+
+
+def test_perf_records_warm_cache(benchmark, corpus, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("record-cache")
+    config = STUDY_CONFIG.replace(cache_dir=cache_dir)
+    records_from_corpus(corpus, config=config)  # prime the cache
+
+    def run():
+        _forget_parsed_versions(corpus)
+        return records_from_corpus(corpus, config=config)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 151
+
+
+def test_perf_engine_mode_report(corpus, tmp_path_factory):
+    """One-shot comparison of the three modes, kept as an artifact.
+
+    On a multi-core host the parallel map beats serial roughly by the
+    worker count (amortized chunking); the warm cache must beat serial
+    everywhere, since it replaces measurement with pickle loads.
+    """
+    def timed(config):
+        _forget_parsed_versions(corpus)
+        started = time.perf_counter()
+        results, timing = run_full_study(corpus, config)
+        return time.perf_counter() - started, results, timing
+
+    cache_dir = tmp_path_factory.mktemp("engine-mode-cache")
+    serial_s, serial_res, _ = timed(STUDY_CONFIG)
+    parallel_s, parallel_res, _ = timed(
+        STUDY_CONFIG.replace(jobs=PARALLEL_JOBS))
+    cold_s, _, _ = timed(STUDY_CONFIG.replace(cache_dir=cache_dir))
+    warm_s, warm_res, warm_timing = timed(
+        STUDY_CONFIG.replace(cache_dir=cache_dir))
+
+    assert parallel_res.records == serial_res.records
+    assert warm_res.records == serial_res.records
+    hits = warm_timing.timing("records").cache_hits
+    assert hits == 151
+    assert warm_s < serial_s  # cache loads must beat measuring
+
+    lines = [
+        f"per-project map over 151 projects "
+        f"(host: {os.cpu_count()} cpus)",
+        f"  serial (jobs=1):          {serial_s * 1000:9.1f} ms",
+        f"  parallel (jobs={PARALLEL_JOBS}):        "
+        f"{parallel_s * 1000:9.1f} ms   "
+        f"{serial_s / parallel_s:5.2f}x vs serial",
+        f"  cold cache (write-through):{cold_s * 1000:8.1f} ms",
+        f"  warm cache (151/151 hits): {warm_s * 1000:9.1f} ms   "
+        f"{serial_s / warm_s:5.2f}x vs serial",
+    ]
+    record("perf_engine_modes", "\n".join(lines))
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_s < serial_s

@@ -13,10 +13,16 @@ from pathlib import Path
 import pytest
 
 from repro.corpus.generator import DEFAULT_SEED, generate_corpus
+from repro.engine import StudyConfig
 from repro.study.pipeline import records_from_corpus, run_study
 
 _RESULTS_DIR = Path(__file__).parent / "results"
 _RENDERED: dict[str, str] = {}
+
+#: The one execution configuration every benchmark shares (serial,
+#: uncached — individual perf benchmarks derive parallel/cached
+#: variants from it with ``STUDY_CONFIG.replace(...)``).
+STUDY_CONFIG = StudyConfig(seed=DEFAULT_SEED)
 
 
 def record(name: str, text: str) -> None:
@@ -29,19 +35,19 @@ def record(name: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def corpus():
     """The paper-sized synthetic corpus (one per session)."""
-    return generate_corpus(seed=DEFAULT_SEED)
+    return generate_corpus(config=STUDY_CONFIG)
 
 
 @pytest.fixture(scope="session")
 def records(corpus):
     """Measured + labeled study records for the corpus."""
-    return records_from_corpus(corpus)
+    return records_from_corpus(corpus, config=STUDY_CONFIG)
 
 
 @pytest.fixture(scope="session")
 def study(records):
     """The full study results bundle."""
-    return run_study(records)
+    return run_study(records, config=STUDY_CONFIG)
 
 
 def pytest_terminal_summary(terminalreporter):

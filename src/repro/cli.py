@@ -19,6 +19,7 @@ from pathlib import Path
 from repro import report
 from repro.corpus.dataset import load_corpus, save_corpus
 from repro.corpus.generator import DEFAULT_SEED, generate_corpus
+from repro.engine import StudyConfig
 from repro.errors import ReproError
 from repro.history.heartbeat import schema_heartbeat
 from repro.history.repository import (
@@ -28,7 +29,7 @@ from repro.history.repository import (
 from repro.labels.quantization import label_profile
 from repro.metrics.profile import ProjectProfile
 from repro.patterns.classifier import classify_with_tolerance
-from repro.study.pipeline import records_from_corpus, run_study
+from repro.study.pipeline import records_from_corpus, run_full_study
 from repro.viz.ascii_chart import ascii_chart
 from repro.viz.svg_chart import svg_chart
 
@@ -44,8 +45,22 @@ def _load_history(path: str):
         raise HistoryError(f"cannot read history {path}: {exc}") from exc
 
 
+def _study_config(args: argparse.Namespace) -> StudyConfig:
+    """Build the run's :class:`StudyConfig` from CLI arguments."""
+    return StudyConfig(
+        seed=getattr(args, "seed", DEFAULT_SEED),
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=Path(args.cache_dir)
+        if getattr(args, "cache_dir", None) else None,
+    )
+
+
+def _print_timings(report_obj) -> None:
+    print(report_obj.format_table(), file=sys.stderr)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
-    corpus = generate_corpus(seed=args.seed)
+    corpus = generate_corpus(config=_study_config(args))
     save_corpus(corpus, args.output)
     print(f"wrote {len(corpus)} projects to {args.output} "
           f"(seed {corpus.seed})")
@@ -53,11 +68,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    config = _study_config(args)
     if args.corpus:
         corpus = load_corpus(args.corpus)
     else:
-        corpus = generate_corpus(seed=args.seed)
-    results = run_study(records_from_corpus(corpus))
+        corpus = generate_corpus(config=config)
+    results, timing = run_full_study(corpus, config)
     sections = [
         report.render_table1(results),
         report.render_table2(results),
@@ -72,6 +88,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         report.render_section63(results),
     ]
     print(("\n\n" + "=" * 72 + "\n\n").join(sections))
+    if args.timings:
+        _print_timings(timing)
     return 0
 
 
@@ -150,11 +168,12 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report.markdown import markdown_report
+    config = _study_config(args)
     if args.corpus:
         corpus = load_corpus(args.corpus)
     else:
-        corpus = generate_corpus(seed=args.seed)
-    results = run_study(records_from_corpus(corpus))
+        corpus = generate_corpus(config=config)
+    results, _ = run_full_study(corpus, config)
     Path(args.output).write_text(markdown_report(results))
     print(f"wrote {args.output}")
     return 0
@@ -162,11 +181,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.report.export import export_dataset
+    config = _study_config(args)
     if args.corpus:
         corpus = load_corpus(args.corpus)
     else:
-        corpus = generate_corpus(seed=args.seed)
-    records = records_from_corpus(corpus)
+        corpus = generate_corpus(config=config)
+    records = records_from_corpus(corpus, config=config)
     paths = export_dataset(records, args.output)
     for path in paths:
         print(f"wrote {path}")
@@ -229,16 +249,31 @@ def build_parser() -> argparse.ArgumentParser:
                     "(EDBT 2025 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_execution_flags(p, cache: bool = True):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for per-project work "
+                            "(default: 1, serial)")
+        if cache:
+            p.add_argument("--cache-dir", metavar="DIR",
+                           help="content-addressed result cache; "
+                                "re-runs recompute only changed "
+                                "projects (default: no cache)")
+
     p_generate = sub.add_parser("generate",
                                 help="generate the synthetic corpus")
     p_generate.add_argument("output", help="output corpus JSON path")
     p_generate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_execution_flags(p_generate, cache=False)
     p_generate.set_defaults(func=_cmd_generate)
 
     p_study = sub.add_parser("study", help="run the full study")
     p_study.add_argument("--corpus", help="saved corpus JSON "
                                           "(default: regenerate)")
     p_study.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_execution_flags(p_study)
+    p_study.add_argument("--timings", action="store_true",
+                         help="print the per-stage execution report "
+                              "to stderr")
     p_study.set_defaults(func=_cmd_study)
 
     p_profile = sub.add_parser("profile",
@@ -262,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--corpus", help="saved corpus JSON "
                                            "(default: regenerate)")
     p_report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_execution_flags(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_export = sub.add_parser("export",
@@ -270,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--corpus", help="saved corpus JSON "
                                            "(default: regenerate)")
     p_export.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_execution_flags(p_export)
     p_export.set_defaults(func=_cmd_export)
 
     p_diff = sub.add_parser("diff",

@@ -4,12 +4,23 @@
 projects distributed over the 8 patterns per Table 2, with per-pattern
 birth-month buckets from Fig. 7 and the documented exception projects
 injected. Everything is deterministic under one seed.
+
+Generation is two-phase so it parallelizes without losing determinism:
+a serial planning pass derives one child seed per project from the
+master stream, then each project is realized from its own
+``random.Random(child_seed)`` — serially or on ``jobs`` worker
+processes, with identical output either way.
 """
 
 from __future__ import annotations
 
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.config import StudyConfig
 
 from repro.corpus.ddlgen import realize_history
 from repro.corpus.planner import LandmarkPlan
@@ -131,28 +142,38 @@ def generate_project(pattern: Pattern, rng: random.Random, name: str,
     )
 
 
-def generate_corpus(seed: int = DEFAULT_SEED,
-                    population: dict[Pattern, int] | None = None,
-                    with_exceptions: bool = True,
-                    with_noise: bool = False) -> Corpus:
-    """Generate the full synthetic corpus.
+@dataclass(frozen=True)
+class _ProjectSpec:
+    """The serial planning pass's output: everything one worker needs."""
 
-    Args:
-        seed: master seed; the same seed always yields the same corpus.
-        population: per-pattern project counts; defaults to the paper's
-            Table-2 population (151 projects).
-        with_exceptions: inject the paper's documented exception projects
-            (Table 2); disable for a perfectly definition-clean corpus.
-        with_noise: decorate every commit with realistic non-DDL dump
-            noise; measurements are unaffected (the robust parser skips
-            it), only ``parse_issues`` counters rise.
+    pattern: Pattern
+    name: str
+    bucket: int
+    exception_kind: str | None
+    with_noise: bool
+    seed: int
 
-    Returns:
-        The generated :class:`Corpus`.
+
+def _realize_spec(spec: _ProjectSpec) -> GeneratedProject:
+    """Realize one planned project from its own child RNG."""
+    return generate_project(
+        spec.pattern, random.Random(spec.seed), name=spec.name,
+        bucket=spec.bucket, exception_kind=spec.exception_kind,
+        with_noise=spec.with_noise)
+
+
+def plan_corpus(seed: int = DEFAULT_SEED,
+                population: dict[Pattern, int] | None = None,
+                with_exceptions: bool = True,
+                with_noise: bool = False) -> list[_ProjectSpec]:
+    """The serial planning pass: one realization spec per project.
+
+    Raises:
+        CorpusError: for negative per-pattern populations.
     """
     rng = random.Random(seed)
     population = dict(population or PAPER_POPULATION)
-    projects: list[GeneratedProject] = []
+    specs: list[_ProjectSpec] = []
     for pattern, count in population.items():
         if count < 0:
             raise CorpusError(f"negative population for {pattern.value}")
@@ -163,8 +184,50 @@ def generate_corpus(seed: int = DEFAULT_SEED,
         slug = pattern.value.lower().replace(" ", "-")
         for index in range(count):
             kind = exceptions[index] if index < len(exceptions) else None
-            projects.append(generate_project(
-                pattern, rng, name=f"{slug}-{index + 1:02d}",
+            specs.append(_ProjectSpec(
+                pattern=pattern, name=f"{slug}-{index + 1:02d}",
                 bucket=buckets[index], exception_kind=kind,
-                with_noise=with_noise))
-    return Corpus(projects=tuple(projects), seed=seed)
+                with_noise=with_noise, seed=rng.getrandbits(64)))
+    return specs
+
+
+def generate_corpus(seed: int | None = None,
+                    population: dict[Pattern, int] | None = None,
+                    with_exceptions: bool = True,
+                    with_noise: bool = False,
+                    jobs: int | None = None,
+                    config: "StudyConfig | None" = None) -> Corpus:
+    """Generate the full synthetic corpus.
+
+    Args:
+        seed: master seed; the same seed always yields the same corpus,
+            whatever ``jobs`` is. Defaults to the config's seed, or
+            :data:`DEFAULT_SEED`.
+        population: per-pattern project counts; defaults to the paper's
+            Table-2 population (151 projects).
+        with_exceptions: inject the paper's documented exception projects
+            (Table 2); disable for a perfectly definition-clean corpus.
+        with_noise: decorate every commit with realistic non-DDL dump
+            noise; measurements are unaffected (the robust parser skips
+            it), only ``parse_issues`` counters rise.
+        jobs: worker processes realizing projects; defaults to the
+            config's jobs, or 1 (serial).
+        config: a :class:`~repro.engine.config.StudyConfig` supplying
+            defaults for ``seed`` and ``jobs``.
+
+    Returns:
+        The generated :class:`Corpus`.
+    """
+    if seed is None:
+        seed = config.seed if config is not None else DEFAULT_SEED
+    if jobs is None:
+        jobs = config.jobs if config is not None else 1
+    specs = plan_corpus(seed, population, with_exceptions, with_noise)
+    if jobs > 1 and len(specs) > 1:
+        chunk = max(1, len(specs) // (jobs * 4))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            projects = tuple(pool.map(_realize_spec, specs,
+                                      chunksize=chunk))
+    else:
+        projects = tuple(_realize_spec(spec) for spec in specs)
+    return Corpus(projects=projects, seed=seed)

@@ -1,0 +1,78 @@
+"""repro.engine — staged execution of the study pipeline.
+
+The engine expresses the study as a declarative DAG of named stages
+(:class:`Stage` / :class:`MapStage` in a :class:`StudyPlan`), executes
+it serially or with a process pool (:func:`execute_plan`), memoizes the
+per-project map in a content-addressed :class:`ResultCache`, and
+reports per-stage timings (:class:`ExecutionReport`). A single
+:class:`StudyConfig` (seed, scheme, jobs, cache dir, progress hook) is
+threaded through the corpus generator, the study pipeline, the CLI and
+the benchmarks.
+
+Typical use::
+
+    from repro.corpus.generator import generate_corpus
+    from repro.engine import StudyConfig, execute_study
+
+    config = StudyConfig(jobs=4, cache_dir="~/.cache/repro")
+    corpus = generate_corpus(config=config)
+    results, report = execute_study(corpus.projects, config)
+    print(report.format_table())
+"""
+
+from repro.engine.cache import MISS, ResultCache, canonical, fingerprint
+from repro.engine.config import ProgressHook, StudyConfig
+from repro.engine.executor import (
+    ExecutionReport,
+    StageTiming,
+    execute_plan,
+    run_stage,
+)
+from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
+from repro.engine.study_plan import (
+    RECORDS_STAGE_VERSION,
+    bare_history,
+    build_analysis_plan,
+    build_records_plan,
+    build_study_plan,
+    compute_records,
+    corpus_record,
+    corpus_record_key,
+    execute_study,
+    history_record,
+    history_record_key,
+    run_analyses,
+    strip_project,
+    strip_record,
+)
+
+__all__ = [
+    "MISS",
+    "ExecutionReport",
+    "MapStage",
+    "ProgressHook",
+    "RECORDS_STAGE_VERSION",
+    "ResultCache",
+    "Stage",
+    "StageEvent",
+    "StageTiming",
+    "StudyConfig",
+    "StudyPlan",
+    "bare_history",
+    "build_analysis_plan",
+    "build_records_plan",
+    "build_study_plan",
+    "canonical",
+    "compute_records",
+    "corpus_record",
+    "corpus_record_key",
+    "execute_plan",
+    "execute_study",
+    "fingerprint",
+    "history_record",
+    "history_record_key",
+    "run_analyses",
+    "run_stage",
+    "strip_project",
+    "strip_record",
+]

@@ -1,0 +1,127 @@
+"""Content-addressed result cache.
+
+Cache keys are stable SHA-256 fingerprints of *content* — DDL text,
+timestamps, label-scheme boundaries, stage code versions — never of
+object identities, so a key computed in any process on any run
+addresses the same result. Values are pickled to
+``<cache_dir>/objects/<k[:2]>/<key>.pkl``; writes are atomic
+(tmp + rename) and reads treat any corruption as a miss, so a shared
+cache directory survives concurrent studies and killed runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from datetime import date, datetime
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+from repro.errors import EngineError
+
+#: Sentinel returned by :meth:`ResultCache.get` for absent/corrupt keys.
+MISS = object()
+
+#: On-disk layout version; bump on incompatible pickle layout changes.
+CACHE_FORMAT = "repro-cache-v1"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-serializable canonical form.
+
+    Supports the scalar types plus tuples/lists, string-keyed dicts
+    (sorted), datetimes (ISO text) and enums (their value).
+
+    Raises:
+        EngineError: for types with no stable canonical form.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (datetime, date)):
+        return value.isoformat()
+    if isinstance(value, Enum):
+        return ["enum", type(value).__name__, canonical(value.value)]
+    if isinstance(value, (tuple, list)):
+        return [canonical(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise EngineError(
+                    f"cache-key dicts need string keys, got {key!r}")
+            out[key] = canonical(value[key])
+        return out
+    raise EngineError(
+        f"cannot canonicalize {type(value).__name__!r} for a cache key")
+
+
+def fingerprint(*parts: Any) -> str:
+    """A stable SHA-256 hex digest of the given content parts."""
+    payload = json.dumps([CACHE_FORMAT, canonical(list(parts))],
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory-backed store of pickled stage results.
+
+    Args:
+        root: cache directory; created lazily on first write.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`MISS`.
+
+        Unreadable or corrupt entries count as misses — the cache is an
+        accelerator, never a correctness dependency.
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return MISS
+        except Exception:  # corrupt/truncated/foreign entry: recompute
+            return MISS
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value`` under ``key``; best-effort, atomic.
+
+        Returns:
+            True when the entry was written; False when the filesystem
+            refused (read-only cache dirs degrade to pass-through).
+        """
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            return True
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        """Number of stored entries (walks the directory)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.pkl"))

@@ -1,0 +1,68 @@
+"""The single execution configuration threaded through the pipeline.
+
+One :class:`StudyConfig` carries everything that parameterizes a study
+run — corpus seed, label scheme, worker count, cache directory and the
+progress hook — so the CLI, the benchmarks and library callers all
+speak the same object instead of hand-wiring keyword arguments through
+every layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.corpus.generator import DEFAULT_SEED
+from repro.engine.stage import StageEvent
+from repro.errors import EngineError
+from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme
+
+#: Signature of the per-stage progress callback.
+ProgressHook = Callable[[StageEvent], None]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Execution parameters of one study run.
+
+    Attributes:
+        seed: master corpus seed (same seed, same corpus, any ``jobs``).
+        scheme: quantization boundaries applied when labeling profiles.
+        jobs: worker processes for the per-project map stages; 1 runs
+            everything serially in-process.
+        cache_dir: directory of the content-addressed result cache;
+            ``None`` disables caching.
+        chunk_size: items per pickled work chunk sent to a worker;
+            ``None`` picks ``ceil(items / (jobs * 4))`` so pickling
+            overhead amortizes while keeping the pool load-balanced.
+        progress: optional per-stage event callback (timing/progress
+            hooks for CLIs and dashboards); excluded from equality.
+    """
+
+    seed: int = DEFAULT_SEED
+    scheme: LabelScheme = DEFAULT_SCHEME
+    jobs: int = 1
+    cache_dir: Path | None = None
+    chunk_size: int | None = None
+    progress: ProgressHook | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise EngineError(
+                f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.cache_dir is not None \
+                and not isinstance(self.cache_dir, Path):
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+
+    def replace(self, **changes: Any) -> "StudyConfig":
+        """A copy of this config with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def emit(self, event: StageEvent) -> None:
+        """Deliver ``event`` to the progress hook, if any."""
+        if self.progress is not None:
+            self.progress(event)

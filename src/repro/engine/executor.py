@@ -1,0 +1,199 @@
+"""Plan execution: serial and process-parallel backends, timing report.
+
+:func:`execute_plan` walks a :class:`~repro.engine.stage.StudyPlan` in
+topological order. Ordinary stages run in-process; :class:`MapStage`
+items are first served from the content-addressed cache, and the
+remainder is computed either serially or fanned out over a
+``ProcessPoolExecutor`` (``config.jobs``) in pickled chunks sized to
+amortize serialization overhead. Per-stage wall-clock timings and
+cache statistics are collected into an :class:`ExecutionReport` and
+streamed to the config's progress hook.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Mapping
+
+from repro.engine.cache import MISS, ResultCache
+from repro.engine.config import StudyConfig
+from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock and cache accounting for one executed stage.
+
+    Attributes:
+        stage: stage name.
+        seconds: wall-clock duration of the stage.
+        items: mapped item count (map stages; None otherwise).
+        cache_hits: items served from the result cache.
+        cache_misses: items computed this run.
+    """
+
+    stage: str
+    seconds: float
+    items: int | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass
+class ExecutionReport:
+    """Per-stage timings of one plan execution."""
+
+    timings: list[StageTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock total over all stages."""
+        return sum(t.seconds for t in self.timings)
+
+    def timing(self, stage: str) -> StageTiming:
+        """The timing entry of one stage.
+
+        Raises:
+            EngineError: when the stage did not execute.
+        """
+        for entry in self.timings:
+            if entry.stage == stage:
+                return entry
+        raise EngineError(f"no timing recorded for stage {stage!r}")
+
+    def format_table(self) -> str:
+        """The timings as an aligned text table."""
+        from repro.viz.tables import format_table
+        rows = []
+        for entry in self.timings:
+            cache = "-"
+            if entry.cache_hits or entry.cache_misses:
+                cache = f"{entry.cache_hits} hit / " \
+                        f"{entry.cache_misses} miss"
+            rows.append([
+                entry.stage,
+                f"{entry.seconds * 1000:.1f} ms",
+                "-" if entry.items is None else entry.items,
+                cache,
+            ])
+        rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms",
+                     "-", "-"])
+        return format_table(["stage", "time", "items", "cache"], rows,
+                            title="Execution report")
+
+
+def _invoke_map(fn: Callable, transport: Callable | None,
+                extras: tuple, item: Any) -> Any:
+    """Apply a map stage to one item (module-level: must pickle)."""
+    result = fn(item, *extras)
+    if transport is not None:
+        result = transport(result)
+    return result
+
+
+def _auto_chunk(pending: int, jobs: int) -> int:
+    """Items per pickled chunk: ~4 chunks per worker, at least 1."""
+    return max(1, math.ceil(pending / (jobs * 4)))
+
+
+def _run_map_stage(stage: MapStage, items: list, extras: tuple,
+                   config: StudyConfig,
+                   cache: ResultCache | None) -> tuple[list, int, int]:
+    """Execute one map stage; returns (results, hits, misses)."""
+    results: list[Any] = [None] * len(items)
+    pending = list(range(len(items)))
+    keys: dict[int, str] = {}
+    if cache is not None and stage.cache_key_fn is not None:
+        pending = []
+        for index, item in enumerate(items):
+            key = stage.cache_key_fn(item, extras, stage.version)
+            keys[index] = key
+            value = cache.get(key)
+            if value is MISS:
+                pending.append(index)
+            else:
+                results[index] = value
+    hits = len(items) - len(pending)
+
+    if pending:
+        if config.jobs > 1 and len(pending) > 1:
+            worker = partial(_invoke_map, stage.fn, stage.transport_fn,
+                             extras)
+            chunk = config.chunk_size \
+                or _auto_chunk(len(pending), config.jobs)
+            outbound = [items[i] for i in pending]
+            if stage.item_transport_fn is not None:
+                outbound = [stage.item_transport_fn(item)
+                            for item in outbound]
+            with ProcessPoolExecutor(max_workers=config.jobs) as pool:
+                computed = list(pool.map(worker, outbound,
+                                         chunksize=chunk))
+            for index, value in zip(pending, computed):
+                results[index] = value
+                if cache is not None and index in keys:
+                    cache.put(keys[index], value)
+        else:
+            for index in pending:
+                value = stage.fn(items[index], *extras)
+                results[index] = value
+                if cache is not None and index in keys:
+                    stripped = value if stage.transport_fn is None \
+                        else stage.transport_fn(value)
+                    cache.put(keys[index], stripped)
+    return results, hits, len(pending)
+
+
+def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
+                 config: StudyConfig | None = None
+                 ) -> tuple[dict[str, Any], ExecutionReport]:
+    """Execute every stage of ``plan`` and return all stage results.
+
+    Args:
+        plan: the stage DAG.
+        inputs: initial values available to stages (by name).
+        config: execution configuration; defaults to serial/no-cache.
+
+    Returns:
+        ``(results, report)`` — results maps every input and stage name
+        to its value; the report carries per-stage timings.
+
+    Raises:
+        EngineError: for invalid plans (unknown inputs, cycles).
+    """
+    config = config or StudyConfig()
+    cache = ResultCache(config.cache_dir) \
+        if config.cache_dir is not None else None
+    results: dict[str, Any] = dict(inputs)
+    report = ExecutionReport()
+    for stage in plan.execution_order(tuple(inputs)):
+        config.emit(StageEvent(stage=stage.name, phase="start"))
+        started = time.perf_counter()
+        hits = misses = 0
+        items: int | None = None
+        if isinstance(stage, MapStage):
+            source = list(results[stage.inputs[0]])
+            extras = tuple(results[name] for name in stage.inputs[1:])
+            value, hits, misses = _run_map_stage(
+                stage, source, extras, config, cache)
+            items = len(source)
+        else:
+            value = stage.fn(*(results[name] for name in stage.inputs))
+        elapsed = time.perf_counter() - started
+        results[stage.name] = value
+        report.timings.append(StageTiming(
+            stage=stage.name, seconds=elapsed, items=items,
+            cache_hits=hits, cache_misses=misses))
+        config.emit(StageEvent(
+            stage=stage.name, phase="finish", seconds=elapsed,
+            items=items or 0, cache_hits=hits, cache_misses=misses))
+    return results, report
+
+
+def run_stage(stage: Stage, *args: Any) -> Any:
+    """Run one stage standalone (convenience for tests and notebooks)."""
+    return stage.fn(*args)

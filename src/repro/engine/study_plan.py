@@ -1,0 +1,395 @@
+"""The paper's study expressed as a declarative stage DAG.
+
+Two plans are built here:
+
+* the **records plan** — one :class:`~repro.engine.stage.MapStage`
+  turning each project (or external history) into a classified
+  :class:`~repro.analysis.records.StudyRecord`: history → profile →
+  labels → classification. Embarrassingly parallel and content-cached.
+* the **analysis plan** — the corpus-level stages of the paper
+  (Tables 1/2, §3.4, Fig. 2 correlations, the Fig. 5 tree, §5.2
+  centroids, Fig. 6 coverage, Fig. 7 prediction, §6.1 activity, §6.3
+  change mix, §3.4.1 normality, strict agreement) assembled into one
+  :class:`~repro.study.pipeline.StudyResults` bundle.
+
+All stage bodies are module-level functions so the process backend can
+pickle them by reference.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.activity_relation import compute_activity_relation
+from repro.analysis.change_mix import compute_change_mix
+from repro.analysis.coverage import agm_bucket, compute_coverage
+from repro.analysis.normality import compute_normality
+from repro.analysis.prediction import compute_prediction
+from repro.analysis.records import StudyRecord, measures_of
+from repro.analysis.stats_tables import (
+    compute_section34_stats,
+    compute_table1,
+)
+from repro.engine.cache import fingerprint
+from repro.engine.config import StudyConfig
+from repro.engine.executor import ExecutionReport, execute_plan
+from repro.engine.stage import MapStage, Stage, StudyPlan
+from repro.errors import AnalysisError
+from repro.history.repository import SchemaHistory
+from repro.labels.quantization import LabelScheme, label_profile
+from repro.metrics.profile import ProjectProfile
+from repro.mining.centroids import centroid_report
+from repro.mining.correlation import spearman_matrix
+from repro.mining.decision_tree import DecisionTree
+from repro.patterns.classifier import (
+    ClassificationResult,
+    classify,
+    classify_with_tolerance,
+)
+from repro.patterns.exceptions import exception_report
+from repro.patterns.taxonomy import Pattern
+
+#: Bump when the history → record computation changes observably; this
+#: invalidates every cached StudyRecord (the cache key mixes it in).
+RECORDS_STAGE_VERSION = "1"
+
+
+# ----------------------------------------------------------------------
+# per-project map stage
+
+
+def corpus_record(project, scheme: LabelScheme) -> StudyRecord:
+    """Measure, label and strictly check one generated project.
+
+    The assigned pattern is the generator's ground truth — the synthetic
+    counterpart of the paper's manual annotation; the exception flag is
+    recomputed from the formal definitions.
+    """
+    profile = ProjectProfile.from_history(project.history,
+                                          source=project.source)
+    labeled = label_profile(profile, scheme)
+    strict = classify(labeled)
+    return StudyRecord(
+        name=project.name,
+        pattern=project.intended_pattern,
+        labeled=labeled,
+        is_exception=strict is not project.intended_pattern,
+    )
+
+
+def history_record(history: SchemaHistory,
+                   scheme: LabelScheme) -> StudyRecord:
+    """Measure, label and *blindly* classify one external history."""
+    profile = ProjectProfile.from_history(history)
+    labeled = label_profile(profile, scheme)
+    result = classify_with_tolerance(labeled)
+    return StudyRecord(
+        name=history.project_name,
+        pattern=result.pattern,
+        labeled=labeled,
+        is_exception=result.is_exception,
+    )
+
+
+def history_fingerprint_parts(history: SchemaHistory) -> list:
+    """The content of a history that determines its measurements."""
+    return [
+        history.project_name,
+        history.project_start,
+        history.project_end,
+        history.dialect.traits.name,
+        history.incremental,
+        [(c.timestamp, c.ddl_text) for c in history.commits],
+    ]
+
+
+def corpus_record_key(project, extras: tuple, version: str) -> str:
+    """Content hash of one generated project's record computation."""
+    (scheme,) = extras
+    return fingerprint(
+        "corpus-record", version, scheme.to_dict(),
+        project.name, project.intended_pattern,
+        project.is_exception, project.exception_kind,
+        history_fingerprint_parts(project.history),
+        tuple(project.source.monthly) if project.source else None,
+    )
+
+
+def history_record_key(history: SchemaHistory, extras: tuple,
+                       version: str) -> str:
+    """Content hash of one external history's record computation."""
+    (scheme,) = extras
+    return fingerprint("history-record", version, scheme.to_dict(),
+                       history_fingerprint_parts(history))
+
+
+def bare_history(history: SchemaHistory | None) -> SchemaHistory | None:
+    """A shallow copy of ``history`` without its parsed-version cache."""
+    if history is None or history._versions is None:
+        return history
+    bare = copy.copy(history)
+    bare._versions = None
+    return bare
+
+
+def strip_project(project):
+    """A copy of a generated project with a bare history (pre-pickle)."""
+    bare = bare_history(project.history)
+    if bare is project.history:
+        return project
+    return dataclasses.replace(project, history=bare)
+
+
+def strip_record(record: StudyRecord) -> StudyRecord:
+    """Shed the parsed-version cache before a record is pickled.
+
+    The materialized :class:`SchemaVersion` list dominates a record's
+    pickle size yet is a pure derivation of the commits; consumers
+    rebuild it lazily. The original record is left untouched.
+    """
+    bare = bare_history(record.profile.history)
+    if bare is record.profile.history:
+        return record
+    profile = dataclasses.replace(record.profile, history=bare)
+    labeled = dataclasses.replace(record.labeled, profile=profile)
+    return dataclasses.replace(record, labeled=labeled)
+
+
+# ----------------------------------------------------------------------
+# corpus-level analysis stages
+
+
+def _stage_table1(records):
+    return compute_table1(records)
+
+
+def _stage_stats34(records):
+    return compute_section34_stats(records)
+
+
+def _stage_table2(records):
+    # Table 2 needs (labeled, result)-style pairs; rebuild results from
+    # the records' assignment.
+    return exception_report(
+        (r.labeled, ClassificationResult(pattern=r.pattern,
+                                         is_exception=r.is_exception))
+        for r in records)
+
+
+def _stage_correlations(records):
+    return spearman_matrix(measures_of(records))
+
+
+def tree_sample(record: StudyRecord) -> dict[str, str]:
+    """The four Fig.-5 features of one record."""
+    labeled = record.labeled
+    return {
+        "birth_timing": labeled.birth_timing.value,
+        "top_band_timing": labeled.top_band_timing.value,
+        "interval_birth_to_top": labeled.interval_birth_to_top.value,
+        "agm_bucket": agm_bucket(labeled.active_growth_months),
+    }
+
+
+def _stage_tree_features(records):
+    samples = [tree_sample(r) for r in records]
+    labels = [r.pattern.value for r in records]
+    return samples, labels
+
+
+def _stage_tree(features):
+    samples, labels = features
+    return DecisionTree(max_depth=4).fit(samples, labels)
+
+
+def _stage_tree_misclassified(tree, features, records):
+    samples, labels = features
+    return tuple(records[i].name
+                 for i in tree.training_errors(samples, labels))
+
+
+def _stage_centroids(records):
+    vector_groups: dict[str, list] = {}
+    for record in records:
+        if record.pattern is Pattern.UNCLASSIFIED:
+            continue
+        vector_groups.setdefault(record.pattern.value, []).append(
+            record.profile.vector)
+    return centroid_report(vector_groups)
+
+
+def _stage_coverage(records):
+    return compute_coverage(records)
+
+
+def _stage_prediction(records):
+    return compute_prediction(records)
+
+
+def _stage_activity(records):
+    return compute_activity_relation(records)
+
+
+def _stage_change_mix(records):
+    return compute_change_mix(records)
+
+
+def _stage_normality(records):
+    return compute_normality(records)
+
+
+def _stage_strict_agreement(records):
+    return sum(1 for r in records if classify(r.labeled) is r.pattern)
+
+
+def _stage_results(records, table1, stats34, table2, correlations, tree,
+                   tree_misclassified, centroids, coverage, prediction,
+                   activity, change_mix, normality, strict_agreement):
+    from repro.study.pipeline import StudyResults
+    return StudyResults(
+        records=tuple(records),
+        table1=table1,
+        stats34=stats34,
+        table2=table2,
+        correlations=correlations,
+        tree=tree,
+        tree_misclassified=tree_misclassified,
+        centroids=centroids,
+        coverage=coverage,
+        prediction=prediction,
+        activity=activity,
+        change_mix=change_mix,
+        normality=normality,
+        strict_agreement=strict_agreement,
+    )
+
+
+def _analysis_stages() -> list[Stage]:
+    """The corpus-level stages of :func:`run_study`, as a DAG."""
+    on_records = [
+        ("table1", _stage_table1),
+        ("stats34", _stage_stats34),
+        ("table2", _stage_table2),
+        ("correlations", _stage_correlations),
+        ("tree_features", _stage_tree_features),
+        ("centroids", _stage_centroids),
+        ("coverage", _stage_coverage),
+        ("prediction", _stage_prediction),
+        ("activity", _stage_activity),
+        ("change_mix", _stage_change_mix),
+        ("normality", _stage_normality),
+        ("strict_agreement", _stage_strict_agreement),
+    ]
+    stages = [Stage(name=name, fn=fn, inputs=("records",))
+              for name, fn in on_records]
+    stages.append(Stage(name="tree", fn=_stage_tree,
+                        inputs=("tree_features",)))
+    stages.append(Stage(name="tree_misclassified",
+                        fn=_stage_tree_misclassified,
+                        inputs=("tree", "tree_features", "records")))
+    stages.append(Stage(
+        name="results", fn=_stage_results,
+        inputs=("records", "table1", "stats34", "table2", "correlations",
+                "tree", "tree_misclassified", "centroids", "coverage",
+                "prediction", "activity", "change_mix", "normality",
+                "strict_agreement")))
+    return stages
+
+
+# ----------------------------------------------------------------------
+# plan builders
+
+
+def records_map_stage(source: str = "corpus") -> MapStage:
+    """The per-project map stage.
+
+    Args:
+        source: ``"corpus"`` for generated projects (ground-truth
+            pattern), ``"histories"`` for external histories (blind,
+            tolerant classification).
+    """
+    if source == "corpus":
+        return MapStage(name="records", fn=corpus_record,
+                        inputs=("projects", "scheme"),
+                        version=RECORDS_STAGE_VERSION,
+                        cache_key_fn=corpus_record_key,
+                        transport_fn=strip_record,
+                        item_transport_fn=strip_project)
+    if source == "histories":
+        return MapStage(name="records", fn=history_record,
+                        inputs=("projects", "scheme"),
+                        version=RECORDS_STAGE_VERSION,
+                        cache_key_fn=history_record_key,
+                        transport_fn=strip_record,
+                        item_transport_fn=bare_history)
+    raise AnalysisError(f"unknown records source {source!r}")
+
+
+def build_records_plan(source: str = "corpus") -> StudyPlan:
+    """A plan computing only the classified study records."""
+    return StudyPlan([records_map_stage(source)])
+
+
+def build_analysis_plan() -> StudyPlan:
+    """The corpus-level analyses, given precomputed records."""
+    return StudyPlan(_analysis_stages())
+
+
+def build_study_plan(source: str = "corpus") -> StudyPlan:
+    """The full study DAG: per-project map + every paper analysis."""
+    return StudyPlan([records_map_stage(source), *_analysis_stages()])
+
+
+# ----------------------------------------------------------------------
+# high-level entry points
+
+
+def compute_records(projects: Iterable[Any],
+                    config: StudyConfig | None = None,
+                    source: str = "corpus"
+                    ) -> tuple[list[StudyRecord], ExecutionReport]:
+    """Run the per-project map stage over ``projects``."""
+    config = config or StudyConfig()
+    results, report = execute_plan(
+        build_records_plan(source),
+        {"projects": list(projects), "scheme": config.scheme},
+        config)
+    return list(results["records"]), report
+
+
+def run_analyses(records: Sequence[StudyRecord],
+                 config: StudyConfig | None = None):
+    """Run every corpus-level analysis over classified records.
+
+    Raises:
+        AnalysisError: for an empty record list.
+    """
+    if not records:
+        raise AnalysisError("cannot run the study on zero records")
+    results, _ = execute_plan(build_analysis_plan(),
+                              {"records": tuple(records)}, config)
+    return results["results"]
+
+
+def execute_study(projects: Iterable[Any],
+                  config: StudyConfig | None = None,
+                  source: str = "corpus"):
+    """Run the whole study DAG: map + analyses, one plan execution.
+
+    Returns:
+        ``(StudyResults, ExecutionReport)``.
+
+    Raises:
+        AnalysisError: for an empty project list.
+    """
+    projects = list(projects)
+    if not projects:
+        raise AnalysisError("cannot run the study on zero records")
+    config = config or StudyConfig()
+    results, report = execute_plan(
+        build_study_plan(source),
+        {"projects": projects, "scheme": config.scheme},
+        config)
+    return results["results"], report

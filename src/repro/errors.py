@@ -81,3 +81,11 @@ class CorpusError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised when a study-level analysis receives unusable input."""
+
+
+class EngineError(ReproError):
+    """Raised for malformed study plans or invalid engine configuration.
+
+    Examples: a stage wired to an input no stage produces, a cyclic
+    plan, a non-positive worker count, unhashable cache-key material.
+    """

@@ -7,7 +7,7 @@ computed once from its history.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.diff.engine import DiffOptions
 from repro.history.heartbeat import ActivitySeries, schema_heartbeat
@@ -30,7 +30,9 @@ class ProjectProfile:
         source: optional source-code series for joint charts.
         history: the originating history (kept so table-level analyses
             can re-derive per-table views; None for deserialized
-            profiles).
+            profiles). Excluded from equality: two profiles measured
+            from identical histories — in different processes, or one
+            revived from the result cache — compare equal.
     """
 
     name: str
@@ -39,7 +41,7 @@ class ProjectProfile:
     vector: tuple[float, ...]
     heartbeat: ActivitySeries
     source: ActivitySeries | None = None
-    history: SchemaHistory | None = None
+    history: SchemaHistory | None = field(default=None, compare=False)
 
     # Convenience passthroughs used across the analysis layer -----------
 

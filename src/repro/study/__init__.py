@@ -2,7 +2,9 @@
 
 :func:`run_study` reproduces every quantitative artifact of the paper in
 one call and returns a :class:`StudyResults` bundle the benchmarks and
-examples render.
+examples render. Execution is delegated to :mod:`repro.engine`;
+:func:`run_full_study` is the engine-native entry point with worker
+pools, result caching and per-stage timings.
 """
 
 from repro.study.compare import StudyComparison, compare_studies
@@ -10,6 +12,7 @@ from repro.study.pipeline import (
     StudyResults,
     records_from_corpus,
     records_from_histories,
+    run_full_study,
     run_study,
 )
 
@@ -19,5 +22,6 @@ __all__ = [
     "compare_studies",
     "records_from_corpus",
     "records_from_histories",
+    "run_full_study",
     "run_study",
 ]

@@ -1,51 +1,58 @@
-"""End-to-end study driver."""
+"""End-to-end study driver.
+
+Since the engine refactor this module is a thin compatibility facade:
+the actual execution lives in :mod:`repro.engine.study_plan`, which
+expresses the study as a stage DAG with parallel per-project mapping
+and content-addressed caching. :func:`records_from_corpus`,
+:func:`records_from_histories` and :func:`run_study` keep their
+historical signatures; :func:`run_full_study` is the engine-native
+entry point that also returns per-stage timings.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.analysis.activity_relation import (
-    ActivityRelationResult,
-    compute_activity_relation,
-)
-from repro.analysis.change_mix import ChangeMixResult, compute_change_mix
-from repro.analysis.coverage import CoverageResult, compute_coverage
-from repro.analysis.normality import NormalityResult, compute_normality
-from repro.analysis.prediction import PredictionResult, compute_prediction
-from repro.analysis.records import StudyRecord, measures_of
-from repro.analysis.stats_tables import (
-    Section34Stats,
-    Table1Result,
-    compute_section34_stats,
-    compute_table1,
-)
+from repro.analysis.activity_relation import ActivityRelationResult
+from repro.analysis.change_mix import ChangeMixResult
+from repro.analysis.coverage import CoverageResult
+from repro.analysis.normality import NormalityResult
+from repro.analysis.prediction import PredictionResult
+from repro.analysis.records import StudyRecord
+from repro.analysis.stats_tables import Section34Stats, Table1Result
 from repro.corpus.generator import Corpus
-from repro.errors import AnalysisError
+from repro.engine.config import StudyConfig
+from repro.engine.executor import ExecutionReport
+from repro.engine.study_plan import (
+    compute_records,
+    execute_study,
+    run_analyses,
+    tree_sample,
+)
 from repro.history.repository import SchemaHistory
-from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme, label_profile
-from repro.metrics.profile import ProjectProfile
-from repro.mining.centroids import CentroidReport, centroid_report
-from repro.mining.correlation import spearman_matrix
+from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme
+from repro.mining.centroids import CentroidReport
 from repro.mining.decision_tree import DecisionTree
-from repro.patterns.classifier import classify, classify_with_tolerance
-from repro.patterns.exceptions import ExceptionReport, exception_report
-from repro.patterns.taxonomy import Pattern
+from repro.patterns.classifier import ClassificationResult  # noqa: F401
+from repro.patterns.exceptions import ExceptionReport
 
 #: The four defining features the Fig.-5 decision tree splits on.
 TREE_FEATURES = ("birth_timing", "top_band_timing",
                  "interval_birth_to_top", "agm_bucket")
 
+__all__ = [
+    "StudyResults",
+    "TREE_FEATURES",
+    "records_from_corpus",
+    "records_from_histories",
+    "run_full_study",
+    "run_study",
+]
+
 
 def _tree_sample(record: StudyRecord) -> dict[str, str]:
-    from repro.analysis.coverage import agm_bucket
-    labeled = record.labeled
-    return {
-        "birth_timing": labeled.birth_timing.value,
-        "top_band_timing": labeled.top_band_timing.value,
-        "interval_birth_to_top": labeled.interval_birth_to_top.value,
-        "agm_bucket": agm_bucket(labeled.active_growth_months),
-    }
+    return tree_sample(record)
 
 
 @dataclass(frozen=True)
@@ -91,8 +98,21 @@ class StudyResults:
         return len(self.records)
 
 
+def _effective_config(config: StudyConfig | None,
+                      scheme: LabelScheme) -> StudyConfig:
+    """Resolve the (config, scheme) compatibility overlap.
+
+    An explicit ``config`` wins; otherwise a serial no-cache config is
+    built around the given scheme, matching the historical behavior.
+    """
+    if config is not None:
+        return config
+    return StudyConfig(scheme=scheme)
+
+
 def records_from_corpus(corpus: Corpus,
-                        scheme: LabelScheme = DEFAULT_SCHEME
+                        scheme: LabelScheme = DEFAULT_SCHEME,
+                        config: StudyConfig | None = None
                         ) -> list[StudyRecord]:
     """Measure and label a generated corpus.
 
@@ -100,89 +120,50 @@ def records_from_corpus(corpus: Corpus,
     counterpart of the paper's manual annotation; the exception flag is
     recomputed from the formal definitions (a project is an exception
     when its labels violate its assigned pattern's definition).
+
+    Args:
+        corpus: the generated corpus.
+        scheme: quantization boundaries (ignored when ``config`` is
+            given — the config's scheme applies).
+        config: execution configuration (workers, cache, progress).
     """
-    records: list[StudyRecord] = []
-    for project in corpus.projects:
-        profile = ProjectProfile.from_history(project.history,
-                                              source=project.source)
-        labeled = label_profile(profile, scheme)
-        strict = classify(labeled)
-        records.append(StudyRecord(
-            name=project.name,
-            pattern=project.intended_pattern,
-            labeled=labeled,
-            is_exception=strict is not project.intended_pattern,
-        ))
+    records, _ = compute_records(corpus.projects,
+                                 _effective_config(config, scheme),
+                                 source="corpus")
     return records
 
 
 def records_from_histories(histories: Iterable[SchemaHistory],
-                           scheme: LabelScheme = DEFAULT_SCHEME
+                           scheme: LabelScheme = DEFAULT_SCHEME,
+                           config: StudyConfig | None = None
                            ) -> list[StudyRecord]:
     """Measure, label and *blindly* classify external histories."""
-    records: list[StudyRecord] = []
-    for history in histories:
-        profile = ProjectProfile.from_history(history)
-        labeled = label_profile(profile, scheme)
-        result = classify_with_tolerance(labeled)
-        records.append(StudyRecord(
-            name=history.project_name,
-            pattern=result.pattern,
-            labeled=labeled,
-            is_exception=result.is_exception,
-        ))
+    records, _ = compute_records(histories,
+                                 _effective_config(config, scheme),
+                                 source="histories")
     return records
 
 
-def run_study(records: Sequence[StudyRecord]) -> StudyResults:
+def run_study(records: Sequence[StudyRecord],
+              config: StudyConfig | None = None) -> StudyResults:
     """Run every analysis of the paper over classified records.
 
     Raises:
         AnalysisError: for an empty record list.
     """
-    if not records:
-        raise AnalysisError("cannot run the study on zero records")
+    return run_analyses(records, config)
 
-    # Table 2 needs (labeled, result)-style pairs; rebuild results from
-    # the records' assignment.
-    from repro.patterns.classifier import ClassificationResult
-    table2 = exception_report(
-        (r.labeled, ClassificationResult(pattern=r.pattern,
-                                         is_exception=r.is_exception))
-        for r in records)
 
-    correlations = spearman_matrix(measures_of(records))
+def run_full_study(corpus: Corpus,
+                   config: StudyConfig | None = None
+                   ) -> tuple[StudyResults, ExecutionReport]:
+    """Corpus in, complete study out — one engine plan execution.
 
-    samples = [_tree_sample(r) for r in records]
-    labels = [r.pattern.value for r in records]
-    tree = DecisionTree(max_depth=4).fit(samples, labels)
-    misclassified = tuple(records[i].name
-                          for i in tree.training_errors(samples, labels))
+    The per-project map runs on ``config.jobs`` workers and is served
+    from ``config.cache_dir`` when warm; the returned report carries
+    per-stage wall-clock timings and cache statistics.
 
-    vector_groups: dict[str, list] = {}
-    for record in records:
-        if record.pattern is Pattern.UNCLASSIFIED:
-            continue
-        vector_groups.setdefault(record.pattern.value, []).append(
-            record.profile.vector)
-    centroids = centroid_report(vector_groups)
-
-    strict_agreement = sum(1 for r in records
-                           if classify(r.labeled) is r.pattern)
-
-    return StudyResults(
-        records=tuple(records),
-        table1=compute_table1(records),
-        stats34=compute_section34_stats(records),
-        table2=table2,
-        correlations=correlations,
-        tree=tree,
-        tree_misclassified=misclassified,
-        centroids=centroids,
-        coverage=compute_coverage(records),
-        prediction=compute_prediction(records),
-        activity=compute_activity_relation(records),
-        change_mix=compute_change_mix(records),
-        normality=compute_normality(records),
-        strict_agreement=strict_agreement,
-    )
+    Raises:
+        AnalysisError: for an empty corpus.
+    """
+    return execute_study(corpus.projects, config, source="corpus")

@@ -1,0 +1,141 @@
+"""Unit tests for the content-addressed result cache and its keys."""
+
+import dataclasses
+from datetime import datetime
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.engine import (
+    MISS,
+    RECORDS_STAGE_VERSION,
+    ResultCache,
+    canonical,
+    corpus_record_key,
+    fingerprint,
+    history_record_key,
+)
+from repro.errors import EngineError
+from repro.history.commit import Commit
+from repro.history.repository import SchemaHistory
+from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme
+from repro.patterns.taxonomy import Pattern
+
+POPULATION = {Pattern.FLATLINER: 1, Pattern.SIESTA: 1}
+
+
+@pytest.fixture(scope="module")
+def project():
+    return generate_corpus(seed=11, population=POPULATION,
+                           with_exceptions=False).projects[0]
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint("a", 1, [2.5, None]) \
+            == fingerprint("a", 1, [2.5, None])
+
+    def test_order_sensitive(self):
+        assert fingerprint("a", "b") != fingerprint("b", "a")
+
+    def test_dict_key_order_irrelevant(self):
+        assert fingerprint({"x": 1, "y": 2}) \
+            == fingerprint({"y": 2, "x": 1})
+
+    def test_type_distinction(self):
+        assert fingerprint("1") != fingerprint(1)
+
+    def test_datetime_and_enum_supported(self):
+        key = fingerprint(datetime(2020, 1, 1), Pattern.FLATLINER)
+        assert key == fingerprint(datetime(2020, 1, 1),
+                                  Pattern.FLATLINER)
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(EngineError):
+            canonical(object())
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(EngineError):
+            canonical({1: "x"})
+
+
+class TestRecordCacheKey:
+    def test_stable_across_regeneration(self):
+        """The same seed yields the same keys in a fresh process/run."""
+        a = generate_corpus(seed=11, population=POPULATION,
+                            with_exceptions=False)
+        b = generate_corpus(seed=11, population=POPULATION,
+                            with_exceptions=False)
+        keys_a = [corpus_record_key(p, (DEFAULT_SCHEME,),
+                                    RECORDS_STAGE_VERSION)
+                  for p in a.projects]
+        keys_b = [corpus_record_key(p, (DEFAULT_SCHEME,),
+                                    RECORDS_STAGE_VERSION)
+                  for p in b.projects]
+        assert keys_a == keys_b
+
+    def test_ddl_text_change_invalidates(self, project):
+        old = project.history
+        commits = list(old.commits)
+        commits[0] = Commit(sha=commits[0].sha,
+                            timestamp=commits[0].timestamp,
+                            ddl_text=commits[0].ddl_text
+                            + "\nCREATE TABLE sneaky (id INT);")
+        touched = SchemaHistory(old.project_name, commits,
+                                project_start=old.project_start,
+                                project_end=old.project_end,
+                                dialect=old.dialect)
+        modified = dataclasses.replace(project, history=touched)
+        assert corpus_record_key(project, (DEFAULT_SCHEME,),
+                                 RECORDS_STAGE_VERSION) \
+            != corpus_record_key(modified, (DEFAULT_SCHEME,),
+                                 RECORDS_STAGE_VERSION)
+
+    def test_scheme_boundary_change_invalidates(self, project):
+        shifted = LabelScheme(timing_bounds=(0.30, 0.75))
+        assert corpus_record_key(project, (DEFAULT_SCHEME,),
+                                 RECORDS_STAGE_VERSION) \
+            != corpus_record_key(project, (shifted,),
+                                 RECORDS_STAGE_VERSION)
+
+    def test_stage_version_bump_invalidates(self, project):
+        assert corpus_record_key(project, (DEFAULT_SCHEME,), "1") \
+            != corpus_record_key(project, (DEFAULT_SCHEME,), "2")
+
+    def test_history_key_tracks_window(self, project):
+        history = project.history
+        widened = SchemaHistory(
+            history.project_name, list(history.commits),
+            project_start=history.project_start,
+            project_end=history.project_end.replace(
+                year=history.project_end.year + 1),
+            dialect=history.dialect)
+        assert history_record_key(history, (DEFAULT_SCHEME,), "1") \
+            != history_record_key(widened, (DEFAULT_SCHEME,), "1")
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = fingerprint("roundtrip")
+        assert cache.get(key) is MISS
+        assert cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = fingerprint("corrupt")
+        cache.put(key, [1, 2, 3])
+        cache._path(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is MISS
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        # A *file* where the cache dir should be: every mkdir fails.
+        blocker = tmp_path / "blocked"
+        blocker.write_text("in the way")
+        cache = ResultCache(blocker)
+        assert cache.put(fingerprint("x"), 1) is False
+        assert cache.get(fingerprint("x")) is MISS
+        assert len(cache) == 0
