@@ -179,3 +179,54 @@ def test_perf_engine_mode_report(corpus, tmp_path_factory):
     record("perf_engine_modes", "\n".join(lines))
     if (os.cpu_count() or 1) >= 2:
         assert parallel_s < serial_s
+
+
+def test_perf_source_dir_modes(corpus, tmp_path_factory):
+    """Engine modes over an on-disk corpus directory (dir: source).
+
+    The handle-based fan-out ships (pid, fingerprint) pairs to workers,
+    which read and parse their own project files; the warm run serves
+    every record straight from the cache without opening a single
+    project file.
+    """
+    from repro.engine import execute_study_from_source
+    from repro.sources import CorpusDirSource, export_corpus_dir
+
+    root = export_corpus_dir(
+        corpus, tmp_path_factory.mktemp("source-dir") / "corpus")
+    source = CorpusDirSource(root)
+
+    def timed(config):
+        started = time.perf_counter()
+        results, timing = execute_study_from_source(
+            CorpusDirSource(root), config)
+        return time.perf_counter() - started, results, timing
+
+    cache_dir = tmp_path_factory.mktemp("source-dir-cache")
+    serial_s, serial_res, _ = timed(STUDY_CONFIG)
+    parallel_s, parallel_res, _ = timed(
+        STUDY_CONFIG.replace(jobs=PARALLEL_JOBS))
+    cold_s, _, _ = timed(STUDY_CONFIG.replace(cache_dir=cache_dir))
+    warm_s, warm_res, warm_timing = timed(
+        STUDY_CONFIG.replace(cache_dir=cache_dir))
+
+    assert parallel_res.records == serial_res.records
+    assert warm_res.records == serial_res.records
+    assert warm_timing.cache_hits == len(source)
+    assert warm_s < serial_s
+
+    lines = [
+        f"dir: source over {len(source)} on-disk projects "
+        f"(host: {os.cpu_count()} cpus)",
+        f"  serial (jobs=1):          {serial_s * 1000:9.1f} ms",
+        f"  parallel (jobs={PARALLEL_JOBS}):        "
+        f"{parallel_s * 1000:9.1f} ms   "
+        f"{serial_s / parallel_s:5.2f}x vs serial",
+        f"  cold cache (write-through):{cold_s * 1000:8.1f} ms",
+        f"  warm cache ({len(source)}/{len(source)} hits): "
+        f"{warm_s * 1000:9.1f} ms   "
+        f"{serial_s / warm_s:5.2f}x vs serial",
+    ]
+    record("perf_source_dir_modes", "\n".join(lines))
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_s < serial_s

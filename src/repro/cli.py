@@ -3,11 +3,17 @@
 Subcommands:
 
 * ``generate`` — build the synthetic 151-project corpus and save it.
-* ``study`` — run the full study (optionally on a saved corpus) and
-  print every paper table/figure.
+* ``study`` — run the full study and print every paper table/figure;
+  ``--source synthetic:|dir:PATH|git:PATH`` picks where the histories
+  come from (or ``--corpus`` replays a saved JSON corpus).
+* ``corpus export`` / ``corpus import`` — round-trip a corpus through
+  the versioned JSONL directory format that ``--source dir:`` reads.
 * ``profile`` — measure, label and classify one schema history
   (directory of .sql files or a JSONL commit log).
 * ``chart`` — render a history's heartbeat as ASCII or SVG.
+
+Every failure funnels through the :class:`~repro.errors.ReproError`
+hierarchy, so :func:`main` has exactly one error exit path.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from repro import report
 from repro.corpus.dataset import load_corpus, save_corpus
 from repro.corpus.generator import DEFAULT_SEED, generate_corpus
 from repro.engine import StudyConfig
-from repro.errors import ReproError
+from repro.errors import CliError, ReproError
 from repro.history.heartbeat import schema_heartbeat
 from repro.history.repository import (
     load_history_from_directory,
@@ -29,7 +35,13 @@ from repro.history.repository import (
 from repro.labels.quantization import label_profile
 from repro.metrics.profile import ProjectProfile
 from repro.patterns.classifier import classify_with_tolerance
-from repro.study.pipeline import records_from_corpus, run_full_study
+from repro.sources import (
+    InMemorySource,
+    export_corpus_dir,
+    import_corpus_dir,
+    source_from_spec,
+)
+from repro.study.pipeline import run_full_study_from_source
 from repro.viz.ascii_chart import ascii_chart
 from repro.viz.svg_chart import svg_chart
 
@@ -52,7 +64,28 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         jobs=getattr(args, "jobs", 1),
         cache_dir=Path(args.cache_dir)
         if getattr(args, "cache_dir", None) else None,
+        source=getattr(args, "source", "synthetic:"),
     )
+
+
+def _resolve_source(args: argparse.Namespace, config: StudyConfig):
+    """The history source a study-like command should run over.
+
+    ``--corpus FILE`` (the pre-sources replay path) wins and wraps the
+    loaded corpus in-memory; otherwise ``--source`` is parsed.
+    """
+    if getattr(args, "corpus", None):
+        corpus = load_corpus(args.corpus)
+        return InMemorySource(corpus.projects, mode="corpus")
+    return source_from_spec(config.source, config)
+
+
+def _write_text(path: str | Path, text: str, what: str) -> None:
+    """Write an output file, wrapping failures as :class:`CliError`."""
+    try:
+        Path(path).write_text(text)
+    except OSError as exc:
+        raise CliError(f"cannot write {what} {path}: {exc}") from exc
 
 
 def _print_timings(report_obj) -> None:
@@ -69,11 +102,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     config = _study_config(args)
-    if args.corpus:
-        corpus = load_corpus(args.corpus)
-    else:
-        corpus = generate_corpus(config=config)
-    results, timing = run_full_study(corpus, config)
+    results, timing = run_full_study_from_source(
+        _resolve_source(args, config), config)
     sections = [
         report.render_table1(results),
         report.render_table2(results),
@@ -139,8 +169,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         except (HistoryError, OSError) as exc:
             print(f"skipping {entry.name}: {exc}", file=sys.stderr)
     if not histories:
-        print(f"error: no histories found under {root}", file=sys.stderr)
-        return 1
+        raise CliError(f"no histories found under {root}")
 
     if args.apply_protocol:
         result = filter_study_corpus(histories)
@@ -169,27 +198,43 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report.markdown import markdown_report
     config = _study_config(args)
-    if args.corpus:
-        corpus = load_corpus(args.corpus)
-    else:
-        corpus = generate_corpus(config=config)
-    results, _ = run_full_study(corpus, config)
-    Path(args.output).write_text(markdown_report(results))
+    results, _ = run_full_study_from_source(
+        _resolve_source(args, config), config)
+    _write_text(args.output, markdown_report(results), "report")
     print(f"wrote {args.output}")
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.engine import compute_records_from_source
     from repro.report.export import export_dataset
+    config = _study_config(args)
+    records, _ = compute_records_from_source(
+        _resolve_source(args, config), config)
+    paths = export_dataset(records, args.output)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_corpus_export(args: argparse.Namespace) -> int:
     config = _study_config(args)
     if args.corpus:
         corpus = load_corpus(args.corpus)
     else:
         corpus = generate_corpus(config=config)
-    records = records_from_corpus(corpus, config=config)
-    paths = export_dataset(records, args.output)
-    for path in paths:
-        print(f"wrote {path}")
+    root = export_corpus_dir(corpus, args.output, limit=args.limit)
+    count = len(corpus) if args.limit is None \
+        else min(args.limit, len(corpus))
+    print(f"wrote {count} projects to {root} (seed {corpus.seed})")
+    return 0
+
+
+def _cmd_corpus_import(args: argparse.Namespace) -> int:
+    corpus = import_corpus_dir(args.directory)
+    save_corpus(corpus, args.output)
+    print(f"wrote {len(corpus)} projects to {args.output} "
+          f"(seed {corpus.seed})")
     return 0
 
 
@@ -223,8 +268,9 @@ def _cmd_diff(args: argparse.Namespace) -> int:
               f"{change.attribute}{detail}")
     if args.migration:
         from repro.diff.migrate import migration_script
-        Path(args.migration).write_text(
-            migration_script(old_schema, new_schema, options))
+        _write_text(args.migration,
+                    migration_script(old_schema, new_schema, options),
+                    "migration script")
         print(f"wrote migration script: {args.migration}")
     return 0
 
@@ -233,8 +279,9 @@ def _cmd_chart(args: argparse.Namespace) -> int:
     history = _load_history(args.history)
     series = schema_heartbeat(history)
     if args.svg:
-        Path(args.svg).write_text(
-            svg_chart(series, title=history.project_name))
+        _write_text(args.svg,
+                    svg_chart(series, title=history.project_name),
+                    "chart")
         print(f"wrote {args.svg}")
     else:
         print(ascii_chart(series, title=history.project_name))
@@ -259,6 +306,14 @@ def build_parser() -> argparse.ArgumentParser:
                                 "re-runs recompute only changed "
                                 "projects (default: no cache)")
 
+    def add_source_flag(p):
+        p.add_argument("--source", default="synthetic:", metavar="SPEC",
+                       help="history source: 'synthetic:[SEED]' (the "
+                            "generated corpus), 'dir:PATH' (a corpus "
+                            "directory from 'corpus export') or "
+                            "'git:PATH' (DDL files of a checked-out "
+                            "git repository); default: synthetic:")
+
     p_generate = sub.add_parser("generate",
                                 help="generate the synthetic corpus")
     p_generate.add_argument("output", help="output corpus JSON path")
@@ -268,13 +323,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_study = sub.add_parser("study", help="run the full study")
     p_study.add_argument("--corpus", help="saved corpus JSON "
-                                          "(default: regenerate)")
+                                          "(overrides --source)")
     p_study.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_source_flag(p_study)
     add_execution_flags(p_study)
     p_study.add_argument("--timings", action="store_true",
                          help="print the per-stage execution report "
                               "to stderr")
     p_study.set_defaults(func=_cmd_study)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="corpus-directory import/export")
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command",
+                                         required=True)
+    p_cx = corpus_sub.add_parser(
+        "export", help="write a corpus as a JSONL directory "
+                       "(readable via --source dir:PATH)")
+    p_cx.add_argument("output", help="target directory")
+    p_cx.add_argument("--corpus", help="saved corpus JSON "
+                                       "(default: regenerate)")
+    p_cx.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_cx.add_argument("--limit", type=int, metavar="N",
+                      help="export only N projects, sampled "
+                           "round-robin across patterns")
+    p_cx.set_defaults(func=_cmd_corpus_export)
+    p_ci = corpus_sub.add_parser(
+        "import", help="load a corpus directory back into one JSON file")
+    p_ci.add_argument("directory", help="corpus directory")
+    p_ci.add_argument("output", help="output corpus JSON path")
+    p_ci.set_defaults(func=_cmd_corpus_import)
 
     p_profile = sub.add_parser("profile",
                                help="profile one schema history")
@@ -295,8 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the full study as Markdown")
     p_report.add_argument("output", help="output .md path")
     p_report.add_argument("--corpus", help="saved corpus JSON "
-                                           "(default: regenerate)")
+                                           "(overrides --source)")
     p_report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_source_flag(p_report)
     add_execution_flags(p_report)
     p_report.set_defaults(func=_cmd_report)
 
@@ -304,8 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="export the study dataset as CSV")
     p_export.add_argument("output", help="output directory")
     p_export.add_argument("--corpus", help="saved corpus JSON "
-                                           "(default: regenerate)")
+                                           "(overrides --source)")
     p_export.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_source_flag(p_export)
     add_execution_flags(p_export)
     p_export.set_defaults(func=_cmd_export)
 

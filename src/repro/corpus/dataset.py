@@ -24,7 +24,8 @@ from repro.sqlddl.dialect import Dialect
 _FORMAT_VERSION = 1
 
 
-def _project_to_dict(project: GeneratedProject) -> dict:
+def project_to_dict(project: GeneratedProject) -> dict:
+    """One project as a JSON-serializable dict (the on-disk record)."""
     history = project.history
     return {
         "name": project.name,
@@ -51,7 +52,12 @@ def _project_to_dict(project: GeneratedProject) -> dict:
     }
 
 
-def _project_from_dict(record: dict) -> GeneratedProject:
+def project_from_dict(record: dict) -> GeneratedProject:
+    """Rebuild a project from its on-disk record.
+
+    Raises:
+        CorpusError: for missing keys or malformed values.
+    """
     try:
         commits = [
             Commit(sha=c["sha"],
@@ -87,27 +93,37 @@ def _project_from_dict(record: dict) -> GeneratedProject:
 
 
 def save_corpus(corpus: Corpus, path: str | Path) -> None:
-    """Write a corpus to ``path`` as a single JSON document."""
+    """Write a corpus to ``path`` as a single JSON document.
+
+    Raises:
+        CorpusError: when the file cannot be written.
+    """
     document = {
         "format_version": _FORMAT_VERSION,
         "seed": corpus.seed,
-        "projects": [_project_to_dict(p) for p in corpus.projects],
+        "projects": [project_to_dict(p) for p in corpus.projects],
     }
-    Path(path).write_text(json.dumps(document))
+    try:
+        Path(path).write_text(json.dumps(document))
+    except OSError as exc:
+        raise CorpusError(f"cannot write corpus {path}: {exc}") from exc
 
 
 def load_corpus(path: str | Path) -> Corpus:
     """Load a corpus previously written by :func:`save_corpus`.
 
     Raises:
-        CorpusError: on version mismatch or malformed content.
+        CorpusError: for an unreadable file, version mismatch or
+            malformed content.
     """
     try:
         document = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise CorpusError(f"cannot read corpus {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise CorpusError(f"{path}: invalid JSON: {exc}") from exc
     version = document.get("format_version")
     if version != _FORMAT_VERSION:
         raise CorpusError(f"{path}: unsupported corpus format {version!r}")
-    projects = tuple(_project_from_dict(r) for r in document["projects"])
+    projects = tuple(project_from_dict(r) for r in document["projects"])
     return Corpus(projects=projects, seed=document.get("seed", 0))

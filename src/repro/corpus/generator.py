@@ -143,8 +143,13 @@ def generate_project(pattern: Pattern, rng: random.Random, name: str,
 
 
 @dataclass(frozen=True)
-class _ProjectSpec:
-    """The serial planning pass's output: everything one worker needs."""
+class ProjectSpec:
+    """The serial planning pass's output: everything one worker needs.
+
+    A spec is tiny and picklable, so lazy sources
+    (:class:`repro.sources.SyntheticSource`) can ship it to worker
+    processes instead of the realized project.
+    """
 
     pattern: Pattern
     name: str
@@ -154,7 +159,7 @@ class _ProjectSpec:
     seed: int
 
 
-def _realize_spec(spec: _ProjectSpec) -> GeneratedProject:
+def realize_spec(spec: ProjectSpec) -> GeneratedProject:
     """Realize one planned project from its own child RNG."""
     return generate_project(
         spec.pattern, random.Random(spec.seed), name=spec.name,
@@ -165,7 +170,7 @@ def _realize_spec(spec: _ProjectSpec) -> GeneratedProject:
 def plan_corpus(seed: int = DEFAULT_SEED,
                 population: dict[Pattern, int] | None = None,
                 with_exceptions: bool = True,
-                with_noise: bool = False) -> list[_ProjectSpec]:
+                with_noise: bool = False) -> list[ProjectSpec]:
     """The serial planning pass: one realization spec per project.
 
     Raises:
@@ -173,7 +178,7 @@ def plan_corpus(seed: int = DEFAULT_SEED,
     """
     rng = random.Random(seed)
     population = dict(population or PAPER_POPULATION)
-    specs: list[_ProjectSpec] = []
+    specs: list[ProjectSpec] = []
     for pattern, count in population.items():
         if count < 0:
             raise CorpusError(f"negative population for {pattern.value}")
@@ -184,7 +189,7 @@ def plan_corpus(seed: int = DEFAULT_SEED,
         slug = pattern.value.lower().replace(" ", "-")
         for index in range(count):
             kind = exceptions[index] if index < len(exceptions) else None
-            specs.append(_ProjectSpec(
+            specs.append(ProjectSpec(
                 pattern=pattern, name=f"{slug}-{index + 1:02d}",
                 bucket=buckets[index], exception_kind=kind,
                 with_noise=with_noise, seed=rng.getrandbits(64)))
@@ -226,8 +231,8 @@ def generate_corpus(seed: int | None = None,
     if jobs > 1 and len(specs) > 1:
         chunk = max(1, len(specs) // (jobs * 4))
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            projects = tuple(pool.map(_realize_spec, specs,
+            projects = tuple(pool.map(realize_spec, specs,
                                       chunksize=chunk))
     else:
-        projects = tuple(_realize_spec(spec) for spec in specs)
+        projects = tuple(realize_spec(spec) for spec in specs)
     return Corpus(projects=projects, seed=seed)

@@ -34,14 +34,21 @@ from repro.engine.study_plan import (
     bare_history,
     build_analysis_plan,
     build_records_plan,
+    build_source_records_plan,
+    build_source_study_plan,
     build_study_plan,
     compute_records,
+    compute_records_from_source,
     corpus_record,
     corpus_record_key,
     execute_study,
+    execute_study_from_source,
     history_record,
     history_record_key,
     run_analyses,
+    source_handles,
+    source_record,
+    source_record_key,
     strip_project,
     strip_record,
 )
@@ -61,18 +68,25 @@ __all__ = [
     "bare_history",
     "build_analysis_plan",
     "build_records_plan",
+    "build_source_records_plan",
+    "build_source_study_plan",
     "build_study_plan",
     "canonical",
     "compute_records",
+    "compute_records_from_source",
     "corpus_record",
     "corpus_record_key",
     "execute_plan",
     "execute_study",
+    "execute_study_from_source",
     "fingerprint",
     "history_record",
     "history_record_key",
     "run_analyses",
     "run_stage",
+    "source_handles",
+    "source_record",
+    "source_record_key",
     "strip_project",
     "strip_record",
 ]

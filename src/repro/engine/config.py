@@ -37,6 +37,10 @@ class StudyConfig:
         chunk_size: items per pickled work chunk sent to a worker;
             ``None`` picks ``ceil(items / (jobs * 4))`` so pickling
             overhead amortizes while keeping the pool load-balanced.
+        source: history-source spec (``synthetic:[SEED]``, ``dir:PATH``
+            or ``git:PATH``) consumed by
+            :func:`repro.sources.source_from_spec`; ``synthetic:``
+            resolves its seed from this config.
         progress: optional per-stage event callback (timing/progress
             hooks for CLIs and dashboards); excluded from equality.
     """
@@ -46,6 +50,7 @@ class StudyConfig:
     jobs: int = 1
     cache_dir: Path | None = None
     chunk_size: int | None = None
+    source: str = "synthetic:"
     progress: ProgressHook | None = field(default=None, compare=False)
 
     def __post_init__(self):

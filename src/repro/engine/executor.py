@@ -55,6 +55,16 @@ class ExecutionReport:
         """Wall-clock total over all stages."""
         return sum(t.seconds for t in self.timings)
 
+    @property
+    def cache_hits(self) -> int:
+        """Items served from the result cache, over all map stages."""
+        return sum(t.cache_hits for t in self.timings)
+
+    @property
+    def cache_misses(self) -> int:
+        """Items computed this run, over all map stages."""
+        return sum(t.cache_misses for t in self.timings)
+
     def timing(self, stage: str) -> StageTiming:
         """The timing entry of one stage.
 
@@ -81,8 +91,12 @@ class ExecutionReport:
                 "-" if entry.items is None else entry.items,
                 cache,
             ])
+        total_cache = "-"
+        if self.cache_hits or self.cache_misses:
+            total_cache = f"{self.cache_hits} hit / " \
+                          f"{self.cache_misses} miss"
         rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms",
-                     "-", "-"])
+                     "-", total_cache])
         return format_table(["stage", "time", "items", "cache"], rows,
                             title="Execution report")
 

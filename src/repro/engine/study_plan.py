@@ -157,6 +157,35 @@ def strip_record(record: StudyRecord) -> StudyRecord:
     return dataclasses.replace(record, labeled=labeled)
 
 
+def source_record(handle, source, scheme: LabelScheme) -> StudyRecord:
+    """Load one project from its source and turn it into a record.
+
+    This is the worker side of the handle-based fan-out: the engine
+    ships only ``(handle, source)`` — the source being a lightweight
+    path-or-spec object — and the expensive materialization
+    (generation, file parsing, git extraction) happens here, in
+    whichever process runs the item. Dispatch follows ``source.mode``:
+    ``"corpus"`` loads carry ground truth, ``"histories"`` loads are
+    classified blindly.
+    """
+    loaded = source.load(handle.pid)
+    if source.mode == "corpus":
+        return corpus_record(loaded, scheme)
+    return history_record(loaded, scheme)
+
+
+def source_record_key(handle, extras: tuple, version: str) -> str:
+    """Content hash of one handle's record computation.
+
+    The handle's fingerprint stands in for the project content, so the
+    key is computable without loading the project — the point of the
+    lazy path: a warm cache never materializes anything.
+    """
+    (source, scheme) = extras
+    return fingerprint("source-record", version, source.mode,
+                       scheme.to_dict(), handle.pid, handle.fingerprint)
+
+
 # ----------------------------------------------------------------------
 # corpus-level analysis stages
 
@@ -342,6 +371,32 @@ def build_study_plan(source: str = "corpus") -> StudyPlan:
     return StudyPlan([records_map_stage(source), *_analysis_stages()])
 
 
+def source_map_stage() -> MapStage:
+    """The per-project map stage over source handles.
+
+    Unlike :func:`records_map_stage`, the mapped items are
+    :class:`~repro.sources.base.SourceHandle`\\ s — (pid, fingerprint)
+    pairs a few dozen bytes each — and the source object travels to
+    workers once as a broadcast extra. No ``item_transport_fn`` is
+    needed: there is nothing to strip from a handle.
+    """
+    return MapStage(name="records", fn=source_record,
+                    inputs=("handles", "source", "scheme"),
+                    version=RECORDS_STAGE_VERSION,
+                    cache_key_fn=source_record_key,
+                    transport_fn=strip_record)
+
+
+def build_source_records_plan() -> StudyPlan:
+    """A plan computing only the records, from source handles."""
+    return StudyPlan([source_map_stage()])
+
+
+def build_source_study_plan() -> StudyPlan:
+    """The full study DAG driven by source handles."""
+    return StudyPlan([source_map_stage(), *_analysis_stages()])
+
+
 # ----------------------------------------------------------------------
 # high-level entry points
 
@@ -391,5 +446,70 @@ def execute_study(projects: Iterable[Any],
     results, report = execute_plan(
         build_study_plan(source),
         {"projects": projects, "scheme": config.scheme},
+        config)
+    return results["results"], report
+
+
+# ----------------------------------------------------------------------
+# source-driven entry points
+
+
+def source_handles(source) -> list:
+    """One :class:`SourceHandle` per project of ``source``.
+
+    Listing and fingerprinting stay in the parent process (they are
+    cheap by protocol contract); loading does not happen here.
+    """
+    from repro.sources.base import SourceHandle
+    return [SourceHandle(pid=pid, fingerprint=source.fingerprint(pid))
+            for pid in source.project_ids()]
+
+
+def _legacy_inputs(source) -> list:
+    """Every project of a non-lightweight source, loaded eagerly."""
+    return [source.load(pid) for pid in source.project_ids()]
+
+
+def compute_records_from_source(source,
+                                config: StudyConfig | None = None
+                                ) -> tuple[list[StudyRecord],
+                                           ExecutionReport]:
+    """Run the per-project map stage over a history source.
+
+    Lightweight sources fan out as handles (workers load); others fall
+    back to the item-based plan — same results, and the legacy cache
+    keys keep working for callers that adapt in-memory objects.
+    """
+    config = config or StudyConfig()
+    if not source.lightweight:
+        return compute_records(_legacy_inputs(source), config,
+                               source.mode)
+    results, report = execute_plan(
+        build_source_records_plan(),
+        {"handles": source_handles(source), "source": source,
+         "scheme": config.scheme},
+        config)
+    return list(results["records"]), report
+
+
+def execute_study_from_source(source,
+                              config: StudyConfig | None = None):
+    """Run the whole study DAG over a history source.
+
+    Returns:
+        ``(StudyResults, ExecutionReport)``.
+
+    Raises:
+        AnalysisError: for a source with zero projects.
+    """
+    config = config or StudyConfig()
+    if not source.lightweight:
+        return execute_study(_legacy_inputs(source), config, source.mode)
+    handles = source_handles(source)
+    if not handles:
+        raise AnalysisError("cannot run the study on zero records")
+    results, report = execute_plan(
+        build_source_study_plan(),
+        {"handles": handles, "source": source, "scheme": config.scheme},
         config)
     return results["results"], report

@@ -89,3 +89,21 @@ class EngineError(ReproError):
     Examples: a stage wired to an input no stage produces, a cyclic
     plan, a non-positive worker count, unhashable cache-key material.
     """
+
+
+class SourceError(ReproError):
+    """Raised when a history source cannot list, fingerprint or load.
+
+    Examples: an unknown ``--source`` spec, a corpus directory with a
+    missing or version-mismatched manifest, a git extraction failure,
+    an unknown project id.
+    """
+
+
+class CliError(ReproError):
+    """Raised for command-line-level failures with no deeper home.
+
+    Examples: an output path that cannot be written. Keeping these in
+    the :class:`ReproError` hierarchy gives ``main()`` one exit path
+    for every failure mode.
+    """

@@ -1,0 +1,150 @@
+"""The :class:`HistorySource` protocol and its in-memory adapter.
+
+A history source decouples *where schema histories come from* (the
+synthetic generator, an on-disk corpus, a checked-out git repository)
+from *how the study runs* (the engine's stage DAG). The contract is
+three methods:
+
+* ``project_ids()`` — the stable, ordered ids of every project;
+* ``fingerprint(pid)`` — a content hash of one project, computable
+  WITHOUT loading it (a child seed, a file digest, a git sha list);
+* ``load(pid)`` — materialize one project.
+
+Sources with ``lightweight = True`` are small picklable objects (a
+seed, a path); the engine fans their projects out to worker processes
+as :class:`SourceHandle`\\ s (pid + fingerprint) and each worker calls
+``load`` itself, so no :class:`~repro.history.repository.SchemaHistory`
+ever crosses the parent→worker pickling boundary, and the
+content-addressed cache keys directly off the fingerprint without
+loading anything at all on a hit.
+
+This module deliberately imports nothing from :mod:`repro.engine` at
+module level so the engine can depend on it without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import SourceError
+
+#: The two record-computation modes a source can declare. ``"corpus"``
+#: items are generated projects carrying their ground-truth pattern;
+#: ``"histories"`` items are bare histories classified blindly.
+SOURCE_MODES = ("corpus", "histories")
+
+
+def check_mode(mode: str) -> str:
+    """Validate a source mode string.
+
+    Raises:
+        SourceError: for anything but ``"corpus"`` / ``"histories"``.
+    """
+    if mode not in SOURCE_MODES:
+        raise SourceError(
+            f"unknown source mode {mode!r}; expected one of "
+            f"{', '.join(SOURCE_MODES)}")
+    return mode
+
+
+@dataclass(frozen=True)
+class SourceHandle:
+    """The lightweight stand-in for one project in the engine's map.
+
+    Attributes:
+        pid: the project's id within its source.
+        fingerprint: the source's content hash for the project — the
+            cache key material; loading is not required to compute it.
+    """
+
+    pid: str
+    fingerprint: str
+
+
+@runtime_checkable
+class HistorySource(Protocol):
+    """Anything that can enumerate, fingerprint and load histories.
+
+    Attributes:
+        mode: ``"corpus"`` (items are generated projects with ground
+            truth) or ``"histories"`` (items are bare histories,
+            classified blindly).
+        lightweight: True when the source itself is a small picklable
+            object, letting the engine ship it to workers and fan out
+            over :class:`SourceHandle` instead of loaded projects.
+    """
+
+    mode: str
+    lightweight: bool
+
+    def project_ids(self) -> Sequence[str]:
+        """Stable, ordered project ids."""
+        ...  # pragma: no cover - protocol
+
+    def fingerprint(self, pid: str) -> str:
+        """Content hash of one project, computed without loading it."""
+        ...  # pragma: no cover - protocol
+
+    def load(self, pid: str) -> Any:
+        """Materialize one project (a GeneratedProject or a history)."""
+        ...  # pragma: no cover - protocol
+
+
+class InMemorySource:
+    """A source over objects that already live in this process.
+
+    The adapter behind :func:`repro.study.pipeline.records_from_corpus`
+    and :func:`~repro.study.pipeline.records_from_histories`: it wraps
+    generated projects (``mode="corpus"``) or schema histories
+    (``mode="histories"``) that the caller constructed eagerly. It is
+    NOT lightweight — pickling it would pickle every wrapped object —
+    so the engine keeps the legacy item-based fan-out for it.
+
+    Args:
+        items: generated projects or histories, in study order.
+        mode: ``"corpus"`` or ``"histories"``.
+
+    Raises:
+        SourceError: for an unknown mode.
+    """
+
+    lightweight = False
+
+    def __init__(self, items: Iterable[Any], mode: str = "corpus"):
+        self.mode = check_mode(mode)
+        self._items: dict[str, Any] = {}
+        for index, item in enumerate(items):
+            name = item.name if mode == "corpus" else item.project_name
+            self._items[f"{index:05d}:{name}"] = item
+
+    def project_ids(self) -> tuple[str, ...]:
+        return tuple(self._items)
+
+    def fingerprint(self, pid: str) -> str:
+        # In-memory objects have no cheaper identity than their content;
+        # reuse the engine's content-hash helpers (imported lazily to
+        # keep this module engine-free at import time).
+        from repro.engine.cache import fingerprint
+        from repro.engine.study_plan import history_fingerprint_parts
+        item = self.load(pid)
+        if self.mode == "corpus":
+            return fingerprint(
+                "in-memory-project", item.name,
+                item.intended_pattern, item.is_exception,
+                item.exception_kind,
+                history_fingerprint_parts(item.history),
+                tuple(item.source.monthly) if item.source else None)
+        return fingerprint("in-memory-history",
+                           history_fingerprint_parts(item))
+
+    def load(self, pid: str) -> Any:
+        try:
+            return self._items[pid]
+        except KeyError:
+            raise SourceError(
+                f"unknown project id {pid!r} (in-memory source holds "
+                f"{len(self._items)} projects)") from None
+
+    def __len__(self) -> int:
+        return len(self._items)

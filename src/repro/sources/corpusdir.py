@@ -1,0 +1,233 @@
+"""The versioned JSONL-on-disk corpus format and its source.
+
+Layout of an exported corpus directory::
+
+    <root>/
+      manifest.json            format tag, version, seed, mode,
+                               per-project file + sha256 index
+      projects/<pid>.jsonl     one project: a header line (metadata,
+                               plan, source series) followed by one
+                               line per DDL commit
+
+The manifest's per-file SHA-256 digests double as the source's
+fingerprints, so the engine's content-addressed cache can decide
+hit/miss without opening a single project file. Export → import is a
+lossless round trip (the study report over an imported corpus is
+byte-identical to the original — pinned by tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.corpus.dataset import project_from_dict, project_to_dict
+from repro.corpus.generator import Corpus, GeneratedProject
+from repro.errors import SourceError
+
+#: On-disk format tag; anything else in the manifest is rejected.
+CORPUS_DIR_FORMAT = "repro-corpus-dir"
+
+#: Format version; bump on incompatible layout changes.
+CORPUS_DIR_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+_PROJECTS_SUBDIR = "projects"
+
+
+def _project_jsonl(project: GeneratedProject) -> str:
+    """One project rendered as JSONL: header line + commit lines."""
+    record = project_to_dict(project)
+    commits = record.pop("commits")
+    lines = [json.dumps(record, sort_keys=True)]
+    lines.extend(json.dumps(commit, sort_keys=True)
+                 for commit in commits)
+    return "\n".join(lines) + "\n"
+
+
+def _parse_project_jsonl(text: str, where: str) -> GeneratedProject:
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise SourceError(f"{where}: empty project file")
+    try:
+        record = json.loads(lines[0])
+        record["commits"] = [json.loads(line) for line in lines[1:]]
+    except json.JSONDecodeError as exc:
+        raise SourceError(f"{where}: invalid JSON: {exc}") from exc
+    return project_from_dict(record)
+
+
+def stratified(projects: Iterable[GeneratedProject],
+               limit: int) -> list[GeneratedProject]:
+    """The first ``limit`` projects, drawn round-robin across patterns.
+
+    The corpus is laid out pattern-by-pattern, so a plain head slice of
+    a small limit would be a single-pattern (often constant-measure)
+    sample; round-robin keeps tiny exports analyzable.
+    """
+    groups: dict[object, list[GeneratedProject]] = {}
+    for project in projects:
+        groups.setdefault(project.intended_pattern, []).append(project)
+    picked: list[GeneratedProject] = []
+    queues = list(groups.values())
+    while queues and len(picked) < limit:
+        for queue in list(queues):
+            if len(picked) >= limit:
+                break
+            picked.append(queue.pop(0))
+            if not queue:
+                queues.remove(queue)
+    return picked
+
+
+def export_corpus_dir(corpus: Corpus, root: str | Path,
+                      limit: int | None = None) -> Path:
+    """Write ``corpus`` as a JSONL corpus directory.
+
+    Args:
+        corpus: the corpus to export.
+        root: target directory (created if missing).
+        limit: export only this many projects, sampled round-robin
+            across patterns so small exports stay pattern-diverse.
+
+    Returns:
+        The directory path.
+
+    Raises:
+        SourceError: when the directory cannot be written.
+    """
+    root = Path(root)
+    projects = list(corpus.projects)
+    if limit is not None:
+        projects = stratified(projects, limit)
+    entries = []
+    try:
+        (root / _PROJECTS_SUBDIR).mkdir(parents=True, exist_ok=True)
+        for project in projects:
+            text = _project_jsonl(project)
+            relative = f"{_PROJECTS_SUBDIR}/{project.name}.jsonl"
+            (root / relative).write_text(text)
+            entries.append({
+                "id": project.name,
+                "file": relative,
+                "sha256": hashlib.sha256(
+                    text.encode("utf-8")).hexdigest(),
+            })
+        manifest = {
+            "format": CORPUS_DIR_FORMAT,
+            "version": CORPUS_DIR_VERSION,
+            "seed": corpus.seed,
+            "mode": "corpus",
+            "projects": entries,
+        }
+        (root / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    except OSError as exc:
+        raise SourceError(
+            f"cannot write corpus directory {root}: {exc}") from exc
+    return root
+
+
+class CorpusDirSource:
+    """A corpus directory as a lazy, lightweight history source.
+
+    The instance carries only the root path and the parsed manifest —
+    pickling it to a worker costs a few kilobytes; each worker reads
+    and parses only the project files it is assigned.
+
+    Args:
+        root: directory written by :func:`export_corpus_dir`.
+
+    Raises:
+        SourceError: (on first use) for a missing/invalid manifest.
+    """
+
+    lightweight = True
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._manifest: dict | None = None
+
+    @property
+    def mode(self) -> str:
+        self._index()
+        return self._manifest.get("mode", "corpus")
+
+    def _index(self) -> dict[str, dict]:
+        if self._manifest is None:
+            path = self.root / MANIFEST_NAME
+            try:
+                manifest = json.loads(path.read_text())
+            except OSError as exc:
+                raise SourceError(
+                    f"not a corpus directory (cannot read {path}): "
+                    f"{exc}") from exc
+            except json.JSONDecodeError as exc:
+                raise SourceError(
+                    f"{path}: invalid manifest JSON: {exc}") from exc
+            if manifest.get("format") != CORPUS_DIR_FORMAT:
+                raise SourceError(
+                    f"{path}: not a {CORPUS_DIR_FORMAT} manifest")
+            if manifest.get("version") != CORPUS_DIR_VERSION:
+                raise SourceError(
+                    f"{path}: unsupported corpus-dir version "
+                    f"{manifest.get('version')!r} (expected "
+                    f"{CORPUS_DIR_VERSION})")
+            manifest["_by_id"] = {
+                entry["id"]: entry for entry in manifest["projects"]
+            }
+            self._manifest = manifest
+        return self._manifest["_by_id"]
+
+    def _entry(self, pid: str) -> dict:
+        try:
+            return self._index()[pid]
+        except KeyError:
+            raise SourceError(
+                f"unknown project id {pid!r} in corpus directory "
+                f"{self.root}") from None
+
+    @property
+    def seed(self) -> int:
+        """The seed recorded at export time (0 for foreign corpora)."""
+        self._index()
+        return int(self._manifest.get("seed", 0))
+
+    def project_ids(self) -> tuple[str, ...]:
+        return tuple(self._index())
+
+    def fingerprint(self, pid: str) -> str:
+        # The manifest digest covers the full project file — commits,
+        # metadata and plan — which is exactly the record computation's
+        # input; no file read needed.
+        return f"{CORPUS_DIR_FORMAT}-v{CORPUS_DIR_VERSION}:" \
+               f"{self._entry(pid)['sha256']}"
+
+    def load(self, pid: str) -> GeneratedProject:
+        entry = self._entry(pid)
+        path = self.root / entry["file"]
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise SourceError(
+                f"cannot read project {pid!r} ({path}): {exc}") from exc
+        return _parse_project_jsonl(text, str(path))
+
+    def __len__(self) -> int:
+        return len(self._index())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CorpusDirSource({str(self.root)!r})"
+
+
+def import_corpus_dir(root: str | Path) -> Corpus:
+    """Load a whole corpus directory back into an in-memory corpus.
+
+    Raises:
+        SourceError: for a missing/invalid manifest or project file.
+    """
+    source = CorpusDirSource(root)
+    projects = tuple(source.load(pid) for pid in source.project_ids())
+    return Corpus(projects=projects, seed=source.seed)

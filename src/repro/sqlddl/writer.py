@@ -13,12 +13,19 @@ from repro.sqlddl.dialect import Dialect
 _BARE_SAFE = set("abcdefghijklmnopqrstuvwxyz"
                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
 
-# Words that would be mis-parsed as constraint starters or flags when used
-# bare as identifiers; always quote them.
+# Words that would be mis-parsed as constraint starters, flags or clause
+# keywords when used bare as identifiers; always quote them. The set covers
+# every word the parser treats as a context keyword (e.g. a table named
+# ``if`` would otherwise render as ``DROP TABLE IF``).
 _ALWAYS_QUOTE = frozenset({
     "primary", "foreign", "unique", "check", "key", "index", "constraint",
     "not", "null", "default", "references", "comment", "create", "drop",
     "alter", "table", "fulltext", "spatial", "on", "generated", "collate",
+    "if", "exists", "like", "temporary", "temp", "view", "to", "first",
+    "after", "rename", "modify", "change", "add", "set", "type", "cascade",
+    "restrict", "no", "action", "as", "match", "replace", "schema",
+    "update", "identity", "using", "with", "without", "unsigned", "or",
+    "auto_increment", "time", "zone",
 })
 
 

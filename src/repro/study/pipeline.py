@@ -25,11 +25,13 @@ from repro.corpus.generator import Corpus
 from repro.engine.config import StudyConfig
 from repro.engine.executor import ExecutionReport
 from repro.engine.study_plan import (
-    compute_records,
+    compute_records_from_source,
     execute_study,
+    execute_study_from_source,
     run_analyses,
     tree_sample,
 )
+from repro.sources.base import InMemorySource
 from repro.history.repository import SchemaHistory
 from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme
 from repro.mining.centroids import CentroidReport
@@ -47,6 +49,7 @@ __all__ = [
     "records_from_corpus",
     "records_from_histories",
     "run_full_study",
+    "run_full_study_from_source",
     "run_study",
 ]
 
@@ -127,9 +130,9 @@ def records_from_corpus(corpus: Corpus,
             given — the config's scheme applies).
         config: execution configuration (workers, cache, progress).
     """
-    records, _ = compute_records(corpus.projects,
-                                 _effective_config(config, scheme),
-                                 source="corpus")
+    records, _ = compute_records_from_source(
+        InMemorySource(corpus.projects, mode="corpus"),
+        _effective_config(config, scheme))
     return records
 
 
@@ -138,9 +141,9 @@ def records_from_histories(histories: Iterable[SchemaHistory],
                            config: StudyConfig | None = None
                            ) -> list[StudyRecord]:
     """Measure, label and *blindly* classify external histories."""
-    records, _ = compute_records(histories,
-                                 _effective_config(config, scheme),
-                                 source="histories")
+    records, _ = compute_records_from_source(
+        InMemorySource(histories, mode="histories"),
+        _effective_config(config, scheme))
     return records
 
 
@@ -167,3 +170,19 @@ def run_full_study(corpus: Corpus,
         AnalysisError: for an empty corpus.
     """
     return execute_study(corpus.projects, config, source="corpus")
+
+
+def run_full_study_from_source(source,
+                               config: StudyConfig | None = None
+                               ) -> tuple[StudyResults, ExecutionReport]:
+    """Any history source in, complete study out.
+
+    Lightweight sources (synthetic specs, corpus directories, git
+    repositories) fan out to workers as handles and load lazily there;
+    in-memory sources take the legacy eager path. Either way the
+    returned pair matches :func:`run_full_study`.
+
+    Raises:
+        AnalysisError: for a source with zero projects.
+    """
+    return execute_study_from_source(source, config)

@@ -1,0 +1,124 @@
+"""The handle-based source fan-out must match the legacy pipeline.
+
+Same acceptance bar as test_golden_equivalence, one layer up: a study
+driven by ``SyntheticSource`` — serial, process-parallel and warm-cache
+— must render a byte-identical report to the item-based engine path,
+workers must receive nothing heavier than :class:`SourceHandle`\\ s,
+and a warm cache must serve the whole study without a single
+``load()`` call.
+"""
+
+import pytest
+
+from repro.engine import (
+    StudyConfig,
+    compute_records_from_source,
+    execute_study,
+    execute_study_from_source,
+    source_handles,
+)
+from repro.report.markdown import markdown_report
+from repro.sources import CorpusDirSource, SyntheticSource, \
+    export_corpus_dir
+from repro.sources.base import SourceHandle
+from tests.conftest import SMALL_POPULATION
+
+
+@pytest.fixture(scope="module")
+def source():
+    return SyntheticSource(seed=99, population=SMALL_POPULATION,
+                           with_exceptions=False)
+
+
+@pytest.fixture(scope="module")
+def legacy_report(small_corpus):
+    results, _ = execute_study(small_corpus.projects, StudyConfig(),
+                               source="corpus")
+    return markdown_report(results)
+
+
+class TestGoldenEquivalence:
+    def test_serial(self, source, legacy_report):
+        results, report = execute_study_from_source(source,
+                                                    StudyConfig())
+        assert markdown_report(results) == legacy_report
+        assert report.timing("records").items == len(source)
+
+    def test_parallel_jobs4(self, source, legacy_report):
+        results, _ = execute_study_from_source(source,
+                                               StudyConfig(jobs=4))
+        assert markdown_report(results) == legacy_report
+
+    def test_warm_cache(self, source, legacy_report, tmp_path):
+        config = StudyConfig(cache_dir=tmp_path)
+        cold, cold_report = execute_study_from_source(source, config)
+        warm, warm_report = execute_study_from_source(source, config)
+        assert markdown_report(cold) == legacy_report
+        assert markdown_report(warm) == legacy_report
+        assert cold_report.timing("records").cache_misses == len(source)
+        assert warm_report.timing("records").cache_hits == len(source)
+        assert warm_report.cache_hits == len(source)
+        assert warm_report.cache_misses == 0
+
+    def test_corpus_dir_source_same_report(self, small_corpus,
+                                           legacy_report, tmp_path):
+        root = export_corpus_dir(small_corpus, tmp_path / "dir")
+        results, _ = execute_study_from_source(CorpusDirSource(root),
+                                               StudyConfig())
+        assert markdown_report(results) == legacy_report
+
+
+class TestHandlesOnlyCrossTheBoundary:
+    def test_parallel_fanout_ships_handles(self, source, monkeypatch):
+        """No project or history is pickled parent → worker."""
+        import repro.engine.executor as executor
+        shipped = []
+
+        class SpyPool(executor.ProcessPoolExecutor):
+            def map(self, fn, iterable, **kwargs):
+                items = list(iterable)
+                shipped.extend(items)
+                return super().map(fn, items, **kwargs)
+
+        monkeypatch.setattr(executor, "ProcessPoolExecutor", SpyPool)
+        compute_records_from_source(source, StudyConfig(jobs=2))
+        assert len(shipped) == len(source)
+        assert all(isinstance(item, SourceHandle) for item in shipped)
+
+
+class TestWarmCacheNeverLoads:
+    def test_second_run_skips_load(self, tmp_path):
+        loads = []
+
+        class CountingSource(SyntheticSource):
+            def load(self, pid):
+                loads.append(pid)
+                return super().load(pid)
+
+        source = CountingSource(seed=99, population=SMALL_POPULATION,
+                                with_exceptions=False)
+        config = StudyConfig(cache_dir=tmp_path / "cache")
+        compute_records_from_source(source, config)
+        assert len(loads) == len(source)
+        loads.clear()
+        compute_records_from_source(source, config)
+        assert loads == []
+
+
+class TestHandles:
+    def test_one_handle_per_project(self, source):
+        handles = source_handles(source)
+        assert len(handles) == len(source)
+        assert [h.pid for h in handles] == list(source.project_ids())
+        assert all(h.fingerprint == source.fingerprint(h.pid)
+                   for h in handles)
+
+
+class TestEmptySource:
+    def test_zero_projects_raise(self, tmp_path):
+        from repro.errors import AnalysisError
+        from repro.corpus.generator import Corpus
+        root = export_corpus_dir(Corpus(projects=(), seed=1),
+                                 tmp_path / "empty")
+        with pytest.raises(AnalysisError):
+            execute_study_from_source(CorpusDirSource(root))

@@ -121,3 +121,37 @@ class TestRoundTrips:
         first, second = roundtrip(
             "CREATE TABLE t (a INT COMMENT 'it''s')", Dialect.MYSQL)
         assert second.columns[0].comment == "it's"
+
+
+class TestContextualKeywordIdentifiers:
+    """Names colliding with the parser's contextual keywords must quote.
+
+    An unquoted table named ``if`` would render ``DROP TABLE IF`` and
+    the re-parse would read it as a malformed IF EXISTS clause — the
+    writer's _ALWAYS_QUOTE list exists precisely for this vocabulary.
+    """
+
+    KEYWORDS = ["if", "exists", "like", "temporary", "view", "to",
+                "first", "after", "rename", "modify", "change", "add",
+                "set", "type", "cascade", "restrict", "as", "replace",
+                "update", "using", "with", "without", "time", "zone"]
+
+    @pytest.mark.parametrize("name", KEYWORDS)
+    def test_drop_table_roundtrip(self, name):
+        stmt = ast.DropTable(names=(name,), if_exists=False)
+        rendered = write_statement(stmt, Dialect.GENERIC)
+        assert parse_statement(rendered, Dialect.GENERIC) == stmt
+
+    @pytest.mark.parametrize("name", KEYWORDS)
+    def test_create_table_roundtrip(self, name):
+        stmt = parse_statement(f'CREATE TABLE "{name}" ("{name}" INT)')
+        rendered = write_statement(stmt, Dialect.GENERIC)
+        assert parse_statement(rendered) == stmt
+
+    def test_script_of_keyword_tables(self):
+        script = ast.Script(statements=(
+            ast.DropTable(names=("if", "exists"), if_exists=True),
+        ))
+        rendered = write_script(script, Dialect.GENERIC)
+        from repro.sqlddl.parser import parse_script
+        assert parse_script(rendered, Dialect.GENERIC) == script
