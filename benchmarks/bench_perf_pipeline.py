@@ -6,9 +6,11 @@ modes (serial, process-parallel, warm content-addressed cache), so
 regressions are visible.
 """
 
+import json
 import os
 import random
 import time
+from pathlib import Path
 
 from benchmarks.conftest import STUDY_CONFIG, record
 from repro.corpus.ddlgen import DdlScribe
@@ -179,6 +181,100 @@ def test_perf_engine_mode_report(corpus, tmp_path_factory):
     record("perf_engine_modes", "\n".join(lines))
     if (os.cpu_count() or 1) >= 2:
         assert parallel_s < serial_s
+
+
+def test_perf_incremental_vs_full(corpus):
+    """Incremental statement-level parsing vs. the classic full re-parse.
+
+    The incremental path (raw-text splitter + per-history statement
+    memo + cross-version Table reuse) must produce *identical* study
+    records while cutting the cold serial wall time by the fraction of
+    statements unchanged between consecutive snapshots (~73% on this
+    corpus). Results land in BENCH_perf_pipeline.json so the perf
+    trajectory is machine-readable across PRs.
+    """
+    from repro.history.repository import set_incremental_parse_default
+    from repro.sqlddl.memo import parse_counters, reset_parse_counters
+
+    def timed(enabled):
+        set_incremental_parse_default(enabled)
+        try:
+            _forget_parsed_versions(corpus)
+            started = time.perf_counter()
+            results, _ = run_full_study(corpus, STUDY_CONFIG)
+            return time.perf_counter() - started, results
+        finally:
+            set_incremental_parse_default(True)
+
+    full_s, full_res = timed(False)
+    reset_parse_counters()
+    inc_s, inc_res = timed(True)
+    hits, misses = parse_counters()
+
+    # Golden equivalence: byte-identical records and pattern assignment.
+    assert inc_res.records == full_res.records
+    assert ([r.pattern for r in inc_res.records]
+            == [r.pattern for r in full_res.records])
+    assert hits > 0  # the memo must actually serve repeats
+    speedup = full_s / inc_s
+    assert speedup > 1.3  # conservative bound; typically 2.5-3.5x
+
+    hit_rate = hits / (hits + misses)
+    payload = {
+        "projects": len(corpus.projects),
+        "host_cpus": os.cpu_count(),
+        "modes_ms": {
+            "full_parse_serial": round(full_s * 1000, 1),
+            "incremental_serial": round(inc_s * 1000, 1),
+        },
+        "speedup_incremental_vs_full": round(speedup, 2),
+        "parse_memo": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hit_rate, 4),
+        },
+        "golden_equivalent": True,
+        # Serial full-study baseline recorded by perf_engine_modes.txt
+        # before this optimization existed (PR 2).
+        "baseline_full_parse_serial_ms": 6699.4,
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_perf_pipeline.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    record("perf_incremental_vs_full", "\n".join([
+        f"cold full study, 151 projects, serial "
+        f"(host: {os.cpu_count()} cpus)",
+        f"  full re-parse:            {full_s * 1000:9.1f} ms",
+        f"  incremental (memoized):   {inc_s * 1000:9.1f} ms   "
+        f"{speedup:5.2f}x vs full",
+        f"  statement memo: {hits} hits / {misses} misses "
+        f"({hit_rate:.0%} hit rate)",
+        "  records + pattern assignments: identical in both modes",
+    ]))
+
+
+def test_perf_incremental_smoke():
+    """CI smoke: the fast path must not silently regress to re-parsing.
+
+    Runs the record computation on a tiny corpus and asserts the
+    statement memo's hit rate is positive — if a refactor ever makes
+    the incremental path fall back to full parsing everywhere, this
+    fails fast without timing anything.
+    """
+    from repro.sqlddl.memo import parse_counters, reset_parse_counters
+
+    population = {Pattern.FLATLINER: 1, Pattern.RADICAL_SIGN: 2,
+                  Pattern.SIESTA: 1}
+    small = generate_corpus(seed=7, population=population,
+                            with_exceptions=False)
+    reset_parse_counters()
+    records = records_from_corpus(small)
+    assert len(records) == 4
+    hits, misses = parse_counters()
+    assert hits > 0
+    assert hits / (hits + misses) > 0.2
 
 
 def test_perf_source_dir_modes(corpus, tmp_path_factory):

@@ -300,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for per-project work "
                             "(default: 1, serial)")
+        p.add_argument("--no-incremental", action="store_true",
+                       help="disable incremental statement-level "
+                            "parsing; re-parse every snapshot in full "
+                            "(output is identical, just slower)")
         if cache:
             p.add_argument("--cache-dir", metavar="DIR",
                            help="content-addressed result cache; "
@@ -412,6 +416,9 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "no_incremental", False):
+        from repro.history.repository import set_incremental_parse_default
+        set_incremental_parse_default(False)
     try:
         return args.func(args)
     except ReproError as exc:

@@ -43,10 +43,11 @@ def _match_renames(dropped: list[Table], added: list[Table],
                    threshold: float) -> list[tuple[Table, Table]]:
     """Greedy best-first matching of dropped->added tables by similarity."""
     candidates: list[tuple[float, Table, Table]] = []
+    new_names = [(new, frozenset(new.attribute_names)) for new in added]
     for old in dropped:
         old_names = frozenset(old.attribute_names)
-        for new in added:
-            score = _jaccard(old_names, frozenset(new.attribute_names))
+        for new, names in new_names:
+            score = _jaccard(old_names, names)
             if score >= threshold:
                 candidates.append((score, old, new))
     candidates.sort(key=lambda item: (-item[0], item[1].name, item[2].name))
@@ -65,23 +66,22 @@ def _match_renames(dropped: list[Table], added: list[Table],
 def _diff_common_table(old: Table, new: Table,
                        options: DiffOptions) -> list[AttributeChange]:
     """Diff two versions of one (matched) table."""
-    changes: list[AttributeChange] = []
     old_attrs = {a.name: a for a in old.attributes}
     new_attrs = {a.name: a for a in new.attributes}
-    for attr in new.attributes:
-        if attr.name not in old_attrs:
-            changes.append(AttributeChange(
-                ChangeKind.INJECTED, new.name, attr.name))
-    for attr in old.attributes:
-        if attr.name not in new_attrs:
-            changes.append(AttributeChange(
-                ChangeKind.EJECTED, new.name, attr.name))
+    # Single pass over new.attributes, collecting injected and modified
+    # separately so the emitted order stays injected -> ejected -> modified.
+    injected: list[AttributeChange] = []
+    modified: list[AttributeChange] = []
     for attr in new.attributes:
         before = old_attrs.get(attr.name)
         if before is None:
-            continue
-        changes.extend(_diff_attribute(before, attr, new.name, options))
-    return changes
+            injected.append(AttributeChange(
+                ChangeKind.INJECTED, new.name, attr.name))
+        else:
+            modified.extend(_diff_attribute(before, attr, new.name, options))
+    ejected = [AttributeChange(ChangeKind.EJECTED, new.name, attr.name)
+               for attr in old.attributes if attr.name not in new_attrs]
+    return injected + ejected + modified
 
 
 def _diff_attribute(before: Attribute, after: Attribute, table: str,
@@ -151,6 +151,12 @@ def diff_schemas(old: Schema, new: Schema,
                 ChangeKind.DELETED_WITH_TABLE, table.name, attr.name))
     for old_table, new_table in sorted(common,
                                        key=lambda pair: pair[1].name):
+        # Identity fast path: the incremental materializer hands back
+        # the exact same frozen Table object for unchanged tables, so
+        # attribute-level diffing can be skipped outright and diff cost
+        # scales with the delta, not the schema size.
+        if old_table is new_table:
+            continue
         changes.extend(_diff_common_table(old_table, new_table, options))
 
     old_views = set(old.views)

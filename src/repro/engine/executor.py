@@ -23,6 +23,7 @@ from repro.engine.cache import MISS, ResultCache
 from repro.engine.config import StudyConfig
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
 from repro.errors import EngineError
+from repro.sqlddl.memo import parse_counters
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,10 @@ class StageTiming:
         items: mapped item count (map stages; None otherwise).
         cache_hits: items served from the result cache.
         cache_misses: items computed this run.
+        parse_hits: statement-memo hits during the stage (statements the
+            incremental parse path reused instead of re-parsing; summed
+            over worker processes).
+        parse_misses: statement-memo misses (statements actually parsed).
     """
 
     stage: str
@@ -42,6 +47,8 @@ class StageTiming:
     items: int | None = None
     cache_hits: int = 0
     cache_misses: int = 0
+    parse_hits: int = 0
+    parse_misses: int = 0
 
 
 @dataclass
@@ -65,6 +72,16 @@ class ExecutionReport:
         """Items computed this run, over all map stages."""
         return sum(t.cache_misses for t in self.timings)
 
+    @property
+    def parse_hits(self) -> int:
+        """Statement-memo hits over all stages (incremental parsing)."""
+        return sum(t.parse_hits for t in self.timings)
+
+    @property
+    def parse_misses(self) -> int:
+        """Statement-memo misses (statements parsed) over all stages."""
+        return sum(t.parse_misses for t in self.timings)
+
     def timing(self, stage: str) -> StageTiming:
         """The timing entry of one stage.
 
@@ -79,35 +96,43 @@ class ExecutionReport:
     def format_table(self) -> str:
         """The timings as an aligned text table."""
         from repro.viz.tables import format_table
+
+        def hit_miss(hits: int, misses: int) -> str:
+            if hits or misses:
+                return f"{hits} hit / {misses} miss"
+            return "-"
+
         rows = []
         for entry in self.timings:
-            cache = "-"
-            if entry.cache_hits or entry.cache_misses:
-                cache = f"{entry.cache_hits} hit / " \
-                        f"{entry.cache_misses} miss"
             rows.append([
                 entry.stage,
                 f"{entry.seconds * 1000:.1f} ms",
                 "-" if entry.items is None else entry.items,
-                cache,
+                hit_miss(entry.cache_hits, entry.cache_misses),
+                hit_miss(entry.parse_hits, entry.parse_misses),
             ])
-        total_cache = "-"
-        if self.cache_hits or self.cache_misses:
-            total_cache = f"{self.cache_hits} hit / " \
-                          f"{self.cache_misses} miss"
-        rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms",
-                     "-", total_cache])
-        return format_table(["stage", "time", "items", "cache"], rows,
-                            title="Execution report")
+        rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms", "-",
+                     hit_miss(self.cache_hits, self.cache_misses),
+                     hit_miss(self.parse_hits, self.parse_misses)])
+        return format_table(
+            ["stage", "time", "items", "cache", "parse memo"], rows,
+            title="Execution report")
 
 
 def _invoke_map(fn: Callable, transport: Callable | None,
-                extras: tuple, item: Any) -> Any:
-    """Apply a map stage to one item (module-level: must pickle)."""
+                extras: tuple, item: Any) -> tuple[Any, tuple[int, int]]:
+    """Apply a map stage to one item (module-level: must pickle).
+
+    Returns the (transported) result plus the statement-memo delta the
+    call produced, so worker processes can ship their parse counters
+    back to the parent alongside the payload.
+    """
+    before_hits, before_misses = parse_counters()
     result = fn(item, *extras)
     if transport is not None:
         result = transport(result)
-    return result
+    after_hits, after_misses = parse_counters()
+    return result, (after_hits - before_hits, after_misses - before_misses)
 
 
 def _auto_chunk(pending: int, jobs: int) -> int:
@@ -117,8 +142,14 @@ def _auto_chunk(pending: int, jobs: int) -> int:
 
 def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                    config: StudyConfig,
-                   cache: ResultCache | None) -> tuple[list, int, int]:
-    """Execute one map stage; returns (results, hits, misses)."""
+                   cache: ResultCache | None
+                   ) -> tuple[list, int, int, tuple[int, int]]:
+    """Execute one map stage.
+
+    Returns ``(results, hits, misses, worker_parse_delta)``; the last
+    element sums the statement-memo (hits, misses) that happened in
+    worker processes — invisible to this process's own counters.
+    """
     results: list[Any] = [None] * len(items)
     pending = list(range(len(items)))
     keys: dict[int, str] = {}
@@ -134,6 +165,7 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                 results[index] = value
     hits = len(items) - len(pending)
 
+    worker_parse_hits = worker_parse_misses = 0
     if pending:
         if config.jobs > 1 and len(pending) > 1:
             worker = partial(_invoke_map, stage.fn, stage.transport_fn,
@@ -147,8 +179,10 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
             with ProcessPoolExecutor(max_workers=config.jobs) as pool:
                 computed = list(pool.map(worker, outbound,
                                          chunksize=chunk))
-            for index, value in zip(pending, computed):
+            for index, (value, parse_delta) in zip(pending, computed):
                 results[index] = value
+                worker_parse_hits += parse_delta[0]
+                worker_parse_misses += parse_delta[1]
                 if cache is not None and index in keys:
                     cache.put(keys[index], value)
         else:
@@ -159,7 +193,8 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                     stripped = value if stage.transport_fn is None \
                         else stage.transport_fn(value)
                     cache.put(keys[index], stripped)
-    return results, hits, len(pending)
+    return results, hits, len(pending), (worker_parse_hits,
+                                         worker_parse_misses)
 
 
 def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
@@ -187,24 +222,33 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
     for stage in plan.execution_order(tuple(inputs)):
         config.emit(StageEvent(stage=stage.name, phase="start"))
         started = time.perf_counter()
+        local_before = parse_counters()
         hits = misses = 0
+        worker_parse = (0, 0)
         items: int | None = None
         if isinstance(stage, MapStage):
             source = list(results[stage.inputs[0]])
             extras = tuple(results[name] for name in stage.inputs[1:])
-            value, hits, misses = _run_map_stage(
+            value, hits, misses, worker_parse = _run_map_stage(
                 stage, source, extras, config, cache)
             items = len(source)
         else:
             value = stage.fn(*(results[name] for name in stage.inputs))
         elapsed = time.perf_counter() - started
+        local_after = parse_counters()
+        # Memo activity of this stage: in-process delta (serial maps,
+        # ordinary stages) plus whatever the workers shipped back.
+        parse_hits = local_after[0] - local_before[0] + worker_parse[0]
+        parse_misses = local_after[1] - local_before[1] + worker_parse[1]
         results[stage.name] = value
         report.timings.append(StageTiming(
             stage=stage.name, seconds=elapsed, items=items,
-            cache_hits=hits, cache_misses=misses))
+            cache_hits=hits, cache_misses=misses,
+            parse_hits=parse_hits, parse_misses=parse_misses))
         config.emit(StageEvent(
             stage=stage.name, phase="finish", seconds=elapsed,
-            items=items or 0, cache_hits=hits, cache_misses=misses))
+            items=items or 0, cache_hits=hits, cache_misses=misses,
+            parse_hits=parse_hits, parse_misses=parse_misses))
     return results, report
 
 

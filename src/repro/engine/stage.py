@@ -27,6 +27,10 @@ class StageEvent:
         items: number of mapped items (map stages only).
         cache_hits: items served from the result cache (map stages).
         cache_misses: items that had to be computed (map stages).
+        parse_hits: statement-memo hits during the stage (statements
+            reused instead of re-parsed by the incremental parse path,
+            summed over workers).
+        parse_misses: statement-memo misses (statements parsed).
     """
 
     stage: str
@@ -35,6 +39,8 @@ class StageEvent:
     items: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    parse_hits: int = 0
+    parse_misses: int = 0
 
 
 @dataclass(frozen=True)

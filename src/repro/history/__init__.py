@@ -14,9 +14,11 @@ overall lifespan. From it the package derives:
 from repro.history.commit import Commit, SchemaVersion
 from repro.history.repository import (
     SchemaHistory,
+    incremental_parse_default,
     load_history_from_directory,
     load_history_from_jsonl,
     save_history_to_jsonl,
+    set_incremental_parse_default,
 )
 from repro.history.transitions import Transition, compute_transitions
 from repro.history.heartbeat import ActivitySeries, schema_heartbeat
@@ -35,9 +37,11 @@ __all__ = [
     "SchemaVersion",
     "Transition",
     "compute_transitions",
+    "incremental_parse_default",
     "load_history_from_directory",
     "load_history_from_jsonl",
     "save_history_to_jsonl",
     "schema_heartbeat",
+    "set_incremental_parse_default",
     "synthetic_source_series",
 ]

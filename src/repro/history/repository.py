@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 import re
 from datetime import datetime
 from pathlib import Path
@@ -11,11 +12,33 @@ from repro.errors import HistoryError
 from repro.history.commit import Commit, SchemaVersion
 from repro.schema.builder import SchemaBuilder
 from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.memo import StatementMemo
 from repro.sqlddl.parser import parse_script
+from repro.sqlddl.splitter import split_statements
 
 _FILENAME_TIMESTAMP = re.compile(
     r"(\d{4})-(\d{2})-(\d{2})(?:[T_](\d{2}))?(?:[-:]?(\d{2}))?(?:[-:]?(\d{2}))?"
 )
+
+#: Environment flag disabling the incremental parse path process-wide.
+#: An env var (rather than a config field) so per-project workers spawned
+#: by the execution engine inherit the choice automatically.
+NO_INCREMENTAL_ENV = "REPRO_NO_INCREMENTAL"
+
+
+def incremental_parse_default() -> bool:
+    """Whether histories materialize incrementally by default (on unless
+    ``REPRO_NO_INCREMENTAL`` is set)."""
+    return not os.environ.get(NO_INCREMENTAL_ENV)
+
+
+def set_incremental_parse_default(enabled: bool) -> None:
+    """Set the process-wide incremental-parse default (and that of any
+    worker process spawned afterwards)."""
+    if enabled:
+        os.environ.pop(NO_INCREMENTAL_ENV, None)
+    else:
+        os.environ[NO_INCREMENTAL_ENV] = "1"
 
 
 def month_index(start: datetime, when: datetime) -> int:
@@ -44,6 +67,13 @@ class SchemaHistory:
             dataset format). True: each commit holds only the new
             statements of that change (migration-script style); versions
             are materialized cumulatively.
+        incremental_parse: whether full-snapshot commits materialize
+            through the statement memo (parse only statements changed
+            since the previous version, reuse unchanged ``Table``
+            objects). None (default) defers to the process-wide default
+            (:func:`incremental_parse_default`). Output is guaranteed
+            identical either way; the flag exists for A/B verification
+            and as an escape hatch.
 
     Raises:
         HistoryError: for empty commit lists or a project window that does
@@ -54,7 +84,8 @@ class SchemaHistory:
                  project_start: datetime | None = None,
                  project_end: datetime | None = None,
                  dialect: Dialect = Dialect.GENERIC,
-                 incremental: bool = False):
+                 incremental: bool = False,
+                 incremental_parse: bool | None = None):
         if not commits:
             raise HistoryError(f"project {project_name!r} has no commits")
         self.project_name = project_name
@@ -63,6 +94,10 @@ class SchemaHistory:
         self.project_end = project_end or self.commits[-1].timestamp
         self.dialect = dialect
         self.incremental = incremental
+        self.incremental_parse = incremental_parse
+        #: (memo hits, memo misses) of the last materialization, or None
+        #: when the classic full-parse path ran.
+        self.parse_stats: tuple[int, int] | None = None
         self._versions: list[SchemaVersion] | None = None
         if self.project_start > self.commits[0].timestamp:
             raise HistoryError(
@@ -98,10 +133,73 @@ class SchemaHistory:
         if self._versions is None:
             if self.incremental:
                 self._versions = self._materialize_incremental()
+            elif (self.incremental_parse
+                  if self.incremental_parse is not None
+                  else incremental_parse_default()):
+                self._versions = self._materialize_memoized()
             else:
                 self._versions = [self._materialize(c)
                                   for c in self.commits]
         return self._versions
+
+    def _materialize_memoized(self) -> list[SchemaVersion]:
+        """Materialize full-snapshot commits through the statement memo.
+
+        Three reuse layers, each provably output-identical to the
+        classic per-commit full parse:
+
+        1. *Whole-version shortcut* — a commit whose segment-hash tuple
+           equals the previous commit's reuses that version's schema
+           and issue count outright (identical spans lex to identical
+           token streams, so the classic path would reproduce them).
+        2. *Statement memo* — only spans unseen in this history are
+           tokenized and parsed; repeats return the cached frozen AST
+           (or the cached SkippedStatement).
+        3. *Table reuse* — every version still folds all statements
+           through a fresh builder (cheap; parsing is the ~93% cost),
+           but the snapshot hands back version N−1's frozen ``Table``
+           for tables whose ``(name, statement-trace)`` is unchanged,
+           which in turn arms the diff engine's identity fast path.
+
+        Any span the memo cannot handle in isolation (lex error, or a
+        raw/token split disagreement) falls the whole commit back to
+        :meth:`_materialize`, reproducing classic behaviour bit for bit.
+        """
+        memo = StatementMemo(self.dialect)
+        versions: list[SchemaVersion] = []
+        prev_hashes: tuple[str, ...] | None = None
+        prev_pool: dict | None = None
+        for commit in self.commits:
+            segments = split_statements(commit.ddl_text, self.dialect)
+            hashes = tuple(s.content_hash for s in segments)
+            if versions and hashes == prev_hashes:
+                previous = versions[-1]
+                versions.append(SchemaVersion(
+                    commit=commit, schema=previous.schema,
+                    parse_issues=previous.parse_issues))
+                continue
+            parsed = [memo.parse(segment) for segment in segments]
+            if any(entry.fallback for entry in parsed):
+                versions.append(self._materialize(commit))
+                prev_hashes = hashes
+                prev_pool = None
+                continue
+            builder = SchemaBuilder(strict=False)
+            skipped = 0
+            for segment, entry in zip(segments, parsed):
+                if entry.statement is not None:
+                    builder.apply(entry.statement,
+                                  token=segment.content_hash)
+                else:
+                    skipped += 1
+            schema, pool = builder.snapshot_reusing(prev_pool)
+            versions.append(SchemaVersion(
+                commit=commit, schema=schema,
+                parse_issues=skipped + len(builder.issues)))
+            prev_hashes = hashes
+            prev_pool = pool
+        self.parse_stats = (memo.hits, memo.misses)
+        return versions
 
     def _materialize_incremental(self) -> list[SchemaVersion]:
         """Apply migration-style commits cumulatively to one builder."""

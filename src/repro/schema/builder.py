@@ -32,7 +32,16 @@ class _ColumnState:
 
 @dataclass
 class _TableState:
-    """Mutable working copy of one table while building."""
+    """Mutable working copy of one table while building.
+
+    ``trace`` records, in application order, an opaque token per
+    statement that shaped this table (the statement's content hash in
+    the incremental path, a unique sentinel otherwise). Because the
+    fold of statements over a fresh state is deterministic, two states
+    with equal ``(name, trace)`` are guaranteed content-identical —
+    which lets :meth:`SchemaBuilder.snapshot_reusing` hand back the
+    previous version's frozen :class:`Table` object untouched.
+    """
 
     name: str
     columns: list[_ColumnState] = field(default_factory=list)
@@ -40,6 +49,7 @@ class _TableState:
     foreign_keys: list[ForeignKey] = field(default_factory=list)
     unique_keys: list[tuple[str, ...]] = field(default_factory=list)
     named_constraints: dict[str, str] = field(default_factory=dict)
+    trace: list = field(default_factory=list)
 
     def column(self, name: str) -> _ColumnState | None:
         for col in self.columns:
@@ -69,6 +79,7 @@ class SchemaBuilder:
         self._tables: dict[str, _TableState] = {}
         self._order: list[str] = []
         self._views: list[str] = []
+        self._token: object | None = None
         self.issues: list[str] = []
 
     # ------------------------------------------------------------------
@@ -80,8 +91,19 @@ class SchemaBuilder:
             self.apply(statement)
         return self
 
-    def apply(self, statement: ast.Statement) -> None:
-        """Apply one DDL statement."""
+    def apply(self, statement: ast.Statement,
+              token: object | None = None) -> None:
+        """Apply one DDL statement.
+
+        Args:
+            statement: the statement to fold into the working schema.
+            token: opaque identity of the statement's *content* (the
+                incremental path passes the segment hash). Recorded in
+                the trace of every table the statement shapes; when
+                omitted, a unique sentinel is recorded instead, which
+                soundly disables cross-version reuse for that table.
+        """
+        self._token = token
         if isinstance(statement, ast.CreateTable):
             self._apply_create_table(statement)
         elif isinstance(statement, ast.DropTable):
@@ -106,6 +128,41 @@ class SchemaBuilder:
                        for name in self._order)
         return Schema(tables=tables, views=tuple(self._views))
 
+    def snapshot_reusing(
+        self, previous: dict | None,
+    ) -> tuple[Schema, dict]:
+        """Snapshot, reusing frozen tables from a previous version.
+
+        Args:
+            previous: pool from the prior version's snapshot —
+                ``(name, trace) -> Table`` — or None on the first
+                version.
+
+        Returns:
+            The schema plus this version's pool. A table whose
+            ``(name, trace)`` key appears in ``previous`` is returned
+            as the *same* frozen :class:`Table` object (enabling the
+            diff engine's identity fast path); anything else is built
+            fresh.
+        """
+        pool: dict = {}
+        tables = []
+        for name in self._order:
+            state = self._tables[name]
+            key = (state.name, tuple(state.trace))
+            table = previous.get(key) if previous else None
+            if table is None:
+                table = self._snapshot_table(state)
+            pool[key] = table
+            tables.append(table)
+        schema = Schema(tables=tuple(tables), views=tuple(self._views))
+        return schema, pool
+
+    def _stamp(self, state: _TableState) -> None:
+        """Record the current statement in ``state``'s trace."""
+        state.trace.append(self._token if self._token is not None
+                           else object())
+
     def _apply_create_table_like(self, stmt: ast.CreateTableLike) -> None:
         import copy
 
@@ -122,6 +179,11 @@ class SchemaBuilder:
             self._remove_table(name)
         clone = copy.deepcopy(source)
         clone.name = name
+        # The clone's content derives from the source's full fold, so
+        # its trace must be the source's trace (shared tokens, not
+        # deep copies) plus this statement.
+        clone.trace = list(source.trace)
+        self._stamp(clone)
         self._tables[name] = clone
         self._order.append(name)
 
@@ -156,6 +218,7 @@ class SchemaBuilder:
             # Real dumps re-create tables; treat as replace in lenient mode.
             self._remove_table(name)
         state = _TableState(name=name)
+        self._stamp(state)
         for coldef in stmt.columns:
             self._add_column_to_state(state, coldef)
         for constraint in stmt.constraints:
@@ -179,6 +242,7 @@ class SchemaBuilder:
             if not stmt.if_exists:
                 self._problem(f"cannot alter missing table {name!r}")
             return
+        self._stamp(state)
         for action in stmt.actions:
             self._apply_alter_action(state, action)
 

@@ -51,7 +51,19 @@ from repro.sqlddl.ast_nodes import (
     Statement,
     UniqueConstraint,
 )
-from repro.sqlddl.parser import Parser, parse_script, parse_statement
+from repro.sqlddl.parser import (
+    Parser,
+    parse_script,
+    parse_statement,
+    parse_token_group,
+)
+from repro.sqlddl.splitter import Segment, segment_hash, split_statements
+from repro.sqlddl.memo import (
+    ParsedSegment,
+    StatementMemo,
+    parse_counters,
+    reset_parse_counters,
+)
 from repro.sqlddl.normalize import (
     canonical_type,
     canonical_type_name,
@@ -81,21 +93,29 @@ __all__ = [
     "IndexKey",
     "Lexer",
     "ModifyColumn",
+    "ParsedSegment",
     "Parser",
     "PrimaryKeyConstraint",
     "RenameColumn",
     "RenameTable",
     "Script",
+    "Segment",
     "SkippedStatement",
     "Statement",
+    "StatementMemo",
     "Token",
     "TokenType",
     "UniqueConstraint",
     "canonical_type",
     "canonical_type_name",
     "normalize_identifier",
+    "parse_counters",
     "parse_script",
     "parse_statement",
+    "parse_token_group",
+    "reset_parse_counters",
+    "segment_hash",
+    "split_statements",
     "tokenize",
     "write_script",
     "write_statement",

@@ -19,6 +19,8 @@ script parser catches those per-statement.
 
 from __future__ import annotations
 
+import sys
+
 from repro.errors import LexError
 from repro.sqlddl.dialect import Dialect
 from repro.sqlddl.tokens import Token, TokenType
@@ -64,7 +66,10 @@ class Lexer:
         line, col = self._line, self._col
 
         if ch in _CLOSING_QUOTE and ch in self._dialect.traits.identifier_quotes:
-            value = self._read_quoted(ch, _CLOSING_QUOTE[ch])
+            # Identifiers and keywords recur massively across the
+            # versions of one history; interning collapses them into a
+            # shared pool so memoized ASTs alias rather than duplicate.
+            value = sys.intern(self._read_quoted(ch, _CLOSING_QUOTE[ch]))
             return Token(TokenType.QUOTED_IDENT, value, line, col)
         if ch == "'":
             value = self._read_string()
@@ -76,7 +81,7 @@ class Lexer:
             value = self._read_number()
             return Token(TokenType.NUMBER, value, line, col)
         if ch.isalpha() or ch == "_":
-            value = self._read_word()
+            value = sys.intern(self._read_word())
             return Token(TokenType.WORD, value, line, col)
         if ch in _PUNCT_CHARS:
             self._advance()

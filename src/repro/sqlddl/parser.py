@@ -853,6 +853,37 @@ def parse_statement(text: str,
     return statement
 
 
+def parse_token_group(
+    group: list[Token],
+    dialect: Dialect = Dialect.GENERIC,
+    on_error: str = "skip",
+) -> tuple[ast.Statement | None, ast.SkippedStatement | None]:
+    """Parse one semicolon-delimited token group of a script.
+
+    Exactly one of the returned pair is non-None: the parsed statement,
+    or the :class:`~repro.sqlddl.ast_nodes.SkippedStatement` recording
+    why the group was skipped (``non-ddl`` / ``parse-error``).
+
+    Raises:
+        ParseError: when the group fails to parse and ``on_error`` is
+            ``"raise"``.
+    """
+    raw = _join_tokens([_render_token(t) for t in group])
+    if not _is_ddl_statement(group):
+        return None, ast.SkippedStatement(text=raw, reason="non-ddl")
+    parser = Parser(group + [Token(TokenType.EOF, "")], dialect)
+    try:
+        statement = parser.parse_statement()
+        if not parser.at_end():
+            raise parser._error("trailing input in statement")
+    except ParseError as exc:
+        if on_error == "raise":
+            raise
+        return None, ast.SkippedStatement(
+            text=raw, reason="parse-error", detail=str(exc))
+    return statement, None
+
+
 def parse_script(text: str, dialect: Dialect = Dialect.GENERIC,
                  on_error: str = "skip") -> ast.Script:
     """Parse a whole SQL script robustly.
@@ -888,20 +919,9 @@ def parse_script(text: str, dialect: Dialect = Dialect.GENERIC,
     statements: list[ast.Statement] = []
     skipped: list[ast.SkippedStatement] = []
     for group in _split_statements(tokens):
-        raw = _join_tokens([_render_token(t) for t in group])
-        if not _is_ddl_statement(group):
-            skipped.append(ast.SkippedStatement(text=raw, reason="non-ddl"))
-            continue
-        parser = Parser(group + [Token(TokenType.EOF, "")], dialect)
-        try:
-            statement = parser.parse_statement()
-            if not parser.at_end():
-                raise parser._error("trailing input in statement")
-        except ParseError as exc:
-            if on_error == "raise":
-                raise
-            skipped.append(ast.SkippedStatement(
-                text=raw, reason="parse-error", detail=str(exc)))
-            continue
-        statements.append(statement)
+        statement, skip = parse_token_group(group, dialect, on_error)
+        if skip is not None:
+            skipped.append(skip)
+        else:
+            statements.append(statement)
     return ast.Script(statements=tuple(statements), skipped=tuple(skipped))

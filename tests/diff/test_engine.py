@@ -162,3 +162,34 @@ class TestDiffContainer:
                      "CREATE TABLE t (a INT, b INT, c INT);")
         assert len(delta) == 2
         assert len(list(delta)) == 2
+
+
+class TestIdentityFastPath:
+    """Reused Table objects (incremental materialization) must diff
+    exactly like structurally equal but distinct ones — just faster."""
+
+    def test_identical_objects_yield_empty_diff(self):
+        schema = build_schema(parse_script(
+            "CREATE TABLE t (a INT, b TEXT);"))
+        delta = diff_schemas(schema, schema)
+        assert delta.is_empty
+
+    def test_shared_tables_skip_attribute_diffing(self):
+        import dataclasses
+
+        old = build_schema(parse_script(
+            "CREATE TABLE keep (a INT);CREATE TABLE change (x INT);"))
+        new_change = build_schema(parse_script(
+            "CREATE TABLE change (x INT, y INT);")).table("change")
+        # Version N reuses version N-1's 'keep' Table object verbatim.
+        new = dataclasses.replace(
+            old, tables=(old.table("keep"), new_change))
+        shared = diff_schemas(old, new)
+        # Oracle: the same schemas rebuilt from scratch (no sharing).
+        rebuilt_old = build_schema(parse_script(
+            "CREATE TABLE keep (a INT);CREATE TABLE change (x INT);"))
+        rebuilt_new = build_schema(parse_script(
+            "CREATE TABLE keep (a INT);"
+            "CREATE TABLE change (x INT, y INT);"))
+        assert shared == diff_schemas(rebuilt_old, rebuilt_new)
+        assert [c.kind for c in shared] == [ChangeKind.INJECTED]

@@ -1,0 +1,202 @@
+"""The raw-text splitter must segment exactly like the token-level split.
+
+Every tricky lexical construct the lexer understands — semicolons inside
+strings, quoted identifiers, dollar quotes and comments; dialect-specific
+comment syntax; trivia-only spans — is checked both directly (expected
+segments) and against the oracle: ``parse_script``'s statement/skip
+count over the same input.
+"""
+
+import pytest
+
+from repro.sqlddl import Dialect, parse_script, tokenize
+from repro.sqlddl.parser import _split_statements
+from repro.sqlddl.splitter import Segment, segment_hash, split_statements
+
+
+def texts(segments: list[Segment]) -> list[str]:
+    return [segment.text for segment in segments]
+
+
+def assert_matches_token_split(sql: str,
+                               dialect: Dialect = Dialect.GENERIC) -> None:
+    """Segments must correspond 1:1 to the token-level statement groups."""
+    segments = split_statements(sql, dialect)
+    groups = _split_statements(tokenize(sql, dialect))
+    assert len(segments) == len(groups)
+    for segment, group in zip(segments, groups):
+        own = _split_statements(tokenize(segment.text, dialect))
+        assert len(own) == 1
+        assert [t.value for t in own[0]] == [t.value for t in group]
+
+
+def test_plain_statements():
+    sql = "CREATE TABLE a (x INT);\nDROP TABLE b;\n"
+    segments = split_statements(sql)
+    assert texts(segments) == ["CREATE TABLE a (x INT)", "DROP TABLE b"]
+    assert_matches_token_split(sql)
+
+
+def test_trailing_statement_without_semicolon():
+    sql = "CREATE TABLE a (x INT);\nDROP TABLE b"
+    assert texts(split_statements(sql))[-1] == "DROP TABLE b"
+    assert_matches_token_split(sql)
+
+
+def test_semicolon_inside_string_literal():
+    sql = "CREATE TABLE a (x INT DEFAULT 'a;b');DROP TABLE c;"
+    segments = split_statements(sql)
+    assert len(segments) == 2
+    assert "a;b" in segments[0].text
+    assert_matches_token_split(sql)
+
+
+def test_semicolon_inside_escaped_string():
+    # Backslash-escaped quote and doubled quote must not close the string.
+    sql = r"CREATE TABLE a (x INT DEFAULT 'it\'s;ok');DROP TABLE b;"
+    assert len(split_statements(sql)) == 2
+    assert_matches_token_split(sql)
+    sql2 = "CREATE TABLE a (x INT DEFAULT 'it''s;ok');DROP TABLE b;"
+    assert len(split_statements(sql2)) == 2
+    assert_matches_token_split(sql2)
+
+
+@pytest.mark.parametrize("quoted", ['"odd;name"', "`odd;name`", "[odd;name]"])
+def test_semicolon_inside_quoted_identifier(quoted):
+    sql = f"CREATE TABLE {quoted} (x INT);DROP TABLE b;"
+    segments = split_statements(sql)
+    assert len(segments) == 2
+    assert "odd;name" in segments[0].text
+    assert_matches_token_split(sql)
+
+
+def test_doubled_closing_quote_in_identifier():
+    sql = 'CREATE TABLE "a""b;c" (x INT);DROP TABLE d;'
+    assert len(split_statements(sql)) == 2
+    assert_matches_token_split(sql)
+
+
+def test_bracket_quote_has_no_doubling():
+    # ]] closes the identifier at the first ] — the second ] is punctuation.
+    sql = "CREATE TABLE [ab]] (x INT);"
+    segments = split_statements(sql)
+    assert len(segments) == 1
+    assert_matches_token_split(sql)
+
+
+def test_semicolon_inside_comments():
+    sql = ("-- drop; not really\n"
+           "CREATE TABLE a (x INT); /* also; not */ DROP TABLE b;")
+    segments = split_statements(sql)
+    assert len(segments) == 2
+    assert_matches_token_split(sql)
+
+
+def test_comment_only_spans_yield_no_segment():
+    sql = "CREATE TABLE a (x INT);\n-- trailing noise\n  /* more */\n"
+    segments = split_statements(sql)
+    assert texts(segments) == ["CREATE TABLE a (x INT)"]
+    assert_matches_token_split(sql)
+
+
+def test_empty_statements_are_dropped():
+    sql = ";;\nCREATE TABLE a (x INT);;\n;"
+    segments = split_statements(sql)
+    assert len(segments) == 1
+    assert_matches_token_split(sql)
+
+
+def test_hash_comment_is_dialect_specific():
+    sql = "CREATE TABLE a (x INT);\n# comment; with semicolon\n"
+    # MySQL/generic: '#' starts a comment — the span is trivia-only.
+    assert len(split_statements(sql, Dialect.MYSQL)) == 1
+    assert len(split_statements(sql, Dialect.GENERIC)) == 1
+    # PostgreSQL: '#' is not a comment; the span has content (and would
+    # fail tokenization, like the whole file would).
+    assert len(split_statements(sql, Dialect.POSTGRES)) == 3
+
+
+def test_mysql_dialect_ignores_brackets():
+    # '[' is not a MySQL identifier quote: the ';' inside must split.
+    sql = "CREATE TABLE [a (x INT);] DROP;"
+    assert len(split_statements(sql, Dialect.MYSQL)) == 2
+    assert len(split_statements(sql, Dialect.GENERIC)) == 1
+
+
+def test_semicolon_inside_dollar_quote():
+    sql = "CREATE TABLE a (x INT DEFAULT $$v;w$$);DROP TABLE b;"
+    segments = split_statements(sql, Dialect.POSTGRES)
+    assert len(segments) == 2
+    assert_matches_token_split(sql, Dialect.POSTGRES)
+
+
+def test_semicolon_inside_tagged_dollar_quote():
+    sql = "CREATE TABLE a (x INT DEFAULT $tag$ ; $notyet$ ; $tag$);END;"
+    segments = split_statements(sql, Dialect.POSTGRES)
+    assert len(segments) == 2
+    assert_matches_token_split(sql, Dialect.POSTGRES)
+
+
+def test_dollar_inside_word_is_not_a_quote():
+    # The lexer folds a$b$ into one word; the ';' must still split.
+    sql = "CREATE TABLE a$b$ (x INT);DROP TABLE c;"
+    segments = split_statements(sql)
+    assert len(segments) == 2
+    assert_matches_token_split(sql)
+
+
+def test_lone_dollar_is_punctuation():
+    sql = "CREATE TABLE a (x INT); $ DROP TABLE b;"
+    segments = split_statements(sql)
+    assert len(segments) == 2
+    assert_matches_token_split(sql)
+
+
+def test_unterminated_string_swallows_rest():
+    sql = "CREATE TABLE a (x INT);SELECT 'open... ; DROP TABLE b;"
+    segments = split_statements(sql)
+    # The open literal swallows both semicolons after it.
+    assert len(segments) == 2
+    assert segments[1].text.startswith("SELECT")
+
+
+def test_unterminated_block_comment_keeps_span_content():
+    # The whole-file lexer raises on this input; the splitter must emit
+    # a content-bearing segment so per-segment lexing fails the same way.
+    sql = "CREATE TABLE a (x INT); /* open comment ; ;"
+    segments = split_statements(sql)
+    assert len(segments) == 2
+    with pytest.raises(Exception):
+        tokenize(segments[1].text)
+
+
+def test_statements_across_newlines_and_indentation():
+    sql = """
+    CREATE TABLE t (
+        id INT,      -- key; primary
+        name VARCHAR(40)
+    );
+
+    ALTER TABLE t ADD COLUMN extra INT;
+    """
+    segments = split_statements(sql)
+    assert len(segments) == 2
+    assert_matches_token_split(sql)
+
+
+def test_segment_count_matches_parse_script():
+    sql = ("CREATE TABLE a (x INT);"
+           "INSERT INTO a VALUES (1);"  # non-DDL: skipped, still a segment
+           "DROP TABLE a;")
+    segments = split_statements(sql)
+    script = parse_script(sql)
+    assert len(segments) == len(script.statements) + len(script.skipped)
+
+
+def test_hashes_are_content_addressed():
+    first = split_statements("CREATE TABLE a (x INT);")[0]
+    again = split_statements("  CREATE TABLE a (x INT)  ;  ")[0]
+    other = split_statements("CREATE TABLE a (y INT);")[0]
+    assert first.content_hash == again.content_hash  # stripped spans
+    assert first.content_hash != other.content_hash
+    assert first.content_hash == segment_hash(first.text)
