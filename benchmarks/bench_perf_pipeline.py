@@ -220,7 +220,11 @@ def test_perf_incremental_vs_full(corpus):
     assert speedup > 1.3  # conservative bound; typically 2.5-3.5x
 
     hit_rate = hits / (hits + misses)
-    payload = {
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    json_path = results_dir / "BENCH_perf_pipeline.json"
+    payload = json.loads(json_path.read_text()) if json_path.exists() else {}
+    payload.update({
         "projects": len(corpus.projects),
         "host_cpus": os.cpu_count(),
         "modes_ms": {
@@ -237,11 +241,8 @@ def test_perf_incremental_vs_full(corpus):
         # Serial full-study baseline recorded by perf_engine_modes.txt
         # before this optimization existed (PR 2).
         "baseline_full_parse_serial_ms": 6699.4,
-    }
-    results_dir = Path(__file__).parent / "results"
-    results_dir.mkdir(exist_ok=True)
-    (results_dir / "BENCH_perf_pipeline.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    })
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
 
     record("perf_incremental_vs_full", "\n".join([
         f"cold full study, 151 projects, serial "
@@ -252,6 +253,73 @@ def test_perf_incremental_vs_full(corpus):
         f"  statement memo: {hits} hits / {misses} misses "
         f"({hit_rate:.0%} hit rate)",
         "  records + pattern assignments: identical in both modes",
+    ]))
+
+
+def test_perf_records_map(corpus):
+    """Records-map mode: cold serial map, kernel counters, golden A/B.
+
+    Times exactly the unit the columnar kernel layer and the regex fast
+    lexer optimize — the cold serial records map — and asserts the two
+    invariants the layer promises: the heartbeat-kernel counters are
+    live (every project builds its prefix table once and serves repeat
+    lookups from the memo), and the fast path's records are
+    byte-identical to the classic full re-parse. Numbers are merged
+    into BENCH_perf_pipeline.json next to the incremental-parse
+    trajectory.
+    """
+    from repro.history.kernel import kernel_counters, reset_kernel_counters
+    from repro.history.repository import set_incremental_parse_default
+
+    # Reference: classic full re-parse (the slow, trusted path).
+    set_incremental_parse_default(False)
+    try:
+        _forget_parsed_versions(corpus)
+        reference = records_from_corpus(corpus, config=STUDY_CONFIG)
+    finally:
+        set_incremental_parse_default(True)
+
+    _forget_parsed_versions(corpus)
+    reset_kernel_counters()
+    started = time.perf_counter()
+    records = records_from_corpus(corpus, config=STUDY_CONFIG)
+    records_map_s = time.perf_counter() - started
+    series_built, reuse_hits = kernel_counters()
+
+    golden_equivalent = (
+        records == reference
+        and [r.pattern for r in records] == [r.pattern for r in reference])
+    assert golden_equivalent
+    # Counters must be live: one prefix table per project, and the
+    # landmark/totals/progress-vector consumers served from the memo.
+    assert series_built >= len(corpus.projects)
+    assert reuse_hits > 0
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    json_path = results_dir / "BENCH_perf_pipeline.json"
+    payload = json.loads(json_path.read_text()) if json_path.exists() else {}
+    payload["records_map"] = {
+        # Cold serial records map measured on the pre-kernel code
+        # (incremental parsing only, PR 3) on the same host class.
+        "baseline_pr3_ms": 2250.0,
+        "records_map_ms": round(records_map_s * 1000, 1),
+        "heartbeat_kernel": {
+            "series_built": series_built,
+            "reuse_hits": reuse_hits,
+        },
+        "golden_equivalent": golden_equivalent,
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record("perf_records_map", "\n".join([
+        f"cold serial records map, {len(corpus.projects)} projects "
+        f"(host: {os.cpu_count()} cpus)",
+        f"  records map:              {records_map_s * 1000:9.1f} ms   "
+        f"(pre-kernel baseline ~2250 ms)",
+        f"  heartbeat kernel: {series_built} series built / "
+        f"{reuse_hits} reuse hits",
+        "  records + pattern assignments: identical to full re-parse",
     ]))
 
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.records import StudyRecord
-from repro.diff.changes import ChangeKind
+from repro.diff.changes import KIND_INDEX, KIND_ORDER, N_KINDS, ChangeKind
 from repro.errors import AnalysisError
 from repro.patterns.taxonomy import Pattern, REAL_PATTERNS
 
@@ -67,6 +67,8 @@ class ChangeMixResult:
 _TABLE_GRANULE = (ChangeKind.BORN_WITH_TABLE,
                   ChangeKind.DELETED_WITH_TABLE)
 
+_TABLE_GRANULE_INDEXES = tuple(KIND_INDEX[k] for k in _TABLE_GRANULE)
+
 
 def _is_monothematic(record: StudyRecord) -> bool:
     """True when the project's post-birth change uses <= 1 change kind."""
@@ -74,14 +76,14 @@ def _is_monothematic(record: StudyRecord) -> bool:
     if series.breakdowns is None:
         return True
     birth = record.profile.birth_month
-    kinds_used = set()
+    used = [0] * N_KINDS
     for month, breakdown in enumerate(series.breakdowns):
-        if month == birth:
+        if month == birth or not breakdown.total:
             continue
-        for kind, count in breakdown.by_kind:
-            if count:
-                kinds_used.add(kind)
-    return len(kinds_used) <= 1
+        flat = breakdown.flat
+        for index in range(N_KINDS):
+            used[index] |= flat[index]
+    return sum(1 for value in used if value) <= 1
 
 
 def compute_change_mix(records: Sequence[StudyRecord]) -> ChangeMixResult:
@@ -93,35 +95,36 @@ def compute_change_mix(records: Sequence[StudyRecord]) -> ChangeMixResult:
     if not records:
         raise AnalysisError("empty corpus")
     rows: list[ChangeMixRow] = []
-    grand_totals = {kind: 0 for kind in ChangeKind}
+    grand_flat = [0] * N_KINDS
+    grand_expansion = 0
     for pattern in REAL_PATTERNS:
         members = [r for r in records if r.pattern is pattern]
         if not members:
             continue
-        kind_totals = {kind: 0 for kind in ChangeKind}
+        flat_totals = [0] * N_KINDS
         fractions: list[float] = []
         for record in members:
             breakdown = record.profile.totals.breakdown
-            for kind, count in breakdown.by_kind:
-                kind_totals[kind] += count
-                grand_totals[kind] += count
+            flat = breakdown.flat
+            for index in range(N_KINDS):
+                flat_totals[index] += flat[index]
+                grand_flat[index] += flat[index]
+            grand_expansion += breakdown.expansion
             fractions.append(breakdown.expansion_fraction)
-        total_events = sum(kind_totals.values())
-        table_events = sum(kind_totals[k] for k in _TABLE_GRANULE)
+        total_events = sum(flat_totals)
+        table_events = sum(flat_totals[i] for i in _TABLE_GRANULE_INDEXES)
         rows.append(ChangeMixRow(
             pattern=pattern,
             count=len(members),
-            kind_totals=kind_totals,
+            kind_totals=dict(zip(KIND_ORDER, flat_totals)),
             median_expansion_fraction=statistics.median(fractions),
             table_granule_fraction=(table_events / total_events
                                     if total_events else 0.0),
             monothematic_projects=sum(1 for r in members
                                       if _is_monothematic(r)),
         ))
-    grand_total = sum(grand_totals.values())
-    grand_table = sum(grand_totals[k] for k in _TABLE_GRANULE)
-    grand_expansion = sum(count for kind, count in grand_totals.items()
-                          if kind.is_expansion)
+    grand_total = sum(grand_flat)
+    grand_table = sum(grand_flat[i] for i in _TABLE_GRANULE_INDEXES)
     return ChangeMixResult(
         rows=tuple(rows),
         overall_expansion_fraction=(grand_expansion / grand_total

@@ -38,6 +38,28 @@ class ChangeKind(enum.Enum):
         return self in MAINTENANCE_KINDS
 
 
+#: All kinds in their stable dense order (sorted by enum value, the same
+#: ordering ``ChangeBreakdown.by_kind`` always used). Index ``i`` of any
+#: flat per-kind count vector refers to ``KIND_ORDER[i]``.
+KIND_ORDER: tuple[ChangeKind, ...] = tuple(
+    sorted(ChangeKind, key=lambda kind: kind.value))
+
+#: Dense index per kind — the dict counterpart of ``kind.dense_index``.
+KIND_INDEX: dict[ChangeKind, int] = {
+    kind: index for index, kind in enumerate(KIND_ORDER)
+}
+
+#: Number of change kinds (length of every flat count vector).
+N_KINDS = len(KIND_ORDER)
+
+# Stamp the dense index onto the members themselves: the columnar
+# kernels read ``change.kind.dense_index`` in tight loops, and a plain
+# attribute load beats any dict/enum-hash lookup.
+for _index, _kind in enumerate(KIND_ORDER):
+    _kind.dense_index = _index
+del _index, _kind
+
+
 #: Expansion = attribute birth with new tables, or injection into existing
 #: ones (paper §6.3).
 EXPANSION_KINDS = frozenset({
@@ -52,6 +74,15 @@ MAINTENANCE_KINDS = frozenset({
     ChangeKind.TYPE_CHANGED,
     ChangeKind.KEY_CHANGED,
 })
+
+#: Dense indexes of the expansion kinds, for positional sums over flat
+#: count vectors (sorted so the sums are deterministic).
+EXPANSION_INDEXES: tuple[int, ...] = tuple(
+    sorted(KIND_INDEX[kind] for kind in EXPANSION_KINDS))
+
+#: Dense indexes of the maintenance kinds.
+MAINTENANCE_INDEXES: tuple[int, ...] = tuple(
+    sorted(KIND_INDEX[kind] for kind in MAINTENANCE_KINDS))
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,12 +145,20 @@ class SchemaDiff:
         """True when nothing changed at the logical level."""
         return not self.changes and not self.tables_renamed
 
+    def kind_counts_flat(self) -> tuple[int, ...]:
+        """Event counts as a flat vector in :data:`KIND_ORDER` order.
+
+        The columnar counterpart of :meth:`by_kind`: one list index per
+        kind, no enum hashing. This is what the heartbeat accumulates.
+        """
+        counts = [0] * N_KINDS
+        for change in self.changes:
+            counts[change.kind.dense_index] += 1
+        return tuple(counts)
+
     def by_kind(self) -> dict[ChangeKind, int]:
         """Event counts per change kind (zero-count kinds included)."""
-        counts = {kind: 0 for kind in ChangeKind}
-        for change in self.changes:
-            counts[change.kind] += 1
-        return counts
+        return dict(zip(KIND_ORDER, self.kind_counts_flat()))
 
     def __len__(self) -> int:
         return len(self.changes)

@@ -3,6 +3,14 @@
 A :class:`ChangeBreakdown` is the per-transition (or per-month, or
 per-project) summary the metrics layer consumes: total affected
 attributes, the expansion/maintenance split and the per-kind counts.
+
+Counts are stored **columnar**: one flat ``tuple[int, ...]`` in the
+stable dense order of :data:`repro.diff.changes.KIND_ORDER`. The
+``by_kind`` / ``counts`` views derive from it for compatibility, and
+``total`` / ``expansion`` / ``maintenance`` are precomputed once at
+construction instead of re-summed per access — breakdown arithmetic on
+the heartbeat hot path is positional integer adds, with no dict or
+enum-hash traffic at all.
 """
 
 from __future__ import annotations
@@ -10,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.diff.changes import ChangeKind, SchemaDiff
+from repro.diff.changes import (
+    EXPANSION_INDEXES,
+    KIND_ORDER,
+    N_KINDS,
+    ChangeKind,
+    SchemaDiff,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -18,32 +32,38 @@ class ChangeBreakdown:
     """Counts of affected attributes by change kind.
 
     Attributes:
-        by_kind: events per :class:`ChangeKind` (all kinds present).
+        flat: events per kind, in :data:`KIND_ORDER` order (dense index
+            ``kind.dense_index`` addresses one slot).
+        total: total affected attributes (precomputed).
+        expansion: expansion-side events (precomputed).
+        maintenance: maintenance-side events (precomputed).
     """
 
-    by_kind: tuple[tuple[ChangeKind, int], ...]
+    flat: tuple[int, ...]
+    total: int = field(init=False, compare=False, repr=False)
+    expansion: int = field(init=False, compare=False, repr=False)
+    maintenance: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        if len(self.flat) != N_KINDS:
+            raise ValueError(
+                f"a breakdown needs {N_KINDS} per-kind slots, "
+                f"got {len(self.flat)}")
+        total = sum(self.flat)
+        expansion = sum(self.flat[i] for i in EXPANSION_INDEXES)
+        object.__setattr__(self, "total", total)
+        object.__setattr__(self, "expansion", expansion)
+        object.__setattr__(self, "maintenance", total - expansion)
+
+    @property
+    def by_kind(self) -> tuple[tuple[ChangeKind, int], ...]:
+        """The counts as (kind, count) pairs in dense-kind order."""
+        return tuple(zip(KIND_ORDER, self.flat))
 
     @property
     def counts(self) -> dict[ChangeKind, int]:
         """The per-kind counts as a dict (fresh copy)."""
-        return dict(self.by_kind)
-
-    @property
-    def total(self) -> int:
-        """Total affected attributes."""
-        return sum(count for _, count in self.by_kind)
-
-    @property
-    def expansion(self) -> int:
-        """Affected attributes on the expansion side (births + injections)."""
-        return sum(count for kind, count in self.by_kind
-                   if kind.is_expansion)
-
-    @property
-    def maintenance(self) -> int:
-        """Affected attributes on the maintenance side."""
-        return sum(count for kind, count in self.by_kind
-                   if kind.is_maintenance)
+        return dict(zip(KIND_ORDER, self.flat))
 
     @property
     def expansion_fraction(self) -> float:
@@ -52,31 +72,41 @@ class ChangeBreakdown:
         return self.expansion / total if total else 0.0
 
     def count(self, kind: ChangeKind) -> int:
-        """Events of one kind."""
-        return self.counts.get(kind, 0)
+        """Events of one kind (O(1) indexed read)."""
+        return self.flat[kind.dense_index]
+
+    @classmethod
+    def from_flat(cls, flat: Iterable[int]) -> "ChangeBreakdown":
+        """Build a breakdown from a flat count vector in kind order."""
+        return cls(flat=tuple(flat))
 
     @classmethod
     def from_counts(cls, counts: dict[ChangeKind, int]) -> "ChangeBreakdown":
         """Build a breakdown from a (possibly partial) per-kind dict."""
-        full = {kind: counts.get(kind, 0) for kind in ChangeKind}
-        return cls(by_kind=tuple(sorted(full.items(),
-                                        key=lambda item: item[0].value)))
+        return cls(flat=tuple(counts.get(kind, 0) for kind in KIND_ORDER))
 
     @classmethod
     def empty(cls) -> "ChangeBreakdown":
-        """A breakdown with zero events everywhere."""
-        return cls.from_counts({})
+        """The breakdown with zero events everywhere (shared singleton)."""
+        return EMPTY_BREAKDOWN
+
+
+#: The all-zero breakdown. Months without changes share this one object
+#: instead of allocating a fresh zero vector each (the common case:
+#: most project months are inactive).
+EMPTY_BREAKDOWN = ChangeBreakdown(flat=(0,) * N_KINDS)
 
 
 def breakdown(diff: SchemaDiff) -> ChangeBreakdown:
     """Summarize one diff into a :class:`ChangeBreakdown`."""
-    return ChangeBreakdown.from_counts(diff.by_kind())
+    return ChangeBreakdown(flat=diff.kind_counts_flat())
 
 
 def combine_breakdowns(items: Iterable[ChangeBreakdown]) -> ChangeBreakdown:
     """Sum several breakdowns (e.g. all transitions of one month)."""
-    totals = {kind: 0 for kind in ChangeKind}
+    totals = [0] * N_KINDS
     for item in items:
-        for kind, count in item.by_kind:
-            totals[kind] += count
-    return ChangeBreakdown.from_counts(totals)
+        flat = item.flat
+        for index in range(N_KINDS):
+            totals[index] += flat[index]
+    return ChangeBreakdown(flat=tuple(totals))

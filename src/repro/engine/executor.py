@@ -23,6 +23,7 @@ from repro.engine.cache import MISS, ResultCache
 from repro.engine.config import StudyConfig
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
 from repro.errors import EngineError
+from repro.history.kernel import kernel_counters
 from repro.sqlddl.memo import parse_counters
 
 
@@ -40,6 +41,10 @@ class StageTiming:
             incremental parse path reused instead of re-parsing; summed
             over worker processes).
         parse_misses: statement-memo misses (statements actually parsed).
+        kernel_series: activity-series prefix tables built during the
+            stage (heartbeat kernel; summed over worker processes).
+        kernel_reuse: prefix-table lookups served from the per-series
+            memo instead of recomputing the cumulative arrays.
     """
 
     stage: str
@@ -49,6 +54,8 @@ class StageTiming:
     cache_misses: int = 0
     parse_hits: int = 0
     parse_misses: int = 0
+    kernel_series: int = 0
+    kernel_reuse: int = 0
 
 
 @dataclass
@@ -82,6 +89,16 @@ class ExecutionReport:
         """Statement-memo misses (statements parsed) over all stages."""
         return sum(t.parse_misses for t in self.timings)
 
+    @property
+    def kernel_series(self) -> int:
+        """Heartbeat-kernel prefix tables built, over all stages."""
+        return sum(t.kernel_series for t in self.timings)
+
+    @property
+    def kernel_reuse(self) -> int:
+        """Heartbeat-kernel memo-served lookups, over all stages."""
+        return sum(t.kernel_reuse for t in self.timings)
+
     def timing(self, stage: str) -> StageTiming:
         """The timing entry of one stage.
 
@@ -102,6 +119,11 @@ class ExecutionReport:
                 return f"{hits} hit / {misses} miss"
             return "-"
 
+        def built_reuse(series: int, reuse: int) -> str:
+            if series or reuse:
+                return f"{series} built / {reuse} reuse"
+            return "-"
+
         rows = []
         for entry in self.timings:
             rows.append([
@@ -110,29 +132,36 @@ class ExecutionReport:
                 "-" if entry.items is None else entry.items,
                 hit_miss(entry.cache_hits, entry.cache_misses),
                 hit_miss(entry.parse_hits, entry.parse_misses),
+                built_reuse(entry.kernel_series, entry.kernel_reuse),
             ])
         rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms", "-",
                      hit_miss(self.cache_hits, self.cache_misses),
-                     hit_miss(self.parse_hits, self.parse_misses)])
+                     hit_miss(self.parse_hits, self.parse_misses),
+                     built_reuse(self.kernel_series, self.kernel_reuse)])
         return format_table(
-            ["stage", "time", "items", "cache", "parse memo"], rows,
+            ["stage", "time", "items", "cache", "parse memo",
+             "heartbeat kernel"], rows,
             title="Execution report")
 
 
 def _invoke_map(fn: Callable, transport: Callable | None,
-                extras: tuple, item: Any) -> tuple[Any, tuple[int, int]]:
+                extras: tuple, item: Any
+                ) -> tuple[Any, tuple[int, int, int, int]]:
     """Apply a map stage to one item (module-level: must pickle).
 
-    Returns the (transported) result plus the statement-memo delta the
-    call produced, so worker processes can ship their parse counters
-    back to the parent alongside the payload.
+    Returns the (transported) result plus the statement-memo and
+    heartbeat-kernel deltas the call produced, so worker processes can
+    ship their counters back to the parent alongside the payload.
     """
     before_hits, before_misses = parse_counters()
+    before_series, before_reuse = kernel_counters()
     result = fn(item, *extras)
     if transport is not None:
         result = transport(result)
     after_hits, after_misses = parse_counters()
-    return result, (after_hits - before_hits, after_misses - before_misses)
+    after_series, after_reuse = kernel_counters()
+    return result, (after_hits - before_hits, after_misses - before_misses,
+                    after_series - before_series, after_reuse - before_reuse)
 
 
 def _auto_chunk(pending: int, jobs: int) -> int:
@@ -143,12 +172,13 @@ def _auto_chunk(pending: int, jobs: int) -> int:
 def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                    config: StudyConfig,
                    cache: ResultCache | None
-                   ) -> tuple[list, int, int, tuple[int, int]]:
+                   ) -> tuple[list, int, int, tuple[int, int, int, int]]:
     """Execute one map stage.
 
-    Returns ``(results, hits, misses, worker_parse_delta)``; the last
-    element sums the statement-memo (hits, misses) that happened in
-    worker processes — invisible to this process's own counters.
+    Returns ``(results, hits, misses, worker_delta)``; the last element
+    sums the statement-memo (hits, misses) and heartbeat-kernel
+    (series, reuse) counters that ticked in worker processes —
+    invisible to this process's own counters.
     """
     results: list[Any] = [None] * len(items)
     pending = list(range(len(items)))
@@ -165,7 +195,7 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                 results[index] = value
     hits = len(items) - len(pending)
 
-    worker_parse_hits = worker_parse_misses = 0
+    worker_deltas = [0, 0, 0, 0]
     if pending:
         if config.jobs > 1 and len(pending) > 1:
             worker = partial(_invoke_map, stage.fn, stage.transport_fn,
@@ -179,10 +209,10 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
             with ProcessPoolExecutor(max_workers=config.jobs) as pool:
                 computed = list(pool.map(worker, outbound,
                                          chunksize=chunk))
-            for index, (value, parse_delta) in zip(pending, computed):
+            for index, (value, delta) in zip(pending, computed):
                 results[index] = value
-                worker_parse_hits += parse_delta[0]
-                worker_parse_misses += parse_delta[1]
+                for slot in range(4):
+                    worker_deltas[slot] += delta[slot]
                 if cache is not None and index in keys:
                     cache.put(keys[index], value)
         else:
@@ -193,8 +223,7 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                     stripped = value if stage.transport_fn is None \
                         else stage.transport_fn(value)
                     cache.put(keys[index], stripped)
-    return results, hits, len(pending), (worker_parse_hits,
-                                         worker_parse_misses)
+    return results, hits, len(pending), tuple(worker_deltas)
 
 
 def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
@@ -222,33 +251,36 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
     for stage in plan.execution_order(tuple(inputs)):
         config.emit(StageEvent(stage=stage.name, phase="start"))
         started = time.perf_counter()
-        local_before = parse_counters()
+        local_before = parse_counters() + kernel_counters()
         hits = misses = 0
-        worker_parse = (0, 0)
+        worker_delta = (0, 0, 0, 0)
         items: int | None = None
         if isinstance(stage, MapStage):
             source = list(results[stage.inputs[0]])
             extras = tuple(results[name] for name in stage.inputs[1:])
-            value, hits, misses, worker_parse = _run_map_stage(
+            value, hits, misses, worker_delta = _run_map_stage(
                 stage, source, extras, config, cache)
             items = len(source)
         else:
             value = stage.fn(*(results[name] for name in stage.inputs))
         elapsed = time.perf_counter() - started
-        local_after = parse_counters()
-        # Memo activity of this stage: in-process delta (serial maps,
+        local_after = parse_counters() + kernel_counters()
+        # Counter activity of this stage: in-process delta (serial maps,
         # ordinary stages) plus whatever the workers shipped back.
-        parse_hits = local_after[0] - local_before[0] + worker_parse[0]
-        parse_misses = local_after[1] - local_before[1] + worker_parse[1]
+        parse_hits, parse_misses, kernel_series, kernel_reuse = (
+            local_after[slot] - local_before[slot] + worker_delta[slot]
+            for slot in range(4))
         results[stage.name] = value
         report.timings.append(StageTiming(
             stage=stage.name, seconds=elapsed, items=items,
             cache_hits=hits, cache_misses=misses,
-            parse_hits=parse_hits, parse_misses=parse_misses))
+            parse_hits=parse_hits, parse_misses=parse_misses,
+            kernel_series=kernel_series, kernel_reuse=kernel_reuse))
         config.emit(StageEvent(
             stage=stage.name, phase="finish", seconds=elapsed,
             items=items or 0, cache_hits=hits, cache_misses=misses,
-            parse_hits=parse_hits, parse_misses=parse_misses))
+            parse_hits=parse_hits, parse_misses=parse_misses,
+            kernel_series=kernel_series, kernel_reuse=kernel_reuse))
     return results, report
 
 

@@ -31,6 +31,11 @@ class StageEvent:
             reused instead of re-parsed by the incremental parse path,
             summed over workers).
         parse_misses: statement-memo misses (statements parsed).
+        kernel_series: activity-series prefix tables built during the
+            stage (heartbeat kernel; summed over workers).
+        kernel_reuse: prefix-table lookups served from the per-series
+            memo — each one a full cumulative-array recomputation
+            before the columnar kernel layer existed.
     """
 
     stage: str
@@ -41,6 +46,8 @@ class StageEvent:
     cache_misses: int = 0
     parse_hits: int = 0
     parse_misses: int = 0
+    kernel_series: int = 0
+    kernel_reuse: int = 0
 
 
 @dataclass(frozen=True)

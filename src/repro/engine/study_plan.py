@@ -53,7 +53,8 @@ from repro.patterns.taxonomy import Pattern
 
 #: Bump when the history → record computation changes observably; this
 #: invalidates every cached StudyRecord (the cache key mixes it in).
-RECORDS_STAGE_VERSION = "1"
+#: "2": columnar ChangeBreakdown — cached record pickles changed shape.
+RECORDS_STAGE_VERSION = "2"
 
 
 # ----------------------------------------------------------------------

@@ -3,6 +3,15 @@
 The paper's central measurement device (its Fig. 1): per project month,
 the number of affected attributes; cumulatively, the *fractional* progress
 of schema evolution over normalized project time.
+
+The cumulative views are served by the columnar kernel layer
+(:mod:`repro.history.kernel`): the prefix arrays of a series are
+computed exactly once, memoized on the frozen instance, and every
+``fraction_at`` / ``sample`` / landmark helper becomes an O(1) or O(M)
+lookup against them. Memoization is safe on the frozen dataclass
+because the cached state is a pure function of the ``monthly`` field,
+lives only in ``__dict__`` (never part of equality or the pickle — see
+``__getstate__``), and is installed via ``object.__setattr__``.
 """
 
 from __future__ import annotations
@@ -10,10 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.diff.engine import DiffOptions
-from repro.diff.stats import ChangeBreakdown, breakdown, combine_breakdowns
+from repro.diff.stats import EMPTY_BREAKDOWN, ChangeBreakdown, \
+    combine_breakdowns
 from repro.errors import MetricError
+from repro.history.kernel import (
+    PrefixView,
+    accumulate_month_counts,
+    activity_prefix,
+    count_reuse,
+)
 from repro.history.repository import SchemaHistory
-from repro.history.transitions import compute_transitions
+from repro.history.transitions import iter_month_kind_counts
 
 
 @dataclass(frozen=True)
@@ -40,6 +56,26 @@ class ActivitySeries:
             raise MetricError("breakdowns must align with monthly values")
 
     # ------------------------------------------------------------------
+    # kernel memo plumbing
+
+    def _prefix(self) -> PrefixView:
+        """The series' prefix state, built on first use and memoized."""
+        state = self.__dict__.get("_prefix_state")
+        if state is None:
+            state = activity_prefix(self.monthly)
+            object.__setattr__(self, "_prefix_state", state)
+        else:
+            count_reuse()
+        return state
+
+    def __getstate__(self):
+        # Ship only the declared fields: the memoized prefix state and
+        # total breakdown are cheap derivations, and stripping them
+        # keeps cache payloads and worker pickles at their pre-kernel
+        # size (and byte layout).
+        return {"monthly": self.monthly, "breakdowns": self.breakdowns}
+
+    # ------------------------------------------------------------------
     # basic aggregates
 
     @property
@@ -50,7 +86,7 @@ class ActivitySeries:
     @property
     def total(self) -> int:
         """Total activity over the whole series."""
-        return sum(self.monthly)
+        return self._prefix()[1]
 
     @property
     def active_month_indices(self) -> tuple[int, ...]:
@@ -60,38 +96,35 @@ class ActivitySeries:
     @property
     def total_breakdown(self) -> ChangeBreakdown:
         """Sum of all per-month breakdowns (empty if none recorded)."""
-        if self.breakdowns is None:
-            return ChangeBreakdown.empty()
-        return combine_breakdowns(self.breakdowns)
+        cached = self.__dict__.get("_total_breakdown")
+        if cached is None:
+            if self.breakdowns is None:
+                cached = ChangeBreakdown.empty()
+            else:
+                cached = combine_breakdowns(self.breakdowns)
+            object.__setattr__(self, "_total_breakdown", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # cumulative views
 
     def cumulative(self) -> tuple[int, ...]:
         """Cumulative activity per month."""
-        out: list[int] = []
-        running = 0
-        for value in self.monthly:
-            running += value
-            out.append(running)
-        return tuple(out)
+        return self._prefix()[0]
 
     def cumulative_fraction(self) -> tuple[float, ...]:
         """Cumulative activity as a fraction of the total per month.
 
         A series with zero total activity yields all zeros.
         """
-        total = self.total
-        if total == 0:
-            return tuple(0.0 for _ in self.monthly)
-        return tuple(c / total for c in self.cumulative())
+        return self._prefix()[2]
 
     def fraction_at(self, time_pct: float) -> float:
         """Cumulative fraction at a normalized time point in [0, 1].
 
-        Time percentage p maps to month ``floor(p * (months - 1))`` —
-        i.e. the curve is sampled as a step function of month values, the
-        same convention the paper's charts use.
+        Time percentage p maps to month ``min(floor(p * months),
+        months - 1)`` — i.e. the curve is sampled as a step function of
+        month values, the same convention the paper's charts use.
 
         Raises:
             MetricError: when ``time_pct`` is outside [0, 1].
@@ -99,8 +132,9 @@ class ActivitySeries:
         if not 0.0 <= time_pct <= 1.0:
             raise MetricError(f"time_pct must be in [0, 1], "
                               f"got {time_pct}")
-        index = min(int(time_pct * self.months), self.months - 1)
-        return self.cumulative_fraction()[index]
+        months = len(self.monthly)
+        index = min(int(time_pct * months), months - 1)
+        return self._prefix()[2][index]
 
     def sample(self, points: int = 20) -> tuple[float, ...]:
         """Sample the cumulative-fraction curve at ``points`` evenly spaced
@@ -112,7 +146,12 @@ class ActivitySeries:
         """
         if points < 1:
             raise MetricError("sample needs at least one point")
-        return tuple(self.fraction_at(i / points) for i in range(points))
+        fractions = self._prefix()[2]
+        months = len(self.monthly)
+        last = months - 1
+        return tuple(
+            fractions[min(int(i / points * months), last)]
+            for i in range(points))
 
     # ------------------------------------------------------------------
     # landmark helpers (consumed by repro.metrics)
@@ -129,10 +168,12 @@ class ActivitySeries:
 
         Returns None when total activity is zero.
         """
-        if self.total == 0:
+        cumulative, total, fractions = self._prefix()
+        if total == 0:
             return None
-        for index, value in enumerate(self.cumulative_fraction()):
-            if value >= fraction - 1e-12:
+        threshold = fraction - 1e-12
+        for index, value in enumerate(fractions):
+            if value >= threshold:
                 return index
         return len(self.monthly) - 1  # pragma: no cover - defensive
 
@@ -142,13 +183,14 @@ def schema_heartbeat(history: SchemaHistory,
     """Compute the monthly schema heartbeat of ``history``.
 
     Every transition's affected attributes are charged to the month of the
-    target commit; all transitions within one month are summed.
+    target commit; all transitions within one month are summed — straight
+    into flat per-kind count rows, with no intermediate per-transition
+    :class:`ChangeBreakdown` lists. Months no change touched share the
+    :data:`~repro.diff.stats.EMPTY_BREAKDOWN` singleton.
     """
-    months = history.pup_months
-    monthly = [0] * months
-    per_month: list[list[ChangeBreakdown]] = [[] for _ in range(months)]
-    for transition in compute_transitions(history, options):
-        monthly[transition.month] += transition.diff.total_affected
-        per_month[transition.month].append(breakdown(transition.diff))
-    breakdowns = tuple(combine_breakdowns(items) for items in per_month)
+    monthly, rows = accumulate_month_counts(
+        history.pup_months, iter_month_kind_counts(history, options))
+    breakdowns = tuple(
+        EMPTY_BREAKDOWN if row is None else ChangeBreakdown(flat=tuple(row))
+        for row in rows)
     return ActivitySeries(monthly=tuple(monthly), breakdowns=breakdowns)

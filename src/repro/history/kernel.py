@@ -1,0 +1,165 @@
+"""Columnar timeline kernels for the heartbeat/metrics stack.
+
+The paper's measurement device — the monthly heartbeat and its
+cumulative-fraction curve — is consumed many times per project: the
+landmark finder, the activity totals, the 20-point progress vector and
+the chart renderers all walk the same cumulative arrays. This module
+computes those arrays **once** per series, in a single fused pass over
+the flat monthly counts, and exposes process-wide counters so the
+execution engine can report kernel activity next to its cache and
+parse-memo statistics (mirroring :mod:`repro.sqlddl.memo`).
+
+The naive per-call implementations the kernels replaced are retained
+below as ``naive_*`` functions. They are the *oracles*: the hypothesis
+suite in ``tests/history/test_kernel_oracle.py`` asserts the kernels
+are exactly equal to them on arbitrary inputs, which is the argument
+that the golden-pinned study outputs cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.diff.changes import KIND_ORDER, N_KINDS
+
+__all__ = [
+    "PrefixView",
+    "accumulate_month_counts",
+    "activity_prefix",
+    "count_reuse",
+    "kernel_counters",
+    "naive_accumulate_month_counts",
+    "naive_combine_flat",
+    "naive_cumulative",
+    "naive_cumulative_fraction",
+    "reset_kernel_counters",
+]
+
+#: Process-global kernel counters: prefix tables built (one per
+#: distinct ActivitySeries that was ever inspected) and memo-served
+#: reuse hits (lookups answered from an already-built table — each one
+#: a full cumulative-array recomputation before this layer existed).
+_SERIES_BUILT = 0
+_REUSE_HITS = 0
+
+
+def kernel_counters() -> tuple[int, int]:
+    """Process-wide (series_built, reuse_hits) of the prefix kernels."""
+    return _SERIES_BUILT, _REUSE_HITS
+
+
+def reset_kernel_counters() -> None:
+    """Zero the process-wide kernel counters (tests, worker deltas)."""
+    global _SERIES_BUILT, _REUSE_HITS
+    _SERIES_BUILT = 0
+    _REUSE_HITS = 0
+
+
+def count_reuse() -> None:
+    """Record one memo-served prefix lookup."""
+    global _REUSE_HITS
+    _REUSE_HITS += 1
+
+
+#: The fused prefix state of one activity series:
+#: ``(cumulative, total, fractions)``.
+PrefixView = tuple[tuple[int, ...], int, tuple[float, ...]]
+
+
+def activity_prefix(monthly: Sequence[int]) -> PrefixView:
+    """Cumulative array, total and cumulative-fraction vector, fused.
+
+    One pass over ``monthly``; the total falls out of the prefix sum,
+    and the fraction vector divides it back in (all zeros for a series
+    with no activity — the convention the golden outputs pin).
+    """
+    global _SERIES_BUILT
+    _SERIES_BUILT += 1
+    cumulative: list[int] = []
+    running = 0
+    for value in monthly:
+        running += value
+        cumulative.append(running)
+    if running == 0:
+        fractions = (0.0,) * len(cumulative)
+    else:
+        fractions = tuple(c / running for c in cumulative)
+    return tuple(cumulative), running, fractions
+
+
+def accumulate_month_counts(
+    months: int,
+    events: Iterable[tuple[int, tuple[int, ...]]],
+) -> tuple[list[int], list[list[int] | None]]:
+    """Accumulate per-transition flat kind counts into monthly rows.
+
+    Args:
+        months: length of the project update period.
+        events: ``(month, flat_counts)`` per transition, flat counts in
+            :data:`~repro.diff.changes.KIND_ORDER` order.
+
+    Returns:
+        ``(monthly, rows)`` — total affected attributes per month, and
+        one flat per-kind count row per month (``None`` for months no
+        event touched, so callers can share an empty singleton).
+    """
+    monthly = [0] * months
+    rows: list[list[int] | None] = [None] * months
+    for month, flat in events:
+        monthly[month] += sum(flat)
+        row = rows[month]
+        if row is None:
+            rows[month] = list(flat)
+        else:
+            for index in range(N_KINDS):
+                row[index] += flat[index]
+    return monthly, rows
+
+
+# ----------------------------------------------------------------------
+# naive reference implementations (oracles for the kernel tests)
+
+
+def naive_cumulative(monthly: Sequence[int]) -> tuple[int, ...]:
+    """Reference cumulative array (the pre-kernel per-call loop)."""
+    out: list[int] = []
+    running = 0
+    for value in monthly:
+        running += value
+        out.append(running)
+    return tuple(out)
+
+
+def naive_cumulative_fraction(monthly: Sequence[int]) -> tuple[float, ...]:
+    """Reference cumulative-fraction vector (recomputes everything)."""
+    total = sum(monthly)
+    if total == 0:
+        return tuple(0.0 for _ in monthly)
+    return tuple(c / total for c in naive_cumulative(monthly))
+
+
+def naive_combine_flat(flats: Iterable[tuple[int, ...]]) -> tuple[int, ...]:
+    """Reference breakdown sum via the old enum-keyed dict churn."""
+    totals = {kind: 0 for kind in KIND_ORDER}
+    for flat in flats:
+        for kind, count in zip(KIND_ORDER, flat):
+            totals[kind] += count
+    return tuple(totals[kind] for kind in KIND_ORDER)
+
+
+def naive_accumulate_month_counts(
+    months: int,
+    events: Iterable[tuple[int, tuple[int, ...]]],
+) -> tuple[list[int], list[tuple[int, ...]]]:
+    """Reference per-month accumulation via intermediate lists.
+
+    Mirrors the pre-kernel ``schema_heartbeat`` shape: collect every
+    transition's counts per month, then dict-combine each month.
+    """
+    monthly = [0] * months
+    per_month: list[list[tuple[int, ...]]] = [[] for _ in range(months)]
+    for month, flat in events:
+        monthly[month] += sum(flat)
+        per_month[month].append(flat)
+    combined = [naive_combine_flat(items) for items in per_month]
+    return monthly, combined

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.diff.changes import SchemaDiff
 from repro.diff.engine import DiffOptions, diff_schemas
@@ -58,3 +59,23 @@ def compute_transitions(history: SchemaHistory,
         previous_schema = version.schema
         previous_version = version
     return transitions
+
+
+def iter_month_kind_counts(history: SchemaHistory,
+                           options: DiffOptions | None = None
+                           ) -> Iterator[tuple[int, tuple[int, ...]]]:
+    """Yield ``(month, flat_kind_counts)`` per consecutive-version diff.
+
+    The columnar feed of :func:`repro.history.heartbeat.schema_heartbeat`:
+    the same diffs :func:`compute_transitions` computes, but without
+    materializing :class:`Transition` records or per-transition
+    breakdown objects. Transitions that affect no attribute are elided —
+    they contribute zero to every monthly count.
+    """
+    previous_schema: Schema = EMPTY_SCHEMA
+    for version in history.versions():
+        diff = diff_schemas(previous_schema, version.schema, options)
+        if diff.changes:
+            yield (history.commit_month(version.commit),
+                   diff.kind_counts_flat())
+        previous_schema = version.schema

@@ -19,6 +19,7 @@ script parser catches those per-statement.
 
 from __future__ import annotations
 
+import re
 import sys
 
 from repro.errors import LexError
@@ -245,6 +246,151 @@ class Lexer:
         return self._text[start:self._pos]
 
 
+# ----------------------------------------------------------------------
+# regex fast path
+#
+# One master regex per dialect lexes the overwhelmingly common token
+# shapes in a single :meth:`re.Pattern.finditer` sweep. The fast path is
+# *conservative*: its character classes are ASCII-only and it knows
+# nothing about dollar quotes, so any input the master pattern cannot
+# cover contiguously (a gap between matches, or a tail it cannot reach)
+# makes :func:`_fast_lex` return None and the whole text re-lexes through
+# the classic :class:`Lexer` — including its exact LexError messages and
+# positions. Anything the fast path *does* return is token-for-token
+# identical to the classic result (see tests/sqlddl/test_lexer_fast.py).
+
+#: Number literal, mirroring the classic `_read_number` quirks:
+#: one dot max, exponent only directly after a digit, `1.` allowed.
+_NUMBER_PATTERN = (
+    r"\d+\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+\.(?!\d)"
+    r"|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+(?:[eE][+-]?\d+)?"
+)
+
+#: Punctuation the master pattern may claim outright. `$` is absent
+#: (possible dollar quote → fallback), `[` is appended per dialect,
+#: `-`/`/` are guarded so comment openers never lex as punctuation —
+#: an *unterminated* block comment must fall through to the classic
+#: LexError rather than tokenize as `/` `*`.
+_PUNCT_SAFE = r"[(),;.=+*<>%!&|^~?:@\]{}\\]|-(?!-)|/(?!\*)"
+_PUNCT_WITH_BRACKET = r"[(),;.=+*<>%!&|^~?:@\[\]{}\\]|-(?!-)|/(?!\*)"
+
+_STRING_ESCAPE = re.compile(r"\\(.)|''", re.S)
+
+
+def _string_unescape(match: re.Match) -> str:
+    backslashed = match.group(1)
+    return backslashed if backslashed is not None else "'"
+
+
+def _build_master_pattern(dialect: Dialect) -> re.Pattern:
+    traits = dialect.traits
+    quotes = traits.identifier_quotes
+    parts = [
+        r"(?P<WS>[ \t\r\n\f\v]+)",
+        r"(?P<LINEC>--[^\n]*)",
+    ]
+    if traits.hash_comments:
+        parts.append(r"(?P<HASHC>#[^\n]*)")
+    parts.append(r"(?P<BLOCKC>/\*(?s:.*?)\*/)")
+    if "`" in quotes:
+        parts.append(r"(?P<BTICK>`[^`]*(?:``[^`]*)*`)")
+    if '"' in quotes:
+        parts.append(r'(?P<DQUOTE>"[^"]*(?:""[^"]*)*")')
+    if "[" in quotes:
+        parts.append(r"(?P<BRACKET>\[[^\]]*\])")
+    parts.append(r"(?P<STRING>'(?:[^'\\]|''|\\(?s:.))*')")
+    parts.append(rf"(?P<NUMBER>{_NUMBER_PATTERN})")
+    parts.append(r"(?P<WORD>[A-Za-z_][A-Za-z0-9_$]*)")
+    # `[` is a quoted-identifier opener in bracket dialects: there an
+    # unterminated `[ident` must fall back (classic raises), so it stays
+    # out of the punctuation class; elsewhere it is plain punctuation.
+    punct = _PUNCT_SAFE if "[" in quotes else _PUNCT_WITH_BRACKET
+    parts.append(rf"(?P<PUNCT>{punct})")
+    return re.compile("|".join(parts))
+
+
+_MASTER_PATTERNS: dict[Dialect, re.Pattern] = {}
+
+
+def _master_pattern(dialect: Dialect) -> re.Pattern:
+    pattern = _MASTER_PATTERNS.get(dialect)
+    if pattern is None:
+        pattern = _MASTER_PATTERNS[dialect] = _build_master_pattern(dialect)
+    return pattern
+
+
+def _fast_lex(text: str, dialect: Dialect) -> list[Token] | None:
+    """Lex ``text`` in one regex sweep, or None for the classic path."""
+    tokens: list[Token] = []
+    append = tokens.append
+    intern = sys.intern
+    word_type = TokenType.WORD
+    punct_type = TokenType.PUNCT
+    pos = 0
+    line = 1
+    last_nl = -1  # index of the last newline seen; col = index - last_nl
+    for match in _master_pattern(dialect).finditer(text):
+        start = match.start()
+        if start != pos:
+            return None
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "WS":
+            raw = match.group()
+            newlines = raw.count("\n")
+            if newlines:
+                line += newlines
+                last_nl = start + raw.rindex("\n")
+        elif kind == "WORD":
+            append(Token(word_type, intern(match.group()),
+                         line, start - last_nl))
+        elif kind == "PUNCT":
+            append(Token(punct_type, match.group(), line, start - last_nl))
+        elif kind == "NUMBER":
+            append(Token(TokenType.NUMBER, match.group(),
+                         line, start - last_nl))
+        elif kind == "STRING":
+            raw = match.group()
+            body = raw[1:-1]
+            if "\\" in body or "''" in body:
+                body = _STRING_ESCAPE.sub(_string_unescape, body)
+            append(Token(TokenType.STRING, body, line, start - last_nl))
+            newlines = raw.count("\n")
+            if newlines:
+                line += newlines
+                last_nl = start + raw.rindex("\n")
+        elif kind in ("BTICK", "DQUOTE", "BRACKET"):
+            raw = match.group()
+            body = raw[1:-1]
+            if kind != "BRACKET":
+                quote = raw[0]
+                doubled = quote + quote
+                if doubled in body:
+                    body = body.replace(doubled, quote)
+            append(Token(TokenType.QUOTED_IDENT, intern(body),
+                         line, start - last_nl))
+            newlines = raw.count("\n")
+            if newlines:
+                line += newlines
+                last_nl = start + raw.rindex("\n")
+        elif kind == "BLOCKC":
+            raw = match.group()
+            newlines = raw.count("\n")
+            if newlines:
+                line += newlines
+                last_nl = start + raw.rindex("\n")
+        # LINEC / HASHC: cannot contain a newline — nothing to track.
+    if pos != len(text):
+        return None
+    append(Token(TokenType.EOF, "", line, pos - last_nl))
+    return tokens
+
+
 def tokenize(text: str, dialect: Dialect = Dialect.GENERIC) -> list[Token]:
     """Tokenize ``text`` and return all tokens including the final EOF."""
-    return Lexer(text, dialect).tokens()
+    tokens = _fast_lex(text, dialect)
+    if tokens is None:
+        return Lexer(text, dialect).tokens()
+    return tokens

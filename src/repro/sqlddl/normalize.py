@@ -49,6 +49,15 @@ _DISPLAY_WIDTH_TYPES = frozenset({
 })
 
 
+# Memo tables: schema histories repeat the same few hundred spellings
+# hundreds of thousands of times, so each function caches its (pure)
+# result keyed on the exact input. Growth is bounded by the corpus
+# vocabulary, which is tiny relative to the call volume.
+_IDENTIFIER_MEMO: dict[str, str] = {}
+_TYPE_NAME_MEMO: dict[str, str] = {}
+_TYPE_MEMO: dict[DataType, DataType] = {}
+
+
 def normalize_identifier(name: str) -> str:
     """Case-fold an identifier for matching across schema versions.
 
@@ -57,13 +66,19 @@ def normalize_identifier(name: str) -> str:
     fold *everything* to lower case for matching purposes. The original
     spelling remains available on the AST nodes.
     """
-    return name.strip().lower()
+    folded = _IDENTIFIER_MEMO.get(name)
+    if folded is None:
+        folded = _IDENTIFIER_MEMO[name] = name.strip().lower()
+    return folded
 
 
 def canonical_type_name(name: str) -> str:
     """Map a type-name spelling to its canonical upper-case form."""
-    upper = " ".join(name.upper().split())
-    return _TYPE_ALIASES.get(upper, upper)
+    canonical = _TYPE_NAME_MEMO.get(name)
+    if canonical is None:
+        upper = " ".join(name.upper().split())
+        canonical = _TYPE_NAME_MEMO[name] = _TYPE_ALIASES.get(upper, upper)
+    return canonical
 
 
 def canonical_type(data_type: DataType | None) -> DataType | None:
@@ -75,15 +90,21 @@ def canonical_type(data_type: DataType | None) -> DataType | None:
     """
     if data_type is None:
         return None
+    memoized = _TYPE_MEMO.get(data_type)
+    if memoized is not None:
+        return memoized
     name = canonical_type_name(data_type.name)
     params = data_type.params
     if name in _DISPLAY_WIDTH_TYPES:
         params = ()
     # BOOLEAN often appears as TINYINT(1) in MySQL dumps.
     if name == "TINYINT" and data_type.params == ("1",):
-        return DataType(name="BOOLEAN")
-    return DataType(name=name, params=params,
-                    unsigned=data_type.unsigned, zerofill=False)
+        canonical = DataType(name="BOOLEAN")
+    else:
+        canonical = DataType(name=name, params=params,
+                             unsigned=data_type.unsigned, zerofill=False)
+    _TYPE_MEMO[data_type] = canonical
+    return canonical
 
 
 def types_equal(left: DataType | None, right: DataType | None) -> bool:

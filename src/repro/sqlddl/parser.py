@@ -22,7 +22,7 @@ from repro.errors import LexError, ParseError
 from repro.sqlddl import ast_nodes as ast
 from repro.sqlddl.dialect import ALL_AUTOINCREMENT_WORDS, Dialect
 from repro.sqlddl.lexer import tokenize
-from repro.sqlddl.tokens import Token, TokenType
+from repro.sqlddl.tokens import EOF_TOKEN, Token, TokenType
 
 # Words that terminate a column flag loop when seen at the top level of a
 # column definition.
@@ -62,6 +62,10 @@ class Parser:
 
     # ------------------------------------------------------------------
     # cursor helpers
+    #
+    # The token list always ends with an EOF token and the cursor never
+    # moves past it (_advance stops there), so offset-0 reads index the
+    # list directly; only lookahead peeks need the bounds check.
 
     def _peek(self, offset: int = 0) -> Token:
         index = self._pos + offset
@@ -70,19 +74,21 @@ class Parser:
         return self._tokens[-1]  # EOF
 
     def _advance(self) -> Token:
-        token = self._peek()
+        token = self._tokens[self._pos]
         if token.type is not TokenType.EOF:
             self._pos += 1
         return token
 
     def _error(self, message: str) -> ParseError:
-        token = self._peek()
+        token = self._tokens[self._pos]
         return ParseError(f"{message}, got {token.describe()}",
                           token.line, token.column)
 
     def _accept_word(self, *words: str) -> Token | None:
-        if self._peek().is_word(*words):
-            return self._advance()
+        token = self._tokens[self._pos]
+        if token.type is TokenType.WORD and token.value.upper() in words:
+            self._pos += 1  # a WORD is never the EOF sentinel
+            return token
         return None
 
     def _expect_word(self, *words: str) -> Token:
@@ -92,8 +98,10 @@ class Parser:
         return token
 
     def _accept_punct(self, char: str) -> Token | None:
-        if self._peek().is_punct(char):
-            return self._advance()
+        token = self._tokens[self._pos]
+        if token.type is TokenType.PUNCT and token.value == char:
+            self._pos += 1  # a PUNCT is never the EOF sentinel
+            return token
         return None
 
     def _expect_punct(self, char: str) -> Token:
@@ -104,7 +112,7 @@ class Parser:
 
     def at_end(self) -> bool:
         """True when only the EOF token (and optional semicolons) remain."""
-        return self._peek().type is TokenType.EOF
+        return self._tokens[self._pos].type is TokenType.EOF
 
     # ------------------------------------------------------------------
     # identifiers and simple lists
@@ -809,15 +817,21 @@ def _split_statements(tokens: list[Token]) -> list[list[Token]]:
     """Split a token list into statements at top-level semicolons."""
     statements: list[list[Token]] = []
     current: list[Token] = []
+    append = current.append
+    eof = TokenType.EOF
+    punct = TokenType.PUNCT
     for token in tokens:
-        if token.type is TokenType.EOF:
+        token_type = token.type
+        if token_type is punct:
+            if token.value == ";":
+                if current:
+                    statements.append(current)
+                    current = []
+                    append = current.append
+                continue
+        elif token_type is eof:
             break
-        if token.is_punct(";"):
-            if current:
-                statements.append(current)
-                current = []
-            continue
-        current.append(token)
+        append(token)
     if current:
         statements.append(current)
     return statements
@@ -868,10 +882,10 @@ def parse_token_group(
         ParseError: when the group fails to parse and ``on_error`` is
             ``"raise"``.
     """
-    raw = _join_tokens([_render_token(t) for t in group])
     if not _is_ddl_statement(group):
+        raw = _join_tokens([_render_token(t) for t in group])
         return None, ast.SkippedStatement(text=raw, reason="non-ddl")
-    parser = Parser(group + [Token(TokenType.EOF, "")], dialect)
+    parser = Parser(group + [EOF_TOKEN], dialect)
     try:
         statement = parser.parse_statement()
         if not parser.at_end():
@@ -879,6 +893,7 @@ def parse_token_group(
     except ParseError as exc:
         if on_error == "raise":
             raise
+        raw = _join_tokens([_render_token(t) for t in group])
         return None, ast.SkippedStatement(
             text=raw, reason="parse-error", detail=str(exc))
     return statement, None

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 
 class TokenType(enum.Enum):
@@ -22,9 +21,15 @@ class TokenType(enum.Enum):
     EOF = "eof"                # end of input sentinel
 
 
-@dataclass(frozen=True, slots=True)
 class Token:
     """One lexical token.
+
+    A hand-written value class rather than a frozen dataclass: the lexer
+    constructs one instance per token over millions of tokens per study,
+    and the plain ``__init__`` avoids the per-field ``object.__setattr__``
+    cost of frozen dataclasses on the hottest allocation site of the
+    pipeline. Equality and hashing follow dataclass semantics over
+    ``(type, value, line, column)``.
 
     Attributes:
         type: lexical category.
@@ -35,10 +40,33 @@ class Token:
         column: 1-based source column.
     """
 
-    type: TokenType
-    value: str
-    line: int = 0
-    column: int = 0
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type: TokenType, value: str,
+                 line: int = 0, column: int = 0):
+        self.type = type
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return (f"Token(type={self.type!r}, value={self.value!r}, "
+                f"line={self.line!r}, column={self.column!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Token:
+            return NotImplemented
+        return (self.type is other.type and self.value == other.value
+                and self.line == other.line and self.column == other.column)
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value, self.line, self.column))
+
+    def __getstate__(self) -> tuple:
+        return (self.type, self.value, self.line, self.column)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.type, self.value, self.line, self.column = state
 
     def upper(self) -> str:
         """Return the token value upper-cased (keyword comparison helper)."""

@@ -46,6 +46,22 @@ class TestSampling:
         assert series.fraction_at(0.0) == 0.5
         assert series.fraction_at(1.0) == 1.0
 
+    def test_fraction_at_boundaries_follow_floor_rule(self):
+        # The documented rule: index = min(floor(p * months), months - 1).
+        series = ActivitySeries((1, 1, 1, 1))
+        # p = 0 floors to month 0.
+        assert series.fraction_at(0.0) == 0.25
+        # p = 1/months lands exactly on the first boundary -> month 1,
+        # not month 0: the floor rule is right-continuous at boundaries.
+        assert series.fraction_at(1 / 4) == 0.5
+        # p = 1 floors to `months`, which clamps to the last month.
+        assert series.fraction_at(1.0) == 1.0
+
+    def test_fraction_at_single_month_series(self):
+        series = ActivitySeries((7,))
+        assert series.fraction_at(0.0) == 1.0
+        assert series.fraction_at(1.0) == 1.0
+
     def test_fraction_at_out_of_range(self):
         series = ActivitySeries((1,))
         with pytest.raises(MetricError):
