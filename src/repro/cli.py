@@ -13,7 +13,10 @@ Subcommands:
 * ``chart`` — render a history's heartbeat as ASCII or SVG.
 
 Every failure funnels through the :class:`~repro.errors.ReproError`
-hierarchy, so :func:`main` has exactly one error exit path.
+hierarchy, so :func:`main` has exactly one error exit path. Exit
+codes: 0 success, 1 error, 2 usage (argparse), 3 partial success — the
+study completed but quarantined at least one project under
+``--on-error skip``/``retry`` (the survivors' results were printed).
 """
 
 from __future__ import annotations
@@ -25,8 +28,13 @@ from pathlib import Path
 from repro import report
 from repro.corpus.dataset import load_corpus, save_corpus
 from repro.corpus.generator import DEFAULT_SEED, generate_corpus
-from repro.engine import StudyConfig
+from repro.engine import FaultPlan, StudyConfig, policy_from_name
 from repro.errors import CliError, ReproError
+
+#: Exit status of a run that completed on survivors only: some
+#: projects were quarantined (distinct from 1 = hard error and from
+#: argparse's 2 = usage error).
+EXIT_PARTIAL = 3
 from repro.history.heartbeat import schema_heartbeat
 from repro.history.repository import (
     load_history_from_directory,
@@ -59,12 +67,20 @@ def _load_history(path: str):
 
 def _study_config(args: argparse.Namespace) -> StudyConfig:
     """Build the run's :class:`StudyConfig` from CLI arguments."""
+    fault_spec = getattr(args, "fault_plan", None)
+    faults = FaultPlan.parse(fault_spec) if fault_spec \
+        else FaultPlan.from_env()
     return StudyConfig(
         seed=getattr(args, "seed", DEFAULT_SEED),
         jobs=getattr(args, "jobs", 1),
         cache_dir=Path(args.cache_dir)
         if getattr(args, "cache_dir", None) else None,
         source=getattr(args, "source", "synthetic:"),
+        error_policy=policy_from_name(
+            getattr(args, "on_error", "fail"),
+            max_retries=getattr(args, "max_retries", 2)),
+        stage_timeout=getattr(args, "stage_timeout", None),
+        faults=faults if faults else None,
     )
 
 
@@ -90,6 +106,29 @@ def _write_text(path: str | Path, text: str, what: str) -> None:
 
 def _print_timings(report_obj) -> None:
     print(report_obj.format_table(), file=sys.stderr)
+
+
+def _fault_exit(report_obj) -> int:
+    """Surface a run's quarantined projects; pick its exit status.
+
+    Prints one line per failure (and the degraded-run note) to stderr
+    and returns :data:`EXIT_PARTIAL` when anything was skipped, 0 for
+    a clean run.
+    """
+    if report_obj.degraded:
+        print("warning: run degraded — worker pool lost, unfinished "
+              "work re-executed serially", file=sys.stderr)
+    if report_obj.quarantined:
+        print(f"warning: {report_obj.quarantined} corrupt cache "
+              f"entr{'y' if report_obj.quarantined == 1 else 'ies'} "
+              f"quarantined and recomputed", file=sys.stderr)
+    if not report_obj.failures:
+        return 0
+    print(f"warning: {len(report_obj.failures)} project(s) skipped "
+          f"(results cover the survivors):", file=sys.stderr)
+    for failure in report_obj.failures:
+        print(f"  {failure.summary()}", file=sys.stderr)
+    return EXIT_PARTIAL
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -120,7 +159,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(("\n\n" + "=" * 72 + "\n\n").join(sections))
     if args.timings:
         _print_timings(timing)
-    return 0
+    return _fault_exit(timing)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -198,23 +237,23 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report.markdown import markdown_report
     config = _study_config(args)
-    results, _ = run_full_study_from_source(
+    results, timing = run_full_study_from_source(
         _resolve_source(args, config), config)
     _write_text(args.output, markdown_report(results), "report")
     print(f"wrote {args.output}")
-    return 0
+    return _fault_exit(timing)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.engine import compute_records_from_source
     from repro.report.export import export_dataset
     config = _study_config(args)
-    records, _ = compute_records_from_source(
+    records, timing = compute_records_from_source(
         _resolve_source(args, config), config)
     paths = export_dataset(records, args.output)
     for path in paths:
         print(f"wrote {path}")
-    return 0
+    return _fault_exit(timing)
 
 
 def _cmd_corpus_export(args: argparse.Namespace) -> int:
@@ -296,7 +335,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "(EDBT 2025 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_execution_flags(p, cache: bool = True):
+    def add_execution_flags(p, cache: bool = True,
+                            faults: bool = True):
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for per-project work "
                             "(default: 1, serial)")
@@ -309,6 +349,33 @@ def build_parser() -> argparse.ArgumentParser:
                            help="content-addressed result cache; "
                                 "re-runs recompute only changed "
                                 "projects (default: no cache)")
+        if faults:
+            p.add_argument("--on-error",
+                           choices=["fail", "skip", "retry"],
+                           default="fail",
+                           help="per-project failure policy: 'fail' "
+                                "aborts on the first bad project "
+                                "(default), 'skip' quarantines it and "
+                                "computes over the survivors (exit "
+                                f"code {EXIT_PARTIAL}), 'retry' also "
+                                "re-attempts transient source "
+                                "failures with backoff first")
+            p.add_argument("--max-retries", type=int, default=2,
+                           metavar="N",
+                           help="extra attempts for transient source "
+                                "failures under --on-error retry "
+                                "(default: 2)")
+            p.add_argument("--stage-timeout", type=float,
+                           metavar="SECONDS",
+                           help="wall-clock budget per in-flight "
+                                "parallel work chunk; overrunning "
+                                "chunks count as failures (default: "
+                                "no timeout)")
+            p.add_argument("--fault-plan", metavar="SPEC",
+                           help="inject deterministic faults for "
+                                "chaos testing, e.g. 'parse@proj-01;"
+                                "source@proj-02*2;cache@~10' "
+                                "(overrides $REPRO_FAULT_PLAN)")
 
     def add_source_flag(p):
         p.add_argument("--source", default="synthetic:", metavar="SPEC",
@@ -322,7 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="generate the synthetic corpus")
     p_generate.add_argument("output", help="output corpus JSON path")
     p_generate.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    add_execution_flags(p_generate, cache=False)
+    add_execution_flags(p_generate, cache=False, faults=False)
     p_generate.set_defaults(func=_cmd_generate)
 
     p_study = sub.add_parser("study", help="run the full study")

@@ -28,6 +28,13 @@ from repro.engine.executor import (
     execute_plan,
     run_stage,
 )
+from repro.engine.faults import (
+    ErrorPolicy,
+    FaultPlan,
+    FaultSpec,
+    ProjectFailure,
+    policy_from_name,
+)
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
 from repro.engine.study_plan import (
     RECORDS_STAGE_VERSION,
@@ -46,6 +53,7 @@ from repro.engine.study_plan import (
     history_record,
     history_record_key,
     run_analyses,
+    safe_source_handles,
     source_handles,
     source_record,
     source_record_key,
@@ -55,8 +63,12 @@ from repro.engine.study_plan import (
 
 __all__ = [
     "MISS",
+    "ErrorPolicy",
     "ExecutionReport",
+    "FaultPlan",
+    "FaultSpec",
     "MapStage",
+    "ProjectFailure",
     "ProgressHook",
     "RECORDS_STAGE_VERSION",
     "ResultCache",
@@ -82,8 +94,10 @@ __all__ = [
     "fingerprint",
     "history_record",
     "history_record_key",
+    "policy_from_name",
     "run_analyses",
     "run_stage",
+    "safe_source_handles",
     "source_handles",
     "source_record",
     "source_record_key",

@@ -1,12 +1,23 @@
-"""Content-addressed result cache.
+"""Content-addressed result cache with a self-healing envelope.
 
 Cache keys are stable SHA-256 fingerprints of *content* — DDL text,
 timestamps, label-scheme boundaries, stage code versions — never of
 object identities, so a key computed in any process on any run
-addresses the same result. Values are pickled to
-``<cache_dir>/objects/<k[:2]>/<key>.pkl``; writes are atomic
-(tmp + rename) and reads treat any corruption as a miss, so a shared
-cache directory survives concurrent studies and killed runs.
+addresses the same result. Values are pickled inside a checksummed
+envelope to ``<cache_dir>/objects/<k[:2]>/<key>.pkl``; writes are
+atomic (tmp + rename).
+
+The envelope is one ASCII header line followed by the pickle payload::
+
+    %repro-cache% <version> <sha256-of-payload>\\n<payload bytes>
+
+Reads verify the magic, version and checksum before unpickling. A
+truncated, scribbled, zero-byte or foreign-version entry is *never* an
+unpickling crash: it counts as a miss, and the bad file is moved aside
+to ``<cache_dir>/corrupt/`` (quarantine) so the next write repopulates
+the slot and the evidence survives for debugging. A shared cache
+directory therefore survives concurrent studies, killed runs and torn
+disk writes.
 """
 
 from __future__ import annotations
@@ -25,8 +36,16 @@ from repro.errors import EngineError
 #: Sentinel returned by :meth:`ResultCache.get` for absent/corrupt keys.
 MISS = object()
 
-#: On-disk layout version; bump on incompatible pickle layout changes.
-CACHE_FORMAT = "repro-cache-v1"
+#: Key-space version; bump on incompatible pickle layout changes.
+#: "v2": checksummed envelope — pre-envelope entries address different
+#: keys entirely instead of being mass-quarantined on first read.
+CACHE_FORMAT = "repro-cache-v2"
+
+#: First token of every entry's header line.
+ENVELOPE_MAGIC = b"%repro-cache%"
+
+#: Envelope layout version; a mismatch quarantines the entry.
+ENVELOPE_VERSION = 1
 
 
 def canonical(value: Any) -> Any:
@@ -65,32 +84,103 @@ def fingerprint(*parts: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def encode_entry(value: Any) -> bytes:
+    """Serialize ``value`` into the checksummed envelope format."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest()
+    header = b"%s %d %s\n" % (ENVELOPE_MAGIC, ENVELOPE_VERSION,
+                              digest.encode("ascii"))
+    return header + payload
+
+
+def decode_entry(data: bytes) -> Any:
+    """Verify and unpickle one envelope.
+
+    Raises:
+        EngineError: for a missing/garbled header, a version mismatch
+            or a checksum failure — callers quarantine and recompute.
+    """
+    newline = data.find(b"\n")
+    if newline < 0 or not data.startswith(ENVELOPE_MAGIC + b" "):
+        raise EngineError("cache entry has no envelope header")
+    fields = data[:newline].split(b" ")
+    if len(fields) != 3:
+        raise EngineError("cache entry header is garbled")
+    try:
+        version = int(fields[1])
+    except ValueError:
+        raise EngineError("cache entry version is not a number") \
+            from None
+    if version != ENVELOPE_VERSION:
+        raise EngineError(
+            f"cache entry envelope version {version} != "
+            f"{ENVELOPE_VERSION}")
+    payload = data[newline + 1:]
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != fields[2]:
+        raise EngineError("cache entry checksum mismatch "
+                          "(truncated or corrupt)")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        # Checksum passed but the pickle is foreign/unloadable (e.g. a
+        # class renamed between versions) — still a quarantine case.
+        raise EngineError(f"cache entry failed to unpickle: {exc}") \
+            from exc
+
+
 class ResultCache:
     """A directory-backed store of pickled stage results.
 
     Args:
         root: cache directory; created lazily on first write.
+
+    Attributes:
+        quarantined: corrupt entries moved to ``<root>/corrupt/`` by
+            this instance (each one was served as a miss).
     """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.pkl"
 
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where quarantined entries end up."""
+        return self.root / "corrupt"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside, best-effort."""
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.corrupt_dir / path.name)
+        except OSError:
+            try:  # can't move: at least get it out of the read path
+                path.unlink(missing_ok=True)
+            except OSError:
+                return  # read-only filesystem: nothing else to do
+        self.quarantined += 1
+
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`MISS`.
 
-        Unreadable or corrupt entries count as misses — the cache is an
-        accelerator, never a correctness dependency.
+        Unreadable or corrupt entries count as misses and are moved to
+        the quarantine directory — the cache is an accelerator, never
+        a correctness dependency, and never a crash.
         """
         path = self._path(key)
         try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
+            data = path.read_bytes()
         except FileNotFoundError:
             return MISS
-        except Exception:  # corrupt/truncated/foreign entry: recompute
+        except OSError:  # unreadable (permissions, I/O error)
+            return MISS
+        try:
+            return decode_entry(data)
+        except EngineError:
+            self._quarantine(path)
             return MISS
 
     def put(self, key: str, value: Any) -> bool:
@@ -104,9 +194,7 @@ class ResultCache:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            with tmp.open("wb") as handle:
-                pickle.dump(value, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.write_bytes(encode_entry(value))
             os.replace(tmp, path)
             return True
         except OSError:
@@ -114,6 +202,24 @@ class ResultCache:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+            return False
+
+    def corrupt_entry(self, key: str) -> bool:
+        """Scribble over ``key``'s stored entry (fault injection).
+
+        Returns:
+            True when an entry existed and was overwritten. Used by
+            the :class:`~repro.engine.faults.FaultPlan` harness and
+            the corruption tests; a subsequent :meth:`get` must treat
+            the entry as a miss and quarantine it.
+        """
+        path = self._path(key)
+        if not path.is_file():
+            return False
+        try:
+            path.write_bytes(b"\x00injected cache corruption\x00")
+            return True
+        except OSError:
             return False
 
     def __contains__(self, key: str) -> bool:

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.corpus.generator import DEFAULT_SEED
+from repro.engine.faults import ErrorPolicy, FaultPlan
 from repro.engine.stage import StageEvent
 from repro.errors import EngineError
 from repro.labels.quantization import DEFAULT_SCHEME, LabelScheme
@@ -41,6 +42,16 @@ class StudyConfig:
             or ``git:PATH``) consumed by
             :func:`repro.sources.source_from_spec`; ``synthetic:``
             resolves its seed from this config.
+        error_policy: what happens when computing one project raises —
+            fail fast (default; today's behaviour), skip it, or retry
+            transient source failures first. See
+            :class:`~repro.engine.faults.ErrorPolicy`.
+        stage_timeout: wall-clock seconds the executor waits for any
+            one in-flight work chunk of a parallel map stage before
+            declaring its items failed (``None``: wait forever; serial
+            execution cannot be preempted and ignores this).
+        faults: optional deterministic fault-injection plan (testing/
+            chaos runs); ``None`` injects nothing.
         progress: optional per-stage event callback (timing/progress
             hooks for CLIs and dashboards); excluded from equality.
     """
@@ -51,6 +62,9 @@ class StudyConfig:
     cache_dir: Path | None = None
     chunk_size: int | None = None
     source: str = "synthetic:"
+    error_policy: ErrorPolicy = ErrorPolicy()
+    stage_timeout: float | None = None
+    faults: FaultPlan | None = None
     progress: ProgressHook | None = field(default=None, compare=False)
 
     def __post_init__(self):
@@ -59,6 +73,9 @@ class StudyConfig:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise EngineError(
                 f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.stage_timeout is not None and self.stage_timeout <= 0:
+            raise EngineError(
+                f"stage_timeout must be > 0, got {self.stage_timeout}")
         if self.cache_dir is not None \
                 and not isinstance(self.cache_dir, Path):
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))

@@ -8,6 +8,17 @@ remainder is computed either serially or fanned out over a
 amortize serialization overhead. Per-stage wall-clock timings and
 cache statistics are collected into an :class:`ExecutionReport` and
 streamed to the config's progress hook.
+
+Map stages are fault-tolerant: every item runs under the config's
+:class:`~repro.engine.faults.ErrorPolicy` (fail fast / skip / retry
+with backoff), each in-flight chunk is bounded by
+``config.stage_timeout``, and a dead worker pool (``BrokenProcessPool``)
+triggers serial re-execution of the unfinished chunks instead of
+killing the run — the run is then marked *degraded*. Quarantined
+projects surface as :class:`~repro.engine.faults.ProjectFailure`
+records on the report; downstream stages see only the survivors,
+exactly as the paper computes over the 151 survivors of its 195 mined
+histories.
 """
 
 from __future__ import annotations
@@ -15,12 +26,21 @@ from __future__ import annotations
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Mapping
 
 from repro.engine.cache import MISS, ResultCache
 from repro.engine.config import StudyConfig
+from repro.engine.faults import (
+    ErrorPolicy,
+    FaultPlan,
+    ProjectFailure,
+    item_id,
+    mark_pool_worker,
+)
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
 from repro.errors import EngineError
 from repro.history.kernel import kernel_counters
@@ -45,6 +65,8 @@ class StageTiming:
             stage (heartbeat kernel; summed over worker processes).
         kernel_reuse: prefix-table lookups served from the per-series
             memo instead of recomputing the cumulative arrays.
+        failures: items quarantined under a skip/retry error policy.
+        retries: extra attempts spent on transient per-item failures.
     """
 
     stage: str
@@ -56,13 +78,29 @@ class StageTiming:
     parse_misses: int = 0
     kernel_series: int = 0
     kernel_reuse: int = 0
+    failures: int = 0
+    retries: int = 0
 
 
 @dataclass
 class ExecutionReport:
-    """Per-stage timings of one plan execution."""
+    """Per-stage timings and fault accounting of one plan execution.
+
+    Attributes:
+        timings: one :class:`StageTiming` per executed stage.
+        failures: every project quarantined during the run, in stage
+            then item order (empty under the default fail-fast policy,
+            which raises instead).
+        degraded: True when the process pool died or timed out and the
+            run fell back to serial re-execution for part of the work.
+        quarantined: corrupt cache entries detected, moved aside and
+            recomputed during the run (cache self-healing).
+    """
 
     timings: list[StageTiming] = field(default_factory=list)
+    failures: list[ProjectFailure] = field(default_factory=list)
+    degraded: bool = False
+    quarantined: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -99,6 +137,11 @@ class ExecutionReport:
         """Heartbeat-kernel memo-served lookups, over all stages."""
         return sum(t.kernel_reuse for t in self.timings)
 
+    @property
+    def retries(self) -> int:
+        """Extra per-item attempts spent, over all stages."""
+        return sum(t.retries for t in self.timings)
+
     def timing(self, stage: str) -> StageTiming:
         """The timing entry of one stage.
 
@@ -124,6 +167,11 @@ class ExecutionReport:
                 return f"{series} built / {reuse} reuse"
             return "-"
 
+        def fault_cell(failures: int, retries: int) -> str:
+            if failures or retries:
+                return f"{failures} fail / {retries} retry"
+            return "-"
+
         rows = []
         for entry in self.timings:
             rows.append([
@@ -133,35 +181,78 @@ class ExecutionReport:
                 hit_miss(entry.cache_hits, entry.cache_misses),
                 hit_miss(entry.parse_hits, entry.parse_misses),
                 built_reuse(entry.kernel_series, entry.kernel_reuse),
+                fault_cell(entry.failures, entry.retries),
             ])
         rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms", "-",
                      hit_miss(self.cache_hits, self.cache_misses),
                      hit_miss(self.parse_hits, self.parse_misses),
-                     built_reuse(self.kernel_series, self.kernel_reuse)])
+                     built_reuse(self.kernel_series, self.kernel_reuse),
+                     fault_cell(len(self.failures), self.retries)])
+        title = "Execution report"
+        if self.degraded:
+            title += " (degraded: pool lost, partial serial fallback)"
         return format_table(
             ["stage", "time", "items", "cache", "parse memo",
-             "heartbeat kernel"], rows,
-            title="Execution report")
+             "heartbeat kernel", "faults"], rows,
+            title=title)
 
 
 def _invoke_map(fn: Callable, transport: Callable | None,
-                extras: tuple, item: Any
-                ) -> tuple[Any, tuple[int, int, int, int]]:
+                extras: tuple, stage_name: str, policy: ErrorPolicy,
+                faults: FaultPlan | None, attempt_base: int, item: Any
+                ) -> tuple[Any, tuple[int, int, int, int], int]:
     """Apply a map stage to one item (module-level: must pickle).
 
-    Returns the (transported) result plus the statement-memo and
-    heartbeat-kernel deltas the call produced, so worker processes can
-    ship their counters back to the parent alongside the payload.
+    Runs the item under the error policy: a capturing policy (skip /
+    retry) turns exceptions into :class:`ProjectFailure` payloads —
+    retrying transient source errors with backoff first — while the
+    fail-fast policy lets them propagate exactly as before the fault
+    layer existed. ``attempt_base`` offsets the attempt number the
+    fault plan sees, so a pool-crash serial re-run counts as a later
+    attempt and injected one-shot faults do not re-fire.
+
+    Returns the (transported) result or failure record, the
+    statement-memo and heartbeat-kernel deltas the call produced (so
+    worker processes can ship their counters back to the parent), and
+    the number of retries spent.
     """
     before_hits, before_misses = parse_counters()
     before_series, before_reuse = kernel_counters()
-    result = fn(item, *extras)
-    if transport is not None:
-        result = transport(result)
+    retries = 0
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            if faults is not None:
+                faults.check(item_id(item), stage_name,
+                             attempt_base + attempt)
+            payload = fn(item, *extras)
+            if transport is not None:
+                payload = transport(payload)
+            break
+        except Exception as exc:
+            if not policy.captures:
+                raise
+            if attempt < policy.attempts_for(exc):
+                retries += 1
+                delay = policy.backoff_seconds(item_id(item), attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            payload = ProjectFailure.from_exception(
+                item_id(item), stage_name, exc, attempts=attempt)
+            break
     after_hits, after_misses = parse_counters()
     after_series, after_reuse = kernel_counters()
-    return result, (after_hits - before_hits, after_misses - before_misses,
-                    after_series - before_series, after_reuse - before_reuse)
+    return (payload,
+            (after_hits - before_hits, after_misses - before_misses,
+             after_series - before_series, after_reuse - before_reuse),
+            retries)
+
+
+def _invoke_chunk(invoke: Callable, items: list) -> list:
+    """Run one pickled chunk of map items in a worker process."""
+    return [invoke(item) for item in items]
 
 
 def _auto_chunk(pending: int, jobs: int) -> int:
@@ -169,17 +260,32 @@ def _auto_chunk(pending: int, jobs: int) -> int:
     return max(1, math.ceil(pending / (jobs * 4)))
 
 
+@dataclass
+class _MapOutcome:
+    """Everything one map-stage execution produced."""
+
+    values: list
+    hits: int
+    misses: int
+    worker_delta: tuple[int, int, int, int]
+    failures: list[ProjectFailure]
+    retries: int
+    degraded: bool
+
+
 def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                    config: StudyConfig,
-                   cache: ResultCache | None
-                   ) -> tuple[list, int, int, tuple[int, int, int, int]]:
-    """Execute one map stage.
+                   cache: ResultCache | None) -> _MapOutcome:
+    """Execute one map stage under the config's error policy.
 
-    Returns ``(results, hits, misses, worker_delta)``; the last element
-    sums the statement-memo (hits, misses) and heartbeat-kernel
-    (series, reuse) counters that ticked in worker processes —
-    invisible to this process's own counters.
+    ``values`` holds only the surviving results, in item order —
+    quarantined items are dropped so downstream stages compute over
+    the survivors. ``worker_delta`` sums the statement-memo and
+    heartbeat-kernel counters that ticked in worker processes
+    (invisible to this process's own counters).
     """
+    policy = config.error_policy
+    faults = config.faults
     results: list[Any] = [None] * len(items)
     pending = list(range(len(items)))
     keys: dict[int, str] = {}
@@ -188,6 +294,9 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
         for index, item in enumerate(items):
             key = stage.cache_key_fn(item, extras, stage.version)
             keys[index] = key
+            if faults is not None and faults.wants_cache_corruption(
+                    item_id(item), stage.name):
+                cache.corrupt_entry(key)
             value = cache.get(key)
             if value is MISS:
                 pending.append(index)
@@ -195,35 +304,128 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                 results[index] = value
     hits = len(items) - len(pending)
 
+    failures: list[ProjectFailure] = []
+    retries = 0
+    degraded = False
     worker_deltas = [0, 0, 0, 0]
+
+    def absorb(index: int, triple: tuple, count_delta: bool,
+               transported: bool) -> None:
+        nonlocal retries
+        payload, delta, item_retries = triple
+        retries += item_retries
+        if count_delta:
+            for slot in range(4):
+                worker_deltas[slot] += delta[slot]
+        results[index] = payload
+        if isinstance(payload, ProjectFailure):
+            failures.append(payload)
+        elif cache is not None and index in keys:
+            stripped = payload
+            if stage.transport_fn is not None and not transported:
+                # Serial path: results stay untransported; shed the
+                # derived caches only for the on-disk copy.
+                stripped = stage.transport_fn(payload)
+            cache.put(keys[index], stripped)
+
     if pending:
         if config.jobs > 1 and len(pending) > 1:
             worker = partial(_invoke_map, stage.fn, stage.transport_fn,
-                             extras)
+                             extras, stage.name, policy, faults, 0)
             chunk = config.chunk_size \
                 or _auto_chunk(len(pending), config.jobs)
             outbound = [items[i] for i in pending]
             if stage.item_transport_fn is not None:
                 outbound = [stage.item_transport_fn(item)
                             for item in outbound]
-            with ProcessPoolExecutor(max_workers=config.jobs) as pool:
-                computed = list(pool.map(worker, outbound,
-                                         chunksize=chunk))
-            for index, (value, delta) in zip(pending, computed):
-                results[index] = value
-                for slot in range(4):
-                    worker_deltas[slot] += delta[slot]
-                if cache is not None and index in keys:
-                    cache.put(keys[index], value)
+            chunks = [list(range(start, min(start + chunk,
+                                            len(pending))))
+                      for start in range(0, len(pending), chunk)]
+            unfinished: list[int] = []
+            abandoned = False
+            broken = False
+            pool = ProcessPoolExecutor(max_workers=config.jobs,
+                                       initializer=mark_pool_worker)
+            try:
+                futures = [
+                    pool.submit(_invoke_chunk, worker,
+                                [outbound[pos] for pos in positions])
+                    for positions in chunks
+                ]
+                for positions, future in zip(chunks, futures):
+                    if broken:
+                        # The pool is dead; harvest chunks that
+                        # finished before the crash, re-run the rest.
+                        if future.done() and not future.cancelled() \
+                                and future.exception() is None:
+                            for pos, triple in zip(positions,
+                                                   future.result()):
+                                absorb(pending[pos], triple, True, True)
+                        else:
+                            unfinished.extend(positions)
+                        continue
+                    try:
+                        triples = future.result(
+                            timeout=config.stage_timeout)
+                    except FuturesTimeout:
+                        degraded = True
+                        if not policy.captures:
+                            abandoned = True
+                            raise EngineError(
+                                f"stage {stage.name!r}: a work chunk "
+                                f"of {len(positions)} items did not "
+                                f"finish within "
+                                f"{config.stage_timeout}s") from None
+                        abandoned = True
+                        for pos in positions:
+                            failure = ProjectFailure(
+                                project=item_id(outbound[pos]),
+                                stage=stage.name,
+                                error_type="TimeoutError",
+                                message=f"work chunk exceeded the "
+                                        f"{config.stage_timeout}s "
+                                        f"stage timeout")
+                            results[pending[pos]] = failure
+                            failures.append(failure)
+                        continue
+                    except BrokenProcessPool:
+                        broken = True
+                        degraded = True
+                        unfinished.extend(positions)
+                        continue
+                    for pos, triple in zip(positions, triples):
+                        absorb(pending[pos], triple, True, True)
+            finally:
+                # A timed-out chunk's worker cannot be interrupted;
+                # abandon the pool rather than blocking on it.
+                pool.shutdown(wait=not abandoned, cancel_futures=True)
+            if unfinished:
+                # Pool-crash recovery: finish in-process, one attempt
+                # later than the pool pass so one-shot injected
+                # crashes do not re-fire.
+                recover = partial(_invoke_map, stage.fn,
+                                  stage.transport_fn, extras,
+                                  stage.name, policy, faults, 1)
+                for pos in unfinished:
+                    absorb(pending[pos], recover(outbound[pos]),
+                           False, True)
         else:
+            invoke = partial(_invoke_map, stage.fn, None, extras,
+                             stage.name, policy, faults, 0)
             for index in pending:
-                value = stage.fn(items[index], *extras)
-                results[index] = value
-                if cache is not None and index in keys:
-                    stripped = value if stage.transport_fn is None \
-                        else stage.transport_fn(value)
-                    cache.put(keys[index], stripped)
-    return results, hits, len(pending), tuple(worker_deltas)
+                absorb(index, invoke(items[index]), False, False)
+
+    if failures and len(failures) == len(items):
+        summary = "; ".join(f.summary() for f in failures[:3])
+        raise EngineError(
+            f"stage {stage.name!r}: all {len(items)} items failed "
+            f"({summary}{', ...' if len(failures) > 3 else ''})")
+    values = [value for value in results
+              if not isinstance(value, ProjectFailure)]
+    return _MapOutcome(values=values, hits=hits, misses=len(pending),
+                       worker_delta=tuple(worker_deltas),
+                       failures=failures, retries=retries,
+                       degraded=degraded)
 
 
 def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
@@ -238,10 +440,12 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
 
     Returns:
         ``(results, report)`` — results maps every input and stage name
-        to its value; the report carries per-stage timings.
+        to its value; the report carries per-stage timings, quarantined
+        :class:`ProjectFailure` records and the degraded-run flag.
 
     Raises:
-        EngineError: for invalid plans (unknown inputs, cycles).
+        EngineError: for invalid plans (unknown inputs, cycles), or —
+            under the fail-fast policy — whatever a stage raised.
     """
     config = config or StudyConfig()
     cache = ResultCache(config.cache_dir) \
@@ -252,14 +456,21 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         config.emit(StageEvent(stage=stage.name, phase="start"))
         started = time.perf_counter()
         local_before = parse_counters() + kernel_counters()
-        hits = misses = 0
+        hits = misses = stage_failures = stage_retries = 0
         worker_delta = (0, 0, 0, 0)
         items: int | None = None
         if isinstance(stage, MapStage):
             source = list(results[stage.inputs[0]])
             extras = tuple(results[name] for name in stage.inputs[1:])
-            value, hits, misses, worker_delta = _run_map_stage(
-                stage, source, extras, config, cache)
+            outcome = _run_map_stage(stage, source, extras, config,
+                                     cache)
+            value = outcome.values
+            hits, misses = outcome.hits, outcome.misses
+            worker_delta = outcome.worker_delta
+            stage_failures = len(outcome.failures)
+            stage_retries = outcome.retries
+            report.failures.extend(outcome.failures)
+            report.degraded = report.degraded or outcome.degraded
             items = len(source)
         else:
             value = stage.fn(*(results[name] for name in stage.inputs))
@@ -275,12 +486,16 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             stage=stage.name, seconds=elapsed, items=items,
             cache_hits=hits, cache_misses=misses,
             parse_hits=parse_hits, parse_misses=parse_misses,
-            kernel_series=kernel_series, kernel_reuse=kernel_reuse))
+            kernel_series=kernel_series, kernel_reuse=kernel_reuse,
+            failures=stage_failures, retries=stage_retries))
         config.emit(StageEvent(
             stage=stage.name, phase="finish", seconds=elapsed,
             items=items or 0, cache_hits=hits, cache_misses=misses,
             parse_hits=parse_hits, parse_misses=parse_misses,
-            kernel_series=kernel_series, kernel_reuse=kernel_reuse))
+            kernel_series=kernel_series, kernel_reuse=kernel_reuse,
+            failures=stage_failures, retries=stage_retries))
+    if cache is not None:
+        report.quarantined = cache.quarantined
     return results, report
 
 

@@ -36,6 +36,10 @@ class StageEvent:
         kernel_reuse: prefix-table lookups served from the per-series
             memo — each one a full cumulative-array recomputation
             before the columnar kernel layer existed.
+        failures: mapped items that could not be computed and were
+            quarantined under a skip/retry error policy.
+        retries: extra attempts spent on transient failures (both the
+            ones that eventually succeeded and the ones that did not).
     """
 
     stage: str
@@ -48,6 +52,8 @@ class StageEvent:
     parse_misses: int = 0
     kernel_series: int = 0
     kernel_reuse: int = 0
+    failures: int = 0
+    retries: int = 0
 
 
 @dataclass(frozen=True)

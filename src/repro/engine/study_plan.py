@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import time
 from typing import Any, Iterable, Sequence
 
 from repro.analysis.activity_relation import compute_activity_relation
@@ -35,6 +36,7 @@ from repro.analysis.stats_tables import (
 from repro.engine.cache import fingerprint
 from repro.engine.config import StudyConfig
 from repro.engine.executor import ExecutionReport, execute_plan
+from repro.engine.faults import ProjectFailure
 from repro.engine.stage import MapStage, Stage, StudyPlan
 from repro.errors import AnalysisError
 from repro.history.repository import SchemaHistory
@@ -461,9 +463,43 @@ def source_handles(source) -> list:
     Listing and fingerprinting stay in the parent process (they are
     cheap by protocol contract); loading does not happen here.
     """
+    handles, _ = safe_source_handles(source, None)
+    return handles
+
+
+def safe_source_handles(source, policy=None
+                        ) -> tuple[list, "list[ProjectFailure]"]:
+    """Handles plus the projects whose fingerprinting failed.
+
+    Fingerprinting runs in the parent, before the map stage — a git
+    invocation can fail right here. Under a capturing error policy the
+    failing project is quarantined (after the policy's retry budget,
+    for transient errors) instead of killing the listing; with no
+    policy, or fail-fast, the exception propagates unchanged.
+    """
     from repro.sources.base import SourceHandle
-    return [SourceHandle(pid=pid, fingerprint=source.fingerprint(pid))
-            for pid in source.project_ids()]
+    handles: list = []
+    failures: list[ProjectFailure] = []
+    for pid in source.project_ids():
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                handles.append(SourceHandle(
+                    pid=pid, fingerprint=source.fingerprint(pid)))
+                break
+            except Exception as exc:
+                if policy is None or not policy.captures:
+                    raise
+                if attempt < policy.attempts_for(exc):
+                    delay = policy.backoff_seconds(pid, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                failures.append(ProjectFailure.from_exception(
+                    pid, "handles", exc, attempts=attempt))
+                break
+    return handles, failures
 
 
 def _legacy_inputs(source) -> list:
@@ -485,11 +521,14 @@ def compute_records_from_source(source,
     if not source.lightweight:
         return compute_records(_legacy_inputs(source), config,
                                source.mode)
+    handles, handle_failures = safe_source_handles(
+        source, config.error_policy)
     results, report = execute_plan(
         build_source_records_plan(),
-        {"handles": source_handles(source), "source": source,
+        {"handles": handles, "source": source,
          "scheme": config.scheme},
         config)
+    report.failures[:0] = handle_failures
     return list(results["records"]), report
 
 
@@ -506,11 +545,13 @@ def execute_study_from_source(source,
     config = config or StudyConfig()
     if not source.lightweight:
         return execute_study(_legacy_inputs(source), config, source.mode)
-    handles = source_handles(source)
+    handles, handle_failures = safe_source_handles(
+        source, config.error_policy)
     if not handles:
         raise AnalysisError("cannot run the study on zero records")
     results, report = execute_plan(
         build_source_study_plan(),
         {"handles": handles, "source": source, "scheme": config.scheme},
         config)
+    report.failures[:0] = handle_failures
     return results["results"], report

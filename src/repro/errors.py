@@ -97,6 +97,26 @@ class SourceError(ReproError):
     Examples: an unknown ``--source`` spec, a corpus directory with a
     missing or version-mismatched manifest, a git extraction failure,
     an unknown project id.
+
+    The hierarchy distinguishes *permanent* from *transient* source
+    failures: a plain :class:`SourceError` means retrying cannot help
+    (bad spec, missing manifest, unknown id), while
+    :class:`TransientSourceError` marks failures that a retry has a
+    real chance of clearing. The engine's ``retry`` error policy acts
+    only on the transient subclass; everything else fails on the first
+    attempt regardless of the retry budget.
+    """
+
+
+class TransientSourceError(SourceError):
+    """A source failure that may succeed if the operation is retried.
+
+    Examples: a ``git`` subprocess exiting non-zero (index locks,
+    transient I/O pressure, a concurrent fetch touching the odb), a
+    network-backed source timing out. Raise this — never the plain
+    :class:`SourceError` — for failure modes where the input itself is
+    not known to be bad, so the ``retry`` policy can tell retryable
+    failures from permanent ones.
     """
 
 

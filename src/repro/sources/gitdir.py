@@ -22,7 +22,7 @@ import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.errors import SourceError
+from repro.errors import LexError, ParseError, SourceError, TransientSourceError
 from repro.history.commit import Commit
 from repro.history.filters import is_noise_name
 from repro.history.repository import SchemaHistory
@@ -39,7 +39,10 @@ def _looks_like_ddl(text: str, dialect: Dialect) -> bool:
     """True when ``text`` parses to at least one CREATE TABLE."""
     try:
         script = parse_script(text, dialect)
-    except Exception:
+    except (LexError, ParseError):
+        # The expected "this file is not DDL" outcomes, per the
+        # errors.py contract; anything else is a programming error
+        # and must propagate.
         return False
     return any(isinstance(stmt, (ast.CreateTable, ast.CreateTableLike))
                for stmt in script.statements)
@@ -67,8 +70,10 @@ class GitDirSource:
         drop_noise: apply the paper's noise-name path filter.
 
     Raises:
-        SourceError: (on first use) when ``root`` is not a git
-            repository or ``git`` itself fails.
+        SourceError: (on first use) when the ``git`` binary is missing.
+        TransientSourceError: when a ``git`` invocation exits non-zero
+            (``root`` not a repository, lock contention, I/O failure) —
+            retryable under the engine's ``retry`` error policy.
     """
 
     mode = "histories"
@@ -92,8 +97,11 @@ class GitDirSource:
         except FileNotFoundError as exc:  # pragma: no cover - no git
             raise SourceError("git executable not found") from exc
         except subprocess.CalledProcessError as exc:
+            # Transient by contract: a non-zero git exit may be a lock,
+            # I/O pressure or a concurrent mutation — the retry policy
+            # is allowed to try again (a missing binary above is not).
             detail = exc.stderr.decode("utf-8", "replace").strip()
-            raise SourceError(
+            raise TransientSourceError(
                 f"git {args[0]} failed in {self.root}: "
                 f"{detail or exc}") from exc
         return done.stdout.decode("utf-8", "replace")

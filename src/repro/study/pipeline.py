@@ -164,7 +164,11 @@ def run_full_study(corpus: Corpus,
 
     The per-project map runs on ``config.jobs`` workers and is served
     from ``config.cache_dir`` when warm; the returned report carries
-    per-stage wall-clock timings and cache statistics.
+    per-stage wall-clock timings and cache statistics. Under a
+    skip/retry ``config.error_policy`` the analyses are computed over
+    the surviving projects — mirroring how the paper computes over the
+    151 survivors of its 195 mined histories — and every quarantined
+    project is listed in ``report.failures``.
 
     Raises:
         AnalysisError: for an empty corpus.
@@ -180,7 +184,8 @@ def run_full_study_from_source(source,
     Lightweight sources (synthetic specs, corpus directories, git
     repositories) fan out to workers as handles and load lazily there;
     in-memory sources take the legacy eager path. Either way the
-    returned pair matches :func:`run_full_study`.
+    returned pair matches :func:`run_full_study`, including the
+    survivors-only semantics of skip/retry error policies.
 
     Raises:
         AnalysisError: for a source with zero projects.

@@ -15,6 +15,12 @@ from repro.engine import (
     fingerprint,
     history_record_key,
 )
+from repro.engine.cache import (
+    ENVELOPE_MAGIC,
+    ENVELOPE_VERSION,
+    decode_entry,
+    encode_entry,
+)
 from repro.errors import EngineError
 from repro.history.commit import Commit
 from repro.history.repository import SchemaHistory
@@ -139,3 +145,97 @@ class TestResultCache:
         assert cache.put(fingerprint("x"), 1) is False
         assert cache.get(fingerprint("x")) is MISS
         assert len(cache) == 0
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        value = {"records": [1, 2, 3], "when": datetime(2024, 1, 1)}
+        assert decode_entry(encode_entry(value)) == value
+
+    def test_header_names_version_and_checksum(self):
+        header = encode_entry("x").split(b"\n", 1)[0]
+        magic, version, digest = header.split(b" ")
+        assert magic == ENVELOPE_MAGIC
+        assert int(version) == ENVELOPE_VERSION
+        assert len(digest) == 64  # sha256 hex
+
+    @pytest.mark.parametrize("data", [
+        b"",
+        b"\x00garbage\x00",
+        b"%repro-cache%",                      # no header newline
+        b"%repro-cache% 1\npayload",           # too few header fields
+        b"%repro-cache% x y\npayload",         # non-numeric version
+    ])
+    def test_garbled_envelopes_rejected(self, data):
+        with pytest.raises(EngineError):
+            decode_entry(data)
+
+    def test_wrong_version_rejected(self):
+        entry = encode_entry(42)
+        header, payload = entry.split(b"\n", 1)
+        fields = header.split(b" ")
+        bumped = b" ".join([fields[0], b"99", fields[2]])
+        with pytest.raises(EngineError):
+            decode_entry(bumped + b"\n" + payload)
+
+    def test_checksum_mismatch_rejected(self):
+        entry = bytearray(encode_entry([1, 2, 3]))
+        entry[-1] ^= 0xFF  # flip one payload byte
+        with pytest.raises(EngineError):
+            decode_entry(bytes(entry))
+
+    def test_unpicklable_payload_rejected(self):
+        # Valid checksum over bytes that are not a pickle at all.
+        import hashlib
+        payload = b"this is not a pickle"
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        entry = ENVELOPE_MAGIC + b" 1 " + digest + b"\n" + payload
+        with pytest.raises(EngineError):
+            decode_entry(entry)
+
+
+class TestCacheSelfHealing:
+    """Every corruption class yields miss + quarantine, never a crash."""
+
+    def corrupted(self, tmp_path, mangle):
+        cache = ResultCache(tmp_path)
+        key = fingerprint("self-healing")
+        cache.put(key, {"payload": list(range(10))})
+        path = cache._path(key)
+        mangle(path)
+        return cache, key, path
+
+    @pytest.mark.parametrize("mangle", [
+        lambda p: p.write_bytes(b""),                       # zero-byte
+        lambda p: p.write_bytes(p.read_bytes()[:-7]),       # truncated
+        lambda p: p.write_bytes(
+            p.read_bytes()[:-1] + b"\xff"),                 # bad checksum
+        lambda p: p.write_bytes(
+            p.read_bytes().replace(b"% 1 ", b"% 9 ", 1)),   # wrong version
+        lambda p: p.write_bytes(b"\x00scribble\x00"),       # no envelope
+    ], ids=["zero-byte", "truncated", "bad-checksum",
+            "wrong-version", "scribbled"])
+    def test_corruption_is_miss_plus_quarantine(self, tmp_path, mangle):
+        cache, key, path = self.corrupted(tmp_path, mangle)
+        assert cache.get(key) is MISS
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (cache.corrupt_dir / path.name).exists()
+
+    def test_repopulation_after_quarantine(self, tmp_path):
+        cache, key, _ = self.corrupted(
+            tmp_path, lambda p: p.write_bytes(b""))
+        assert cache.get(key) is MISS
+        # The warm re-run recomputes and rewrites the slot.
+        assert cache.put(key, "recomputed")
+        assert cache.get(key) == "recomputed"
+        assert cache.quarantined == 1
+
+    def test_corrupt_entry_helper(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = fingerprint("inject")
+        assert cache.corrupt_entry(key) is False  # nothing stored yet
+        cache.put(key, 7)
+        assert cache.corrupt_entry(key) is True
+        assert cache.get(key) is MISS
+        assert cache.quarantined == 1

@@ -75,10 +75,11 @@ class TestHandlesOnlyCrossTheBoundary:
         shipped = []
 
         class SpyPool(executor.ProcessPoolExecutor):
-            def map(self, fn, iterable, **kwargs):
-                items = list(iterable)
-                shipped.extend(items)
-                return super().map(fn, items, **kwargs)
+            def submit(self, fn, *args, **kwargs):
+                # the executor submits _invoke_chunk(invoke, items)
+                if len(args) == 2 and isinstance(args[1], list):
+                    shipped.extend(args[1])
+                return super().submit(fn, *args, **kwargs)
 
         monkeypatch.setattr(executor, "ProcessPoolExecutor", SpyPool)
         compute_records_from_source(source, StudyConfig(jobs=2))
