@@ -345,6 +345,85 @@ def test_perf_incremental_smoke():
     assert hits / (hits + misses) > 0.2
 
 
+def test_perf_warm_session(corpus, tmp_path_factory):
+    """Warm engine session vs. cold run vs. fresh-session disk-warm run.
+
+    The session keeps the worker pool and a hot in-memory cache layer
+    alive across runs, so a re-study inside one session pays neither
+    pool spawns nor disk reads: the records stage is 100% cache hits,
+    every hit served from the hot layer, and zero new pools spawn. A
+    fresh session over the same cache directory sits in between — disk
+    hits, but cold pool and cold hot layer. The ``warm_session_ms``
+    series lands in BENCH_perf_pipeline.json.
+    """
+    from repro.engine import EngineSession, read_ledger
+
+    cache_dir = tmp_path_factory.mktemp("warm-session-cache")
+    config = STUDY_CONFIG.replace(jobs=PARALLEL_JOBS,
+                                  cache_dir=cache_dir)
+
+    def timed(session):
+        _forget_parsed_versions(corpus)
+        started = time.perf_counter()
+        results, timing = run_full_study(corpus, config,
+                                         session=session)
+        return time.perf_counter() - started, results, timing
+
+    with EngineSession(config) as session:
+        cold_s, cold_res, _ = timed(session)
+        spawns_after_cold = session.pool_spawns
+        warm_session_s, warm_res, warm_timing = timed(session)
+
+        assert warm_res.records == cold_res.records
+        stage = warm_timing.timing("records")
+        assert stage.cache_hits == 151
+        assert stage.cache_misses == 0
+        # The headline service-shape numbers: no new pool, all hot.
+        assert session.pool_spawns == spawns_after_cold
+        assert len(session.runs) == 2
+        assert session.runs[1].pool_spawns == 0
+        assert session.runs[1].cache_hit_rate == 1.0
+        assert session.runs[1].hot_hits == 151
+        assert session.runs[0].result_digest == \
+            session.runs[1].result_digest
+        total_spawns = session.pool_spawns
+        warm_hot_hits = session.runs[1].hot_hits
+
+    with EngineSession(config) as fresh:
+        warm_fresh_s, fresh_res, _ = timed(fresh)
+    assert fresh_res.records == cold_res.records
+
+    ledger = read_ledger(cache_dir)
+    assert len(ledger) == 3  # cold + in-session warm + fresh warm
+    assert warm_session_s < cold_s  # hot hits must beat measuring
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    json_path = results_dir / "BENCH_perf_pipeline.json"
+    payload = json.loads(json_path.read_text()) if json_path.exists() else {}
+    payload["warm_session"] = {
+        "cold_session_ms": round(cold_s * 1000, 1),
+        "warm_fresh_ms": round(warm_fresh_s * 1000, 1),
+        "warm_session_ms": round(warm_session_s * 1000, 1),
+        "hot_hits": warm_hot_hits,
+        "pool_spawns": total_spawns,
+        "golden_equivalent": True,
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record("perf_warm_session", "\n".join([
+        f"engine session over 151 projects, jobs={PARALLEL_JOBS} "
+        f"(host: {os.cpu_count()} cpus)",
+        f"  cold run (spawn + compute): {cold_s * 1000:9.1f} ms",
+        f"  fresh session, disk-warm:   {warm_fresh_s * 1000:9.1f} ms   "
+        f"{cold_s / warm_fresh_s:5.2f}x vs cold",
+        f"  same session, hot-warm:     {warm_session_s * 1000:9.1f} ms   "
+        f"{cold_s / warm_session_s:5.2f}x vs cold",
+        f"  warm run: 151/151 hits ({warm_hot_hits} hot), "
+        f"0 new pool spawns, {total_spawns} spawned all session",
+    ]))
+
+
 def test_perf_source_dir_modes(corpus, tmp_path_factory):
     """Engine modes over an on-disk corpus directory (dir: source).
 

@@ -28,7 +28,12 @@ from pathlib import Path
 from repro import report
 from repro.corpus.dataset import load_corpus, save_corpus
 from repro.corpus.generator import DEFAULT_SEED, generate_corpus
-from repro.engine import FaultPlan, StudyConfig, policy_from_name
+from repro.engine import (
+    EngineSession,
+    FaultPlan,
+    StudyConfig,
+    policy_from_name,
+)
 from repro.errors import CliError, ReproError
 
 #: Exit status of a run that completed on survivors only: some
@@ -52,6 +57,21 @@ from repro.sources import (
 from repro.study.pipeline import run_full_study_from_source
 from repro.viz.ascii_chart import ascii_chart
 from repro.viz.svg_chart import svg_chart
+
+
+#: The process-wide engine session: one warm pool + hot cache + ledger
+#: shared by every study-like command this process runs. A second
+#: in-process invocation (the service's shape) is pure cache-hit
+#: latency; the session's atexit guard reaps the pool on interrupt.
+_SESSION: EngineSession | None = None
+
+
+def _process_session() -> EngineSession:
+    """This process's engine session, created on first use."""
+    global _SESSION
+    if _SESSION is None or _SESSION.closed:
+        _SESSION = EngineSession()
+    return _SESSION
 
 
 def _load_history(path: str):
@@ -108,6 +128,26 @@ def _print_timings(report_obj) -> None:
     print(report_obj.format_table(), file=sys.stderr)
 
 
+def _run_study_like(args: argparse.Namespace):
+    """The shared study-execution block of study/report/export.
+
+    Owns the plumbing every study-like command repeats: build the
+    :class:`StudyConfig` from the shared ``--jobs``/``--cache-dir``/
+    ``--on-error`` flags, resolve the history source, run through the
+    process-wide engine session, and print ``--timings`` when asked.
+
+    Returns:
+        ``(results, report)`` from the full study run.
+    """
+    config = _study_config(args)
+    results, timing = run_full_study_from_source(
+        _resolve_source(args, config), config,
+        session=_process_session())
+    if getattr(args, "timings", False):
+        _print_timings(timing)
+    return results, timing
+
+
 def _fault_exit(report_obj) -> int:
     """Surface a run's quarantined projects; pick its exit status.
 
@@ -140,9 +180,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    config = _study_config(args)
-    results, timing = run_full_study_from_source(
-        _resolve_source(args, config), config)
+    results, timing = _run_study_like(args)
     sections = [
         report.render_table1(results),
         report.render_table2(results),
@@ -157,8 +195,6 @@ def _cmd_study(args: argparse.Namespace) -> int:
         report.render_section63(results),
     ]
     print(("\n\n" + "=" * 72 + "\n\n").join(sections))
-    if args.timings:
-        _print_timings(timing)
     return _fault_exit(timing)
 
 
@@ -236,9 +272,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report.markdown import markdown_report
-    config = _study_config(args)
-    results, timing = run_full_study_from_source(
-        _resolve_source(args, config), config)
+    results, timing = _run_study_like(args)
     _write_text(args.output, markdown_report(results), "report")
     print(f"wrote {args.output}")
     return _fault_exit(timing)
@@ -249,7 +283,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.report.export import export_dataset
     config = _study_config(args)
     records, timing = compute_records_from_source(
-        _resolve_source(args, config), config)
+        _resolve_source(args, config), config,
+        session=_process_session())
     paths = export_dataset(records, args.output)
     for path in paths:
         print(f"wrote {path}")

@@ -7,16 +7,22 @@ per-project map in a content-addressed :class:`ResultCache`, and
 reports per-stage timings (:class:`ExecutionReport`). A single
 :class:`StudyConfig` (seed, scheme, jobs, cache dir, progress hook) is
 threaded through the corpus generator, the study pipeline, the CLI and
-the benchmarks.
+the benchmarks. Long-lived runtime state — the persistent worker pool,
+hot-layer caches, the source-handle registry and the run ledger —
+lives in an :class:`EngineSession`; every entry point takes an
+optional ``session=`` and opens a throwaway one otherwise.
 
 Typical use::
 
     from repro.corpus.generator import generate_corpus
-    from repro.engine import StudyConfig, execute_study
+    from repro.engine import EngineSession, StudyConfig, execute_study
 
     config = StudyConfig(jobs=4, cache_dir="~/.cache/repro")
     corpus = generate_corpus(config=config)
-    results, report = execute_study(corpus.projects, config)
+    with EngineSession(config) as session:
+        results, report = execute_study(corpus.projects, config,
+                                        session=session)
+        # ... re-run later: warm pool + hot cache, pure hit latency
     print(report.format_table())
 """
 
@@ -34,6 +40,13 @@ from repro.engine.faults import (
     FaultSpec,
     ProjectFailure,
     policy_from_name,
+)
+from repro.engine.session import (
+    EngineSession,
+    HotResultCache,
+    RunRecord,
+    read_ledger,
+    source_session_key,
 )
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
 from repro.engine.study_plan import (
@@ -63,8 +76,11 @@ from repro.engine.study_plan import (
 
 __all__ = [
     "MISS",
+    "EngineSession",
     "ErrorPolicy",
     "ExecutionReport",
+    "HotResultCache",
+    "RunRecord",
     "FaultPlan",
     "FaultSpec",
     "MapStage",
@@ -95,8 +111,10 @@ __all__ = [
     "history_record",
     "history_record_key",
     "policy_from_name",
+    "read_ledger",
     "run_analyses",
     "run_stage",
+    "source_session_key",
     "safe_source_handles",
     "source_handles",
     "source_record",

@@ -19,27 +19,38 @@ projects surface as :class:`~repro.engine.faults.ProjectFailure`
 records on the report; downstream stages see only the survivors,
 exactly as the paper computes over the 151 survivors of its 195 mined
 histories.
+
+Execution state (pool, cache, ledger) is owned by an
+:class:`~repro.engine.session.EngineSession`: pass one to
+:func:`execute_plan` to keep the pool and the cache's hot layer warm
+across runs; omit it and a throwaway session is opened and closed
+around the call, reproducing the historical one-shot behavior exactly.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from functools import partial
 from typing import Any, Callable, Mapping
 
-from repro.engine.cache import MISS, ResultCache
+from repro.engine.cache import MISS, fingerprint
 from repro.engine.config import StudyConfig
 from repro.engine.faults import (
     ErrorPolicy,
     FaultPlan,
     ProjectFailure,
     item_id,
-    mark_pool_worker,
+)
+from repro.engine.session import (
+    EngineSession,
+    HotResultCache,
+    RunRecord,
+    source_session_key,
 )
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
 from repro.errors import EngineError
@@ -275,7 +286,8 @@ class _MapOutcome:
 
 def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                    config: StudyConfig,
-                   cache: ResultCache | None) -> _MapOutcome:
+                   cache: HotResultCache | None,
+                   session: EngineSession) -> _MapOutcome:
     """Execute one map stage under the config's error policy.
 
     ``values`` holds only the surviving results, in item order —
@@ -283,6 +295,11 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
     the survivors. ``worker_delta`` sums the statement-memo and
     heartbeat-kernel counters that ticked in worker processes
     (invisible to this process's own counters).
+
+    The worker pool comes from (and stays with) ``session``; it is
+    only discarded — never shut down inline — when it breaks or a
+    timed-out chunk forces an abandon, so healthy pools survive the
+    stage and serve the next one warm.
     """
     policy = config.error_policy
     faults = config.faults
@@ -344,14 +361,24 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
             unfinished: list[int] = []
             abandoned = False
             broken = False
-            pool = ProcessPoolExecutor(max_workers=config.jobs,
-                                       initializer=mark_pool_worker)
+            harvested = False
+            futures: list = []
+            pool = session.pool(config.jobs)
             try:
-                futures = [
-                    pool.submit(_invoke_chunk, worker,
-                                [outbound[pos] for pos in positions])
-                    for positions in chunks
-                ]
+                try:
+                    futures = [
+                        pool.submit(_invoke_chunk, worker,
+                                    [outbound[pos] for pos in positions])
+                        for positions in chunks
+                    ]
+                except BrokenProcessPool:
+                    # A reused pool can die while idle between stages;
+                    # treat everything as unfinished (serial fallback).
+                    broken = True
+                    degraded = True
+                    unfinished.extend(
+                        pos for positions in chunks[len(futures):]
+                        for pos in positions)
                 for positions, future in zip(chunks, futures):
                     if broken:
                         # The pool is dead; harvest chunks that
@@ -395,10 +422,20 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                         continue
                     for pos, triple in zip(positions, triples):
                         absorb(pending[pos], triple, True, True)
+                harvested = True
             finally:
-                # A timed-out chunk's worker cannot be interrupted;
-                # abandon the pool rather than blocking on it.
-                pool.shutdown(wait=not abandoned, cancel_futures=True)
+                if broken or abandoned:
+                    # Dead or stuck pools cannot be reused: discard so
+                    # the session respawns a fresh one on next use. A
+                    # timed-out chunk's worker cannot be interrupted —
+                    # abandon it rather than blocking on it.
+                    session.discard_pool(wait=False)
+                elif not harvested:
+                    # A propagating exception (fail-fast item error):
+                    # the pool itself is healthy — cancel what has not
+                    # started and keep it for the next run.
+                    for future in futures:
+                        future.cancel()
             if unfinished:
                 # Pool-crash recovery: finish in-process, one attempt
                 # later than the pool pass so one-shot injected
@@ -428,8 +465,64 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
                        degraded=degraded)
 
 
+def _source_fingerprint(inputs: Mapping[str, Any]) -> str:
+    """A stable content identity of what a plan execution studied.
+
+    Prefers the source's own session key, then the handle fingerprints,
+    then the mapped item ids — each a cheap, already-available proxy
+    for the studied content.
+    """
+    source = inputs.get("source")
+    if source is not None:
+        key = source_session_key(source)
+        if key is not None:
+            return key
+    handles = inputs.get("handles")
+    if handles:
+        return fingerprint("run-handles",
+                           [(h.pid, h.fingerprint) for h in handles])
+    for name in ("projects", "records"):
+        items = inputs.get(name)
+        if items:
+            return fingerprint(f"run-{name}",
+                               [item_id(item) for item in items])
+    return fingerprint("run-inputs", sorted(inputs))
+
+
+def _result_digest(results: Mapping[str, Any]) -> str:
+    """A stable digest of a run's study records (ledger lineage).
+
+    Two executions over the same data and code digest identically —
+    the ledger-level form of the golden-equivalence guarantee. Plans
+    without a ``records`` stage digest their stage names.
+    """
+    records = results.get("records")
+    if records:
+        return fingerprint("run-records", [
+            (item_id(record),
+             getattr(getattr(record, "pattern", None), "value", None),
+             getattr(record, "is_exception", None))
+            for record in records])
+    return fingerprint("run-stages", sorted(results))
+
+
+def _config_summary(config: StudyConfig) -> dict:
+    """The config fields worth keeping in a ledger entry."""
+    return {
+        "seed": config.seed,
+        "jobs": config.jobs,
+        "source": config.source,
+        "cache_dir": str(config.cache_dir)
+        if config.cache_dir is not None else None,
+        "chunk_size": config.chunk_size,
+        "on_error": config.error_policy.mode,
+        "stage_timeout": config.stage_timeout,
+    }
+
+
 def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
-                 config: StudyConfig | None = None
+                 config: StudyConfig | None = None,
+                 session: EngineSession | None = None
                  ) -> tuple[dict[str, Any], ExecutionReport]:
     """Execute every stage of ``plan`` and return all stage results.
 
@@ -437,6 +530,9 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         plan: the stage DAG.
         inputs: initial values available to stages (by name).
         config: execution configuration; defaults to serial/no-cache.
+        session: the engine session owning pool, warm cache and run
+            ledger. ``None`` opens a throwaway session around this one
+            call — identical to the historical per-call behavior.
 
     Returns:
         ``(results, report)`` — results maps every input and stage name
@@ -448,8 +544,16 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             under the fail-fast policy — whatever a stage raised.
     """
     config = config or StudyConfig()
-    cache = ResultCache(config.cache_dir) \
-        if config.cache_dir is not None else None
+    if session is None:
+        with EngineSession(config) as owned:
+            return execute_plan(plan, inputs, config, session=owned)
+    cache = session.cache_for(config.cache_dir)
+    # Session state persists across runs; ledger numbers are deltas.
+    quarantined_before = cache.quarantined if cache is not None else 0
+    hot_before = cache.hot_hits if cache is not None else 0
+    spawns_before = session.pool_spawns
+    started_at = datetime.now(timezone.utc)
+    run_started = time.perf_counter()
     results: dict[str, Any] = dict(inputs)
     report = ExecutionReport()
     for stage in plan.execution_order(tuple(inputs)):
@@ -463,7 +567,7 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             source = list(results[stage.inputs[0]])
             extras = tuple(results[name] for name in stage.inputs[1:])
             outcome = _run_map_stage(stage, source, extras, config,
-                                     cache)
+                                     cache, session)
             value = outcome.values
             hits, misses = outcome.hits, outcome.misses
             worker_delta = outcome.worker_delta
@@ -495,8 +599,49 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             kernel_series=kernel_series, kernel_reuse=kernel_reuse,
             failures=stage_failures, retries=stage_retries))
     if cache is not None:
-        report.quarantined = cache.quarantined
+        report.quarantined = cache.quarantined - quarantined_before
+    session.record_run(RunRecord(
+        run_id=session.next_run_id(),
+        started=started_at.isoformat(),
+        seconds=time.perf_counter() - run_started,
+        source_fingerprint=_source_fingerprint(inputs),
+        config=_config_summary(config),
+        stages=tuple(_timing_dict(t) for t in report.timings),
+        items=sum(t.items or 0 for t in report.timings),
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
+        hot_hits=(cache.hot_hits - hot_before)
+        if cache is not None else 0,
+        parse_hits=report.parse_hits,
+        parse_misses=report.parse_misses,
+        kernel_series=report.kernel_series,
+        kernel_reuse=report.kernel_reuse,
+        failures=tuple(f.summary() for f in report.failures),
+        degraded=report.degraded,
+        quarantined=report.quarantined,
+        retries=report.retries,
+        pool_spawns=session.pool_spawns - spawns_before,
+        result_digest=_result_digest(results),
+    ), config.cache_dir)
     return results, report
+
+
+def _timing_dict(timing: StageTiming) -> dict:
+    """One :class:`StageTiming` as a compact ledger dict."""
+    entry: dict[str, Any] = {
+        "stage": timing.stage,
+        "ms": round(timing.seconds * 1000, 3),
+    }
+    if timing.items is not None:
+        entry["items"] = timing.items
+        entry["cache_hits"] = timing.cache_hits
+        entry["cache_misses"] = timing.cache_misses
+    for name in ("parse_hits", "parse_misses", "kernel_series",
+                 "kernel_reuse", "failures", "retries"):
+        value = getattr(timing, name)
+        if value:
+            entry[name] = value
+    return entry
 
 
 def run_stage(stage: Stage, *args: Any) -> Any:

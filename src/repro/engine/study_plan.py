@@ -406,19 +406,21 @@ def build_source_study_plan() -> StudyPlan:
 
 def compute_records(projects: Iterable[Any],
                     config: StudyConfig | None = None,
-                    source: str = "corpus"
+                    source: str = "corpus",
+                    session=None
                     ) -> tuple[list[StudyRecord], ExecutionReport]:
     """Run the per-project map stage over ``projects``."""
     config = config or StudyConfig()
     results, report = execute_plan(
         build_records_plan(source),
         {"projects": list(projects), "scheme": config.scheme},
-        config)
+        config, session=session)
     return list(results["records"]), report
 
 
 def run_analyses(records: Sequence[StudyRecord],
-                 config: StudyConfig | None = None):
+                 config: StudyConfig | None = None,
+                 session=None):
     """Run every corpus-level analysis over classified records.
 
     Raises:
@@ -427,13 +429,15 @@ def run_analyses(records: Sequence[StudyRecord],
     if not records:
         raise AnalysisError("cannot run the study on zero records")
     results, _ = execute_plan(build_analysis_plan(),
-                              {"records": tuple(records)}, config)
+                              {"records": tuple(records)}, config,
+                              session=session)
     return results["results"]
 
 
 def execute_study(projects: Iterable[Any],
                   config: StudyConfig | None = None,
-                  source: str = "corpus"):
+                  source: str = "corpus",
+                  session=None):
     """Run the whole study DAG: map + analyses, one plan execution.
 
     Returns:
@@ -449,7 +453,7 @@ def execute_study(projects: Iterable[Any],
     results, report = execute_plan(
         build_study_plan(source),
         {"projects": projects, "scheme": config.scheme},
-        config)
+        config, session=session)
     return results["results"], report
 
 
@@ -507,8 +511,21 @@ def _legacy_inputs(source) -> list:
     return [source.load(pid) for pid in source.project_ids()]
 
 
+def _session_handles(source, config: StudyConfig, session):
+    """Handles of ``source`` — via the session's registry when given.
+
+    A session enumerates and fingerprints each source identity once
+    and replays the handle list on re-study; without a session this is
+    a plain :func:`safe_source_handles` call.
+    """
+    if session is not None:
+        return session.handles_for(source, config.error_policy)
+    return safe_source_handles(source, config.error_policy)
+
+
 def compute_records_from_source(source,
-                                config: StudyConfig | None = None
+                                config: StudyConfig | None = None,
+                                session=None
                                 ) -> tuple[list[StudyRecord],
                                            ExecutionReport]:
     """Run the per-project map stage over a history source.
@@ -520,20 +537,20 @@ def compute_records_from_source(source,
     config = config or StudyConfig()
     if not source.lightweight:
         return compute_records(_legacy_inputs(source), config,
-                               source.mode)
-    handles, handle_failures = safe_source_handles(
-        source, config.error_policy)
+                               source.mode, session=session)
+    handles, handle_failures = _session_handles(source, config, session)
     results, report = execute_plan(
         build_source_records_plan(),
         {"handles": handles, "source": source,
          "scheme": config.scheme},
-        config)
+        config, session=session)
     report.failures[:0] = handle_failures
     return list(results["records"]), report
 
 
 def execute_study_from_source(source,
-                              config: StudyConfig | None = None):
+                              config: StudyConfig | None = None,
+                              session=None):
     """Run the whole study DAG over a history source.
 
     Returns:
@@ -544,14 +561,14 @@ def execute_study_from_source(source,
     """
     config = config or StudyConfig()
     if not source.lightweight:
-        return execute_study(_legacy_inputs(source), config, source.mode)
-    handles, handle_failures = safe_source_handles(
-        source, config.error_policy)
+        return execute_study(_legacy_inputs(source), config,
+                             source.mode, session=session)
+    handles, handle_failures = _session_handles(source, config, session)
     if not handles:
         raise AnalysisError("cannot run the study on zero records")
     results, report = execute_plan(
         build_source_study_plan(),
         {"handles": handles, "source": source, "scheme": config.scheme},
-        config)
+        config, session=session)
     report.failures[:0] = handle_failures
     return results["results"], report

@@ -73,6 +73,13 @@ class HistorySource(Protocol):
         lightweight: True when the source itself is a small picklable
             object, letting the engine ship it to workers and fan out
             over :class:`SourceHandle` instead of loaded projects.
+
+    Sources may additionally implement ``identity() -> list`` — a
+    cheap, canonicalizable description of everything that determines
+    their project ids and fingerprints (a seed, a manifest digest, a
+    HEAD sha). An :class:`~repro.engine.session.EngineSession` uses it
+    to enumerate handles once per identity and replay them on
+    re-study; sources without it are simply never registry-cached.
     """
 
     mode: str

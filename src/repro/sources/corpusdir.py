@@ -195,6 +195,22 @@ class CorpusDirSource:
         self._index()
         return int(self._manifest.get("seed", 0))
 
+    def identity(self) -> list:
+        """Content identity for engine-session registries.
+
+        Hashes the manifest file itself — it indexes every project
+        file's SHA-256, so any content change on disk changes this
+        identity and invalidates a session's replayed enumeration.
+        """
+        path = self.root / MANIFEST_NAME
+        try:
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError as exc:
+            raise SourceError(
+                f"not a corpus directory (cannot read {path}): "
+                f"{exc}") from exc
+        return ["dir", CORPUS_DIR_FORMAT, CORPUS_DIR_VERSION, digest]
+
     def project_ids(self) -> tuple[str, ...]:
         return tuple(self._index())
 

@@ -106,6 +106,17 @@ class GitDirSource:
                 f"{detail or exc}") from exc
         return done.stdout.decode("utf-8", "replace")
 
+    def identity(self) -> list:
+        """Content identity for engine-session registries.
+
+        Keyed on HEAD: discovery and per-file history both derive from
+        the commit graph at HEAD, so an unchanged sha means a session
+        may replay its previous enumeration without re-walking git.
+        """
+        head = self._git("rev-parse", "HEAD").strip()
+        return ["git", GIT_SOURCE_VERSION, self.root, head,
+                self.dialect.traits.name, self.glob, self.drop_noise]
+
     def project_ids(self) -> tuple[str, ...]:
         if self._ids is None:
             listing = self._git("ls-files", "-z", "--", self.glob)

@@ -75,6 +75,21 @@ class SyntheticSource:
                 f"unknown project id {pid!r} for synthetic corpus "
                 f"seed {self.seed}") from None
 
+    def identity(self) -> list:
+        """Content identity for engine-session registries.
+
+        Everything that determines the planned corpus — an equal
+        identity guarantees equal project ids and fingerprints, so a
+        session may replay a previous enumeration.
+        """
+        population = None
+        if self.population is not None:
+            population = sorted(
+                (pattern.value, count)
+                for pattern, count in self.population.items())
+        return ["synthetic", GENERATOR_VERSION, self.seed, population,
+                self.with_exceptions, self.with_noise]
+
     def project_ids(self) -> tuple[str, ...]:
         return tuple(self._plan())
 

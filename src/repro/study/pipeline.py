@@ -115,8 +115,8 @@ def _effective_config(config: StudyConfig | None,
 
 def records_from_corpus(corpus: Corpus,
                         scheme: LabelScheme = DEFAULT_SCHEME,
-                        config: StudyConfig | None = None
-                        ) -> list[StudyRecord]:
+                        config: StudyConfig | None = None,
+                        session=None) -> list[StudyRecord]:
     """Measure and label a generated corpus.
 
     The assigned pattern is the generator's ground truth — the synthetic
@@ -129,36 +129,40 @@ def records_from_corpus(corpus: Corpus,
         scheme: quantization boundaries (ignored when ``config`` is
             given — the config's scheme applies).
         config: execution configuration (workers, cache, progress).
+        session: optional :class:`~repro.engine.session.EngineSession`
+            whose warm pool/cache/ledger the run should use.
     """
     records, _ = compute_records_from_source(
         InMemorySource(corpus.projects, mode="corpus"),
-        _effective_config(config, scheme))
+        _effective_config(config, scheme), session=session)
     return records
 
 
 def records_from_histories(histories: Iterable[SchemaHistory],
                            scheme: LabelScheme = DEFAULT_SCHEME,
-                           config: StudyConfig | None = None
-                           ) -> list[StudyRecord]:
+                           config: StudyConfig | None = None,
+                           session=None) -> list[StudyRecord]:
     """Measure, label and *blindly* classify external histories."""
     records, _ = compute_records_from_source(
         InMemorySource(histories, mode="histories"),
-        _effective_config(config, scheme))
+        _effective_config(config, scheme), session=session)
     return records
 
 
 def run_study(records: Sequence[StudyRecord],
-              config: StudyConfig | None = None) -> StudyResults:
+              config: StudyConfig | None = None,
+              session=None) -> StudyResults:
     """Run every analysis of the paper over classified records.
 
     Raises:
         AnalysisError: for an empty record list.
     """
-    return run_analyses(records, config)
+    return run_analyses(records, config, session=session)
 
 
 def run_full_study(corpus: Corpus,
-                   config: StudyConfig | None = None
+                   config: StudyConfig | None = None,
+                   session=None
                    ) -> tuple[StudyResults, ExecutionReport]:
     """Corpus in, complete study out — one engine plan execution.
 
@@ -170,14 +174,21 @@ def run_full_study(corpus: Corpus,
     151 survivors of its 195 mined histories — and every quarantined
     project is listed in ``report.failures``.
 
+    Pass ``session`` (an :class:`~repro.engine.session.EngineSession`)
+    to keep the worker pool, the cache's hot layer and the run ledger
+    warm across repeated studies; without one, each call opens and
+    closes a throwaway session (the historical one-shot behavior).
+
     Raises:
         AnalysisError: for an empty corpus.
     """
-    return execute_study(corpus.projects, config, source="corpus")
+    return execute_study(corpus.projects, config, source="corpus",
+                         session=session)
 
 
 def run_full_study_from_source(source,
-                               config: StudyConfig | None = None
+                               config: StudyConfig | None = None,
+                               session=None
                                ) -> tuple[StudyResults, ExecutionReport]:
     """Any history source in, complete study out.
 
@@ -185,9 +196,10 @@ def run_full_study_from_source(source,
     repositories) fan out to workers as handles and load lazily there;
     in-memory sources take the legacy eager path. Either way the
     returned pair matches :func:`run_full_study`, including the
-    survivors-only semantics of skip/retry error policies.
+    survivors-only semantics of skip/retry error policies and the
+    optional warm ``session``.
 
     Raises:
         AnalysisError: for a source with zero projects.
     """
-    return execute_study_from_source(source, config)
+    return execute_study_from_source(source, config, session=session)

@@ -71,17 +71,18 @@ class TestGoldenEquivalence:
 class TestHandlesOnlyCrossTheBoundary:
     def test_parallel_fanout_ships_handles(self, source, monkeypatch):
         """No project or history is pickled parent → worker."""
-        import repro.engine.executor as executor
+        import repro.engine.session as session_mod
         shipped = []
 
-        class SpyPool(executor.ProcessPoolExecutor):
+        class SpyPool(session_mod.ProcessPoolExecutor):
             def submit(self, fn, *args, **kwargs):
                 # the executor submits _invoke_chunk(invoke, items)
                 if len(args) == 2 and isinstance(args[1], list):
                     shipped.extend(args[1])
                 return super().submit(fn, *args, **kwargs)
 
-        monkeypatch.setattr(executor, "ProcessPoolExecutor", SpyPool)
+        # Pool construction lives in the engine session now.
+        monkeypatch.setattr(session_mod, "ProcessPoolExecutor", SpyPool)
         compute_records_from_source(source, StudyConfig(jobs=2))
         assert len(shipped) == len(source)
         assert all(isinstance(item, SourceHandle) for item in shipped)

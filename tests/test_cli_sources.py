@@ -101,3 +101,30 @@ class TestSingleErrorPath:
         (tmp_path / "empty").mkdir()
         assert main(["classify", str(tmp_path / "empty")]) == 1
         assert "error: no histories found" in capsys.readouterr().err
+
+
+class TestProcessSession:
+    def test_two_invocations_share_one_session(self, tmp_path,
+                                               corpus_json, capsys):
+        """Back-to-back CLI studies reuse the process engine session."""
+        import repro.cli as cli
+        from repro.engine import read_ledger
+
+        cli._SESSION = None  # isolate from earlier in-process runs
+        cdir = tmp_path / "cdir"
+        main(["corpus", "export", str(cdir),
+              "--corpus", str(corpus_json)])
+        cache = tmp_path / "cache"
+        for _ in range(2):
+            assert main(["study", "--source", f"dir:{cdir}",
+                         "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        session = cli._SESSION
+        assert session is not None
+        assert len(session.runs) == 2
+        assert session.runs[1].cache_hit_rate == 1.0
+        assert session.runs[0].result_digest == \
+            session.runs[1].result_digest
+        ledger = read_ledger(cache)
+        assert len(ledger) == 2
+        assert ledger[1]["cache_hit_rate"] == 1.0
