@@ -473,3 +473,164 @@ def test_perf_source_dir_modes(corpus, tmp_path_factory):
     record("perf_source_dir_modes", "\n".join(lines))
     if (os.cpu_count() or 1) >= 2:
         assert parallel_s < serial_s
+
+
+# ----------------------------------------------------------------------
+# streaming scale-out: the 1x/10x/100x projects_scaling curve
+
+
+#: Small-population base corpus the scaling source replicates.
+_SCALE_POPULATION = {Pattern.FLATLINER: 2, Pattern.RADICAL_SIGN: 2,
+                     Pattern.SIESTA: 1}
+
+#: Per-process memo of the base source and its realized projects, so
+#: replicas realize each base project once per worker instead of once
+#: per replica (the replicas exist to scale the *flow*, not the DDL).
+_SCALE_BASE: dict = {}
+
+
+def _scale_base_source():
+    source = _SCALE_BASE.get("source")
+    if source is None:
+        from repro.sources import SyntheticSource
+        source = SyntheticSource(seed=8, population=_SCALE_POPULATION,
+                                 with_exceptions=False)
+        _SCALE_BASE["source"] = source
+    return source
+
+
+class ReplicatedSource:
+    """``copies`` lazy replicas of the small base corpus.
+
+    Every replica is a distinct project id with a distinct fingerprint,
+    so the executor streams, chunks, ships and caches ``copies * 5``
+    independent items — exactly the source→executor→session flow under
+    test — while the DDL realization cost stays amortized per process.
+    Picklable by construction (workers rebuild the memo themselves).
+    """
+
+    mode = "corpus"
+    lightweight = True
+
+    def __init__(self, copies: int):
+        self.copies = copies
+
+    def identity(self):
+        return ["replicated-scale", self.copies, 8]
+
+    def _replica_ids(self):
+        base_ids = _scale_base_source().project_ids()
+        for i in range(self.copies):
+            for pid in base_ids:
+                yield f"{pid}~x{i:05d}"
+
+    def project_ids(self):
+        return tuple(self._replica_ids())
+
+    def iter_handles(self):
+        from repro.sources.base import SourceHandle
+        for pid in self._replica_ids():
+            yield SourceHandle(pid=pid, fingerprint=self.fingerprint(pid))
+
+    def count(self):
+        return self.copies * len(_scale_base_source().project_ids())
+
+    def fingerprint(self, pid):
+        from repro.engine import fingerprint
+        base_pid = pid.rsplit("~x", 1)[0]
+        return fingerprint("replica", pid,
+                           _scale_base_source().fingerprint(base_pid))
+
+    def stratum(self, pid):
+        return pid.rsplit("~x", 1)[0]
+
+    def load(self, pid):
+        base_pid = pid.rsplit("~x", 1)[0]
+        memo = _SCALE_BASE.setdefault("projects", {})
+        project = memo.get(base_pid)
+        if project is None:
+            project = _scale_base_source().load(base_pid)
+            memo[base_pid] = project
+        return project
+
+
+def _handle_side_peak(source) -> int:
+    """Parent-side peak bytes while enumerating every handle."""
+    import tracemalloc
+    from repro.engine import HandleStream
+    tracemalloc.start()
+    try:
+        for _ in HandleStream(source):
+            pass
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def test_perf_projects_scaling():
+    """Wall-clock must grow ~linearly in project count; handle-side
+    memory must not.
+
+    Streams 1x/10x/100x replicas of a 30-project base through the full
+    records map (parallel, no cache — every item computed) and asserts
+    the acceptance bar of the streaming refactor: per-project cost at
+    100x within 1.3x of 10x, and the parent's handle-side peak memory
+    bounded instead of linear. The curve lands in
+    BENCH_perf_pipeline.json as ``projects_scaling``.
+    """
+    from repro.engine import compute_records_from_source
+
+    config = STUDY_CONFIG.replace(jobs=PARALLEL_JOBS)
+    curve = []
+    for label, copies in (("1x", 6), ("10x", 60), ("100x", 600)):
+        source = ReplicatedSource(copies)
+        total = source.count()
+        handle_peak = _handle_side_peak(source)
+        started = time.perf_counter()
+        records, _ = compute_records_from_source(source, config)
+        wall_s = time.perf_counter() - started
+        assert len(records) == total
+        curve.append({
+            "scale": label,
+            "projects": total,
+            "wall_ms": round(wall_s * 1000, 1),
+            "projects_per_sec": round(total / wall_s, 1),
+            "handle_peak_kb": round(handle_peak / 1024, 1),
+        })
+
+    by_scale = {point["scale"]: point for point in curve}
+    per_project_10x = by_scale["10x"]["wall_ms"] / by_scale["10x"]["projects"]
+    per_project_100x = \
+        by_scale["100x"]["wall_ms"] / by_scale["100x"]["projects"]
+    # Near-linear: 100x may not cost more than 1.3x the 10x unit price
+    # (it is usually cheaper — pool spawn and base realization amortize).
+    assert per_project_100x <= 1.3 * per_project_10x
+    # Flat handle-side memory: 10x the projects, not 10x the bytes.
+    assert by_scale["100x"]["handle_peak_kb"] \
+        <= 2 * by_scale["10x"]["handle_peak_kb"] + 256
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    json_path = results_dir / "BENCH_perf_pipeline.json"
+    payload = json.loads(json_path.read_text()) if json_path.exists() else {}
+    payload["projects_scaling"] = {
+        "jobs": PARALLEL_JOBS,
+        "curve": curve,
+        "per_project_ms_10x": round(per_project_10x, 3),
+        "per_project_ms_100x": round(per_project_100x, 3),
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"streaming records map, jobs={PARALLEL_JOBS} "
+             f"(host: {os.cpu_count()} cpus)"]
+    for point in curve:
+        lines.append(
+            f"  {point['scale']:>4} = {point['projects']:5d} projects: "
+            f"{point['wall_ms']:9.1f} ms   "
+            f"{point['projects_per_sec']:7.1f} proj/s   "
+            f"handle peak {point['handle_peak_kb']:7.1f} KiB")
+    lines.append(
+        f"  per-project cost 100x vs 10x: "
+        f"{per_project_100x / per_project_10x:.2f}x (bar: <= 1.30x)")
+    record("perf_projects_scaling", "\n".join(lines))

@@ -50,7 +50,6 @@ from repro.metrics.profile import ProjectProfile
 from repro.patterns.classifier import classify_with_tolerance
 from repro.sources import (
     InMemorySource,
-    export_corpus_dir,
     import_corpus_dir,
     source_from_spec,
 )
@@ -101,6 +100,8 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
             max_retries=getattr(args, "max_retries", 2)),
         stage_timeout=getattr(args, "stage_timeout", None),
         faults=faults if faults else None,
+        sample=getattr(args, "sample", None),
+        stratified=getattr(args, "stratified", False),
     )
 
 
@@ -291,16 +292,56 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return _fault_exit(timing)
 
 
+def _stratified_ids(source, limit: int) -> list[str]:
+    """The first ``limit`` project ids, drawn round-robin across strata.
+
+    The id-level counterpart of
+    :func:`repro.sources.corpusdir.stratified` — same selection, same
+    order, but over a lazy source's plan so nothing is realized.
+    """
+    from repro.sources import source_stratum
+    groups: dict[str, list[str]] = {}
+    for pid in source.project_ids():
+        groups.setdefault(source_stratum(source, pid), []).append(pid)
+    picked: list[str] = []
+    queues = list(groups.values())
+    while queues and len(picked) < limit:
+        for queue in list(queues):
+            if len(picked) >= limit:
+                break
+            picked.append(queue.pop(0))
+            if not queue:
+                queues.remove(queue)
+    return picked
+
+
 def _cmd_corpus_export(args: argparse.Namespace) -> int:
+    from repro.sources import write_corpus_dir
+    from repro.sources.corpusdir import stratified
+    from repro.sources.synthetic import SyntheticSource
     config = _study_config(args)
     if args.corpus:
+        # Replaying a saved JSON corpus: it is already in memory, so
+        # stream straight from its project list.
         corpus = load_corpus(args.corpus)
+        seed = corpus.seed
+        projects = corpus.projects if args.limit is None \
+            else stratified(list(corpus.projects), args.limit)
     else:
-        corpus = generate_corpus(config=config)
-    root = export_corpus_dir(corpus, args.output, limit=args.limit)
-    count = len(corpus) if args.limit is None \
-        else min(args.limit, len(corpus))
-    print(f"wrote {count} projects to {root} (seed {corpus.seed})")
+        # Regenerating: realize projects one at a time off the lazy
+        # synthetic plan so export memory stays O(shard), not
+        # O(corpus).
+        source = SyntheticSource(seed=config.seed)
+        pids = source.project_ids() if args.limit is None \
+            else _stratified_ids(source, args.limit)
+        seed = source.seed
+        projects = (source.load(pid) for pid in pids)
+    written = write_corpus_dir(projects, args.output, seed=seed,
+                               shard_size=args.shard_size)
+    layout = f"{written.shards} shards" if written.shards \
+        else "per-project files"
+    print(f"wrote {written.projects} projects to {written.root} "
+          f"({layout}, seed {seed})")
     return 0
 
 
@@ -419,6 +460,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "directory from 'corpus export') or "
                             "'git:PATH' (DDL files of a checked-out "
                             "git repository); default: synthetic:")
+        p.add_argument("--sample", type=int, metavar="N",
+                       help="run over a deterministic N-project "
+                            "sample of the source (seeded by --seed) "
+                            "instead of the full corpus")
+        p.add_argument("--stratified", action="store_true",
+                       help="draw --sample round-robin across "
+                            "patterns/shards so small samples stay "
+                            "pattern-diverse")
 
     p_generate = sub.add_parser("generate",
                                 help="generate the synthetic corpus")
@@ -452,6 +501,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cx.add_argument("--limit", type=int, metavar="N",
                       help="export only N projects, sampled "
                            "round-robin across patterns")
+    p_cx.add_argument("--shard-size", type=int, metavar="N",
+                      help="write the sharded v2 layout with N "
+                           "projects per shards/NNNN.jsonl file "
+                           "(default: one file per project)")
     p_cx.set_defaults(func=_cmd_corpus_export)
     p_ci = corpus_sub.add_parser(
         "import", help="load a corpus directory back into one JSON file")

@@ -49,6 +49,10 @@ from repro.engine.session import (
     source_session_key,
 )
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
+from repro.engine.stream import (
+    HandleStream,
+    sample_handles,
+)
 from repro.engine.study_plan import (
     RECORDS_STAGE_VERSION,
     bare_history,
@@ -83,6 +87,7 @@ __all__ = [
     "RunRecord",
     "FaultPlan",
     "FaultSpec",
+    "HandleStream",
     "MapStage",
     "ProjectFailure",
     "ProgressHook",
@@ -114,6 +119,7 @@ __all__ = [
     "read_ledger",
     "run_analyses",
     "run_stage",
+    "sample_handles",
     "source_session_key",
     "safe_source_handles",
     "source_handles",

@@ -36,8 +36,17 @@ class StudyConfig:
         cache_dir: directory of the content-addressed result cache;
             ``None`` disables caching.
         chunk_size: items per pickled work chunk sent to a worker;
-            ``None`` picks ``ceil(items / (jobs * 4))`` so pickling
-            overhead amortizes while keeping the pool load-balanced.
+            ``None`` picks ``ceil(items / (jobs * 4))`` when the item
+            count is cheaply known, else a fixed jobs-scaled default
+            (streamed sources of unknown size).
+        sample: study only this many projects of the source, drawn
+            deterministically from the seed; ``None`` studies all.
+            Sampling materializes the (tiny) handle list, never the
+            projects.
+        stratified: draw the sample round-robin across the source's
+            strata (pattern groups) instead of uniformly, so small
+            interactive samples still span every pattern. Requires
+            ``sample``.
         source: history-source spec (``synthetic:[SEED]``, ``dir:PATH``
             or ``git:PATH``) consumed by
             :func:`repro.sources.source_from_spec`; ``synthetic:``
@@ -61,6 +70,8 @@ class StudyConfig:
     jobs: int = 1
     cache_dir: Path | None = None
     chunk_size: int | None = None
+    sample: int | None = None
+    stratified: bool = False
     source: str = "synthetic:"
     error_policy: ErrorPolicy = ErrorPolicy()
     stage_timeout: float | None = None
@@ -73,6 +84,11 @@ class StudyConfig:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise EngineError(
                 f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.sample is not None and self.sample < 1:
+            raise EngineError(
+                f"sample must be >= 1, got {self.sample}")
+        if self.stratified and self.sample is None:
+            raise EngineError("stratified needs a sample size")
         if self.stage_timeout is not None and self.stage_timeout <= 0:
             raise EngineError(
                 f"stage_timeout must be > 0, got {self.stage_timeout}")

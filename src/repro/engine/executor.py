@@ -2,10 +2,14 @@
 
 :func:`execute_plan` walks a :class:`~repro.engine.stage.StudyPlan` in
 topological order. Ordinary stages run in-process; :class:`MapStage`
-items are first served from the content-addressed cache, and the
-remainder is computed either serially or fanned out over a
-``ProcessPoolExecutor`` (``config.jobs``) in pickled chunks sized to
-amortize serialization overhead. Per-stage wall-clock timings and
+input may be any iterable — including a lazily enumerated
+:class:`~repro.engine.stream.HandleStream` — consumed one item at a
+time: each item is served from the content-addressed cache when
+possible, and misses are either computed serially or accumulated into
+pickled chunks fanned out over a ``ProcessPoolExecutor``
+(``config.jobs``) under a bounded in-flight window (~2×jobs chunks
+outstanding; a full window stops the input iterator), so parent-side
+memory stays flat at any corpus size. Per-stage wall-clock timings and
 cache statistics are collected into an :class:`ExecutionReport` and
 streamed to the config's progress hook.
 
@@ -31,6 +35,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -78,6 +83,8 @@ class StageTiming:
             memo instead of recomputing the cumulative arrays.
         failures: items quarantined under a skip/retry error policy.
         retries: extra attempts spent on transient per-item failures.
+        chunk_size: items per pickled work chunk the executor chose
+            (0 for serial execution and non-map stages).
     """
 
     stage: str
@@ -91,6 +98,7 @@ class StageTiming:
     kernel_reuse: int = 0
     failures: int = 0
     retries: int = 0
+    chunk_size: int = 0
 
 
 @dataclass
@@ -189,12 +197,14 @@ class ExecutionReport:
                 entry.stage,
                 f"{entry.seconds * 1000:.1f} ms",
                 "-" if entry.items is None else entry.items,
+                entry.chunk_size or "-",
                 hit_miss(entry.cache_hits, entry.cache_misses),
                 hit_miss(entry.parse_hits, entry.parse_misses),
                 built_reuse(entry.kernel_series, entry.kernel_reuse),
                 fault_cell(entry.failures, entry.retries),
             ])
-        rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms", "-",
+        rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms",
+                     "-", "-",
                      hit_miss(self.cache_hits, self.cache_misses),
                      hit_miss(self.parse_hits, self.parse_misses),
                      built_reuse(self.kernel_series, self.kernel_reuse),
@@ -203,7 +213,7 @@ class ExecutionReport:
         if self.degraded:
             title += " (degraded: pool lost, partial serial fallback)"
         return format_table(
-            ["stage", "time", "items", "cache", "parse memo",
+            ["stage", "time", "items", "chunk", "cache", "parse memo",
              "heartbeat kernel", "faults"], rows,
             title=title)
 
@@ -266,9 +276,38 @@ def _invoke_chunk(invoke: Callable, items: list) -> list:
     return [invoke(item) for item in items]
 
 
-def _auto_chunk(pending: int, jobs: int) -> int:
-    """Items per pickled chunk: ~4 chunks per worker, at least 1."""
-    return max(1, math.ceil(pending / (jobs * 4)))
+#: Chunks allowed in flight per worker — the backpressure bound. The
+#: parent holds at most ``WINDOW_PER_JOB * jobs + 1`` chunks of items
+#: at any moment, however large the source is.
+WINDOW_PER_JOB = 2
+
+
+def _auto_chunk(total: int | None, jobs: int) -> int:
+    """Items per pickled chunk.
+
+    With a known item total: ~4 chunks per worker, so pickling
+    overhead amortizes while the pool stays load-balanced. For
+    unsized streams: a fixed jobs-scaled size — the bounded window
+    keeps every worker fed regardless.
+    """
+    if total is None:
+        return max(1, jobs * 4)
+    return max(1, math.ceil(total / (jobs * 4)))
+
+
+def _count_hint(items: Any) -> int | None:
+    """A cheap item total for chunk sizing, or ``None`` (unsized)."""
+    try:
+        return len(items)
+    except TypeError:
+        pass
+    count = getattr(items, "count", None)
+    if callable(count):
+        try:
+            return count()
+        except Exception:
+            return None
+    return None
 
 
 @dataclass
@@ -276,19 +315,31 @@ class _MapOutcome:
     """Everything one map-stage execution produced."""
 
     values: list
+    count: int
     hits: int
     misses: int
     worker_delta: tuple[int, int, int, int]
     failures: list[ProjectFailure]
     retries: int
     degraded: bool
+    chunk_size: int = 0
 
 
-def _run_map_stage(stage: MapStage, items: list, extras: tuple,
+def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                    config: StudyConfig,
                    cache: HotResultCache | None,
                    session: EngineSession) -> _MapOutcome:
     """Execute one map stage under the config's error policy.
+
+    ``items`` is any iterable — a list or a lazily enumerated
+    :class:`~repro.engine.stream.HandleStream` — consumed exactly
+    once, one item at a time: each item is probed against the cache
+    and, on a miss, accumulated into the current work chunk. At most
+    ``WINDOW_PER_JOB * jobs`` chunks are in flight at once; when the
+    window is full the input iterator is simply not advanced until
+    the oldest chunk is harvested, so peak parent-side memory is
+    bounded by the window whatever the corpus size (results of
+    course still accumulate — they are the stage's output).
 
     ``values`` holds only the surviving results, in item order —
     quarantined items are dropped so downstream stages compute over
@@ -296,35 +347,45 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
     heartbeat-kernel counters that ticked in worker processes
     (invisible to this process's own counters).
 
-    The worker pool comes from (and stays with) ``session``; it is
-    only discarded — never shut down inline — when it breaks or a
-    timed-out chunk forces an abandon, so healthy pools survive the
-    stage and serve the next one warm.
+    The worker pool comes from (and stays with) ``session``, spawned
+    lazily on the first submitted chunk — a fully warm run never
+    touches it. It is only discarded — never shut down inline — when
+    it breaks or a timed-out chunk forces an abandon, so healthy
+    pools survive the stage and serve the next one warm. Fault
+    semantics are unchanged from the eager executor: a capturing
+    policy quarantines a timed-out chunk and keeps harvesting, a
+    ``BrokenProcessPool`` harvests finished chunks and re-runs all
+    unfinished work serially at the next attempt number, and the
+    fail-fast policy propagates.
     """
     policy = config.error_policy
     faults = config.faults
-    results: list[Any] = [None] * len(items)
-    pending = list(range(len(items)))
+    probe_cache = cache is not None and stage.cache_key_fn is not None
+    results: dict[int, Any] = {}
     keys: dict[int, str] = {}
-    if cache is not None and stage.cache_key_fn is not None:
-        pending = []
-        for index, item in enumerate(items):
-            key = stage.cache_key_fn(item, extras, stage.version)
-            keys[index] = key
-            if faults is not None and faults.wants_cache_corruption(
-                    item_id(item), stage.name):
-                cache.corrupt_entry(key)
-            value = cache.get(key)
-            if value is MISS:
-                pending.append(index)
-            else:
-                results[index] = value
-    hits = len(items) - len(pending)
-
     failures: list[ProjectFailure] = []
     retries = 0
     degraded = False
     worker_deltas = [0, 0, 0, 0]
+    total = 0
+    hits = 0
+
+    def probe(index: int, item: Any) -> bool:
+        """Serve ``item`` from cache; True when it still needs work."""
+        nonlocal hits
+        if not probe_cache:
+            return True
+        key = stage.cache_key_fn(item, extras, stage.version)
+        if faults is not None and faults.wants_cache_corruption(
+                item_id(item), stage.name):
+            cache.corrupt_entry(key)
+        value = cache.get(key)
+        if value is MISS:
+            keys[index] = key
+            return True
+        results[index] = value
+        hits += 1
+        return False
 
     def absorb(index: int, triple: tuple, count_delta: bool,
                transported: bool) -> None:
@@ -337,132 +398,164 @@ def _run_map_stage(stage: MapStage, items: list, extras: tuple,
         results[index] = payload
         if isinstance(payload, ProjectFailure):
             failures.append(payload)
-        elif cache is not None and index in keys:
-            stripped = payload
-            if stage.transport_fn is not None and not transported:
-                # Serial path: results stay untransported; shed the
-                # derived caches only for the on-disk copy.
-                stripped = stage.transport_fn(payload)
-            cache.put(keys[index], stripped)
-
-    if pending:
-        if config.jobs > 1 and len(pending) > 1:
-            worker = partial(_invoke_map, stage.fn, stage.transport_fn,
-                             extras, stage.name, policy, faults, 0)
-            chunk = config.chunk_size \
-                or _auto_chunk(len(pending), config.jobs)
-            outbound = [items[i] for i in pending]
-            if stage.item_transport_fn is not None:
-                outbound = [stage.item_transport_fn(item)
-                            for item in outbound]
-            chunks = [list(range(start, min(start + chunk,
-                                            len(pending))))
-                      for start in range(0, len(pending), chunk)]
-            unfinished: list[int] = []
-            abandoned = False
-            broken = False
-            harvested = False
-            futures: list = []
-            pool = session.pool(config.jobs)
-            try:
-                try:
-                    futures = [
-                        pool.submit(_invoke_chunk, worker,
-                                    [outbound[pos] for pos in positions])
-                        for positions in chunks
-                    ]
-                except BrokenProcessPool:
-                    # A reused pool can die while idle between stages;
-                    # treat everything as unfinished (serial fallback).
-                    broken = True
-                    degraded = True
-                    unfinished.extend(
-                        pos for positions in chunks[len(futures):]
-                        for pos in positions)
-                for positions, future in zip(chunks, futures):
-                    if broken:
-                        # The pool is dead; harvest chunks that
-                        # finished before the crash, re-run the rest.
-                        if future.done() and not future.cancelled() \
-                                and future.exception() is None:
-                            for pos, triple in zip(positions,
-                                                   future.result()):
-                                absorb(pending[pos], triple, True, True)
-                        else:
-                            unfinished.extend(positions)
-                        continue
-                    try:
-                        triples = future.result(
-                            timeout=config.stage_timeout)
-                    except FuturesTimeout:
-                        degraded = True
-                        if not policy.captures:
-                            abandoned = True
-                            raise EngineError(
-                                f"stage {stage.name!r}: a work chunk "
-                                f"of {len(positions)} items did not "
-                                f"finish within "
-                                f"{config.stage_timeout}s") from None
-                        abandoned = True
-                        for pos in positions:
-                            failure = ProjectFailure(
-                                project=item_id(outbound[pos]),
-                                stage=stage.name,
-                                error_type="TimeoutError",
-                                message=f"work chunk exceeded the "
-                                        f"{config.stage_timeout}s "
-                                        f"stage timeout")
-                            results[pending[pos]] = failure
-                            failures.append(failure)
-                        continue
-                    except BrokenProcessPool:
-                        broken = True
-                        degraded = True
-                        unfinished.extend(positions)
-                        continue
-                    for pos, triple in zip(positions, triples):
-                        absorb(pending[pos], triple, True, True)
-                harvested = True
-            finally:
-                if broken or abandoned:
-                    # Dead or stuck pools cannot be reused: discard so
-                    # the session respawns a fresh one on next use. A
-                    # timed-out chunk's worker cannot be interrupted —
-                    # abandon it rather than blocking on it.
-                    session.discard_pool(wait=False)
-                elif not harvested:
-                    # A propagating exception (fail-fast item error):
-                    # the pool itself is healthy — cancel what has not
-                    # started and keep it for the next run.
-                    for future in futures:
-                        future.cancel()
-            if unfinished:
-                # Pool-crash recovery: finish in-process, one attempt
-                # later than the pool pass so one-shot injected
-                # crashes do not re-fire.
-                recover = partial(_invoke_map, stage.fn,
-                                  stage.transport_fn, extras,
-                                  stage.name, policy, faults, 1)
-                for pos in unfinished:
-                    absorb(pending[pos], recover(outbound[pos]),
-                           False, True)
         else:
-            invoke = partial(_invoke_map, stage.fn, None, extras,
-                             stage.name, policy, faults, 0)
-            for index in pending:
-                absorb(index, invoke(items[index]), False, False)
+            key = keys.pop(index, None)
+            if key is not None:
+                stripped = payload
+                if stage.transport_fn is not None and not transported:
+                    # Serial path: results stay untransported; shed
+                    # the derived caches only for the on-disk copy.
+                    stripped = stage.transport_fn(payload)
+                cache.put(key, stripped)
 
-    if failures and len(failures) == len(items):
+    chosen_chunk = 0
+    if config.jobs > 1:
+        chunk = config.chunk_size \
+            or _auto_chunk(_count_hint(items), config.jobs)
+        chosen_chunk = chunk
+        window = WINDOW_PER_JOB * config.jobs
+        worker = partial(_invoke_map, stage.fn, stage.transport_fn,
+                         extras, stage.name, policy, faults, 0)
+        pool = None
+        inflight: deque[tuple[list[int], list, Any]] = deque()
+        backlog: list[tuple[int, Any]] = []
+        buffer: list[tuple[int, Any]] = []
+        broken = False
+        abandoned = False
+        harvested = False
+
+        def submit_buffer() -> None:
+            """Ship the accumulated chunk, or backlog it (dead pool)."""
+            nonlocal pool, broken, degraded
+            if not buffer:
+                return
+            positions = [index for index, _ in buffer]
+            outbound = [item for _, item in buffer]
+            buffer.clear()
+            if broken or abandoned:
+                backlog.extend(zip(positions, outbound))
+                return
+            try:
+                if pool is None:
+                    pool = session.pool(config.jobs)
+                future = pool.submit(_invoke_chunk, worker, outbound)
+            except BrokenProcessPool:
+                # A reused pool can die while idle between stages;
+                # backlog this chunk, then triage what was in flight.
+                broken = True
+                degraded = True
+                backlog.extend(zip(positions, outbound))
+                while inflight:
+                    harvest_oldest()
+                return
+            inflight.append((positions, outbound, future))
+
+        def harvest_oldest() -> None:
+            """Absorb the oldest in-flight chunk (FIFO, as submitted)."""
+            nonlocal broken, abandoned, degraded
+            positions, outbound, future = inflight.popleft()
+            if broken:
+                # The pool is dead; harvest chunks that finished
+                # before the crash, re-run the rest serially.
+                if future.done() and not future.cancelled() \
+                        and future.exception() is None:
+                    for index, triple in zip(positions,
+                                             future.result()):
+                        absorb(index, triple, True, True)
+                else:
+                    backlog.extend(zip(positions, outbound))
+                return
+            try:
+                triples = future.result(timeout=config.stage_timeout)
+            except FuturesTimeout:
+                degraded = True
+                abandoned = True
+                if not policy.captures:
+                    raise EngineError(
+                        f"stage {stage.name!r}: a work chunk of "
+                        f"{len(positions)} items did not finish "
+                        f"within {config.stage_timeout}s") from None
+                for index, item in zip(positions, outbound):
+                    failure = ProjectFailure(
+                        project=item_id(item),
+                        stage=stage.name,
+                        error_type="TimeoutError",
+                        message=f"work chunk exceeded the "
+                                f"{config.stage_timeout}s "
+                                f"stage timeout")
+                    results[index] = failure
+                    failures.append(failure)
+                return
+            except BrokenProcessPool:
+                broken = True
+                degraded = True
+                backlog.extend(zip(positions, outbound))
+                return
+            for index, triple in zip(positions, triples):
+                absorb(index, triple, True, True)
+
+        try:
+            for item in items:
+                index = total
+                total += 1
+                if not probe(index, item):
+                    continue
+                if stage.item_transport_fn is not None:
+                    item = stage.item_transport_fn(item)
+                buffer.append((index, item))
+                if len(buffer) >= chunk:
+                    submit_buffer()
+                    # Backpressure: a full window stops the iterator
+                    # until the oldest chunk comes home.
+                    while len(inflight) >= window:
+                        harvest_oldest()
+            submit_buffer()
+            while inflight:
+                harvest_oldest()
+            harvested = True
+        finally:
+            if broken or abandoned:
+                # Dead or stuck pools cannot be reused: discard so
+                # the session respawns a fresh one on next use. A
+                # timed-out chunk's worker cannot be interrupted —
+                # abandon it rather than blocking on it.
+                session.discard_pool(wait=False)
+            elif not harvested:
+                # A propagating exception (fail-fast item error):
+                # the pool itself is healthy — cancel what has not
+                # started and keep it for the next run.
+                for _, _, future in inflight:
+                    future.cancel()
+        if backlog:
+            # Pool-crash / abandon recovery: finish in-process, one
+            # attempt later than the pool pass so one-shot injected
+            # crashes do not re-fire.
+            recover = partial(_invoke_map, stage.fn,
+                              stage.transport_fn, extras,
+                              stage.name, policy, faults, 1)
+            for index, item in backlog:
+                absorb(index, recover(item), False, True)
+    else:
+        invoke = partial(_invoke_map, stage.fn, None, extras,
+                         stage.name, policy, faults, 0)
+        for item in items:
+            index = total
+            total += 1
+            if probe(index, item):
+                absorb(index, invoke(item), False, False)
+
+    if failures and len(failures) == total:
         summary = "; ".join(f.summary() for f in failures[:3])
         raise EngineError(
-            f"stage {stage.name!r}: all {len(items)} items failed "
+            f"stage {stage.name!r}: all {total} items failed "
             f"({summary}{', ...' if len(failures) > 3 else ''})")
-    values = [value for value in results
-              if not isinstance(value, ProjectFailure)]
-    return _MapOutcome(values=values, hits=hits, misses=len(pending),
+    values = [results[index] for index in range(total)
+              if not isinstance(results[index], ProjectFailure)]
+    return _MapOutcome(values=values, count=total, hits=hits,
+                       misses=total - hits,
                        worker_delta=tuple(worker_deltas),
                        failures=failures, retries=retries,
-                       degraded=degraded)
+                       degraded=degraded, chunk_size=chosen_chunk)
 
 
 def _source_fingerprint(inputs: Mapping[str, Any]) -> str:
@@ -478,9 +571,16 @@ def _source_fingerprint(inputs: Mapping[str, Any]) -> str:
         if key is not None:
             return key
     handles = inputs.get("handles")
-    if handles:
-        return fingerprint("run-handles",
-                           [(h.pid, h.fingerprint) for h in handles])
+    if handles is not None:
+        # A consumed HandleStream cannot be re-iterated; its running
+        # digest over every (pid, fingerprint) pair stands in.
+        stream_digest = getattr(handles, "stream_digest", None)
+        if stream_digest is not None:
+            return stream_digest()
+        if handles:
+            return fingerprint("run-handles",
+                               [(h.pid, h.fingerprint)
+                                for h in handles])
     for name in ("projects", "records"):
         items = inputs.get(name)
         if items:
@@ -515,6 +615,8 @@ def _config_summary(config: StudyConfig) -> dict:
         "cache_dir": str(config.cache_dir)
         if config.cache_dir is not None else None,
         "chunk_size": config.chunk_size,
+        "sample": config.sample,
+        "stratified": config.stratified,
         "on_error": config.error_policy.mode,
         "stage_timeout": config.stage_timeout,
     }
@@ -563,10 +665,14 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         hits = misses = stage_failures = stage_retries = 0
         worker_delta = (0, 0, 0, 0)
         items: int | None = None
+        chunk_size = 0
         if isinstance(stage, MapStage):
-            source = list(results[stage.inputs[0]])
+            # The first input may be a lazily enumerated stream — it
+            # is handed to the map stage as-is and consumed exactly
+            # once, never materialized here.
+            feed = results[stage.inputs[0]]
             extras = tuple(results[name] for name in stage.inputs[1:])
-            outcome = _run_map_stage(stage, source, extras, config,
+            outcome = _run_map_stage(stage, feed, extras, config,
                                      cache, session)
             value = outcome.values
             hits, misses = outcome.hits, outcome.misses
@@ -575,7 +681,8 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             stage_retries = outcome.retries
             report.failures.extend(outcome.failures)
             report.degraded = report.degraded or outcome.degraded
-            items = len(source)
+            items = outcome.count
+            chunk_size = outcome.chunk_size
         else:
             value = stage.fn(*(results[name] for name in stage.inputs))
         elapsed = time.perf_counter() - started
@@ -591,13 +698,15 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             cache_hits=hits, cache_misses=misses,
             parse_hits=parse_hits, parse_misses=parse_misses,
             kernel_series=kernel_series, kernel_reuse=kernel_reuse,
-            failures=stage_failures, retries=stage_retries))
+            failures=stage_failures, retries=stage_retries,
+            chunk_size=chunk_size))
         config.emit(StageEvent(
             stage=stage.name, phase="finish", seconds=elapsed,
             items=items or 0, cache_hits=hits, cache_misses=misses,
             parse_hits=parse_hits, parse_misses=parse_misses,
             kernel_series=kernel_series, kernel_reuse=kernel_reuse,
-            failures=stage_failures, retries=stage_retries))
+            failures=stage_failures, retries=stage_retries,
+            chunk_size=chunk_size))
     if cache is not None:
         report.quarantined = cache.quarantined - quarantined_before
     session.record_run(RunRecord(
@@ -637,7 +746,7 @@ def _timing_dict(timing: StageTiming) -> dict:
         entry["cache_hits"] = timing.cache_hits
         entry["cache_misses"] = timing.cache_misses
     for name in ("parse_hits", "parse_misses", "kernel_series",
-                 "kernel_reuse", "failures", "retries"):
+                 "kernel_reuse", "failures", "retries", "chunk_size"):
         value = getattr(timing, name)
         if value:
             entry[name] = value

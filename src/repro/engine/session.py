@@ -290,6 +290,7 @@ class EngineSession:
         self._pool_jobs = 0
         self._caches: dict[Path, HotResultCache] = {}
         self._handles: dict[str, tuple[list, list]] = {}
+        self._shard_handles: dict[str, list] = {}
         self._closed = False
         _live_sessions.add(self)
 
@@ -313,6 +314,7 @@ class EngineSession:
         self._shutdown_pool(wait=True, cancel=True)
         self._caches.clear()
         self._handles.clear()
+        self._shard_handles.clear()
         _live_sessions.discard(self)
 
     def __enter__(self) -> "EngineSession":
@@ -411,6 +413,43 @@ class EngineSession:
         if key is not None and not failures:
             self._handles[key] = (list(handles), list(failures))
         return handles, failures
+
+    def replay_handles(self, key: str | None
+                       ) -> tuple[list, list] | None:
+        """A previous enumeration of source identity ``key``, if any.
+
+        Streaming counterpart of :meth:`handles_for`: the
+        :class:`~repro.engine.stream.HandleStream` replays this list
+        instead of re-walking the source. ``None`` (unknown identity,
+        or an identity-less source) means enumerate live.
+        """
+        if key is None:
+            return None
+        memo = self._handles.get(key)
+        if memo is None:
+            return None
+        handles, failures = memo
+        return list(handles), list(failures)
+
+    def remember_handles(self, key: str | None, handles: list,
+                         failures: list) -> None:
+        """Register a clean, fully consumed enumeration for replay."""
+        if key is not None and not failures:
+            self._handles[key] = (list(handles), list(failures))
+
+    def replay_shard(self, shard_key: str) -> list | None:
+        """The memoized handles of one corpus shard, or ``None``.
+
+        Shard keys fold in the shard's content hash (see
+        :meth:`~repro.sources.corpusdir.CorpusDirSource.iter_handle_shards`),
+        so replay is exactly as valid as the bytes are unchanged.
+        """
+        handles = self._shard_handles.get(shard_key)
+        return list(handles) if handles is not None else None
+
+    def remember_shard(self, shard_key: str, handles: list) -> None:
+        """Memoize one shard's enumerated handles for this session."""
+        self._shard_handles[shard_key] = list(handles)
 
     # -- run ledger ----------------------------------------------------
 

@@ -40,6 +40,8 @@ class StageEvent:
             quarantined under a skip/retry error policy.
         retries: extra attempts spent on transient failures (both the
             ones that eventually succeeded and the ones that did not).
+        chunk_size: items per pickled work chunk the executor chose
+            for this stage (0 for serial or non-map stages).
     """
 
     stage: str
@@ -54,6 +56,7 @@ class StageEvent:
     kernel_reuse: int = 0
     failures: int = 0
     retries: int = 0
+    chunk_size: int = 0
 
 
 @dataclass(frozen=True)

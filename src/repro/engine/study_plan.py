@@ -511,16 +511,23 @@ def _legacy_inputs(source) -> list:
     return [source.load(pid) for pid in source.project_ids()]
 
 
-def _session_handles(source, config: StudyConfig, session):
-    """Handles of ``source`` — via the session's registry when given.
+def _handle_feed(source, config: StudyConfig, session):
+    """The map-stage feed of a lightweight source.
 
-    A session enumerates and fingerprints each source identity once
-    and replays the handle list on re-study; without a session this is
-    a plain :func:`safe_source_handles` call.
+    Returns ``(feed, stream)``: the feed is the lazily enumerated
+    :class:`~repro.engine.stream.HandleStream` itself (the executor
+    pulls it under its bounded window), or — under ``config.sample`` —
+    the deterministic sampled handle list drawn from it. The stream
+    is returned alongside because its quarantined fingerprint
+    failures are only complete once the feed has been consumed.
     """
-    if session is not None:
-        return session.handles_for(source, config.error_policy)
-    return safe_source_handles(source, config.error_policy)
+    from repro.engine.stream import HandleStream, sample_handles
+    stream = HandleStream(source, config.error_policy, session)
+    if config.sample is None:
+        return stream, stream
+    feed = sample_handles(stream, config.sample, config.seed,
+                          config.stratified, source=source)
+    return feed, stream
 
 
 def compute_records_from_source(source,
@@ -530,21 +537,23 @@ def compute_records_from_source(source,
                                            ExecutionReport]:
     """Run the per-project map stage over a history source.
 
-    Lightweight sources fan out as handles (workers load); others fall
-    back to the item-based plan — same results, and the legacy cache
-    keys keep working for callers that adapt in-memory objects.
+    Lightweight sources fan out as a streamed handle feed (workers
+    load; the parent never materializes the handle list unless
+    sampling); others fall back to the item-based plan — same
+    results, and the legacy cache keys keep working for callers that
+    adapt in-memory objects.
     """
     config = config or StudyConfig()
     if not source.lightweight:
         return compute_records(_legacy_inputs(source), config,
                                source.mode, session=session)
-    handles, handle_failures = _session_handles(source, config, session)
+    feed, stream = _handle_feed(source, config, session)
     results, report = execute_plan(
         build_source_records_plan(),
-        {"handles": handles, "source": source,
+        {"handles": feed, "source": source,
          "scheme": config.scheme},
         config, session=session)
-    report.failures[:0] = handle_failures
+    report.failures[:0] = stream.failures
     return list(results["records"]), report
 
 
@@ -563,12 +572,13 @@ def execute_study_from_source(source,
     if not source.lightweight:
         return execute_study(_legacy_inputs(source), config,
                              source.mode, session=session)
-    handles, handle_failures = _session_handles(source, config, session)
-    if not handles:
+    from repro.sources.base import source_count
+    if source_count(source) == 0:
         raise AnalysisError("cannot run the study on zero records")
+    feed, stream = _handle_feed(source, config, session)
     results, report = execute_plan(
         build_source_study_plan(),
-        {"handles": handles, "source": source, "scheme": config.scheme},
+        {"handles": feed, "source": source, "scheme": config.scheme},
         config, session=session)
-    report.failures[:0] = handle_failures
+    report.failures[:0] = stream.failures
     return results["results"], report

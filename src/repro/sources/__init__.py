@@ -41,13 +41,20 @@ from repro.sources.base import (
     InMemorySource,
     SourceHandle,
     check_mode,
+    iter_source_handles,
+    source_count,
+    source_stratum,
 )
 from repro.sources.corpusdir import (
     CORPUS_DIR_FORMAT,
     CORPUS_DIR_VERSION,
+    CORPUS_DIR_VERSION_SHARDED,
+    DEFAULT_SHARD_SIZE,
     CorpusDirSource,
+    CorpusWriteReport,
     export_corpus_dir,
     import_corpus_dir,
+    write_corpus_dir,
 )
 from repro.sources.gitdir import GitDirSource
 from repro.sources.synthetic import SyntheticSource
@@ -58,8 +65,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "CORPUS_DIR_FORMAT",
     "CORPUS_DIR_VERSION",
+    "CORPUS_DIR_VERSION_SHARDED",
+    "DEFAULT_SHARD_SIZE",
     "SOURCE_MODES",
     "CorpusDirSource",
+    "CorpusWriteReport",
     "GitDirSource",
     "HistorySource",
     "InMemorySource",
@@ -68,7 +78,11 @@ __all__ = [
     "check_mode",
     "export_corpus_dir",
     "import_corpus_dir",
+    "iter_source_handles",
+    "source_count",
     "source_from_spec",
+    "source_stratum",
+    "write_corpus_dir",
 ]
 
 

@@ -18,6 +18,14 @@ ever crosses the parent→worker pickling boundary, and the
 content-addressed cache keys directly off the fingerprint without
 loading anything at all on a hit.
 
+Sources may additionally implement a **streaming surface** —
+``iter_handles()`` yielding one :class:`SourceHandle` at a time and
+``count()`` returning the project total without enumeration. The
+module-level helpers :func:`iter_source_handles` and
+:func:`source_count` bridge sources that implement neither via
+``project_ids()``, so third-party three-method sources keep working
+unchanged while sharded corpora never materialize a full handle list.
+
 This module deliberately imports nothing from :mod:`repro.engine` at
 module level so the engine can depend on it without a cycle.
 """
@@ -25,7 +33,7 @@ module level so the engine can depend on it without a cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
+from typing import Any, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.errors import SourceError
 
@@ -80,6 +88,17 @@ class HistorySource(Protocol):
     HEAD sha). An :class:`~repro.engine.session.EngineSession` uses it
     to enumerate handles once per identity and replay them on
     re-study; sources without it are simply never registry-cached.
+
+    Optional streaming surface (all bridged by helpers when absent):
+
+    * ``iter_handles() -> Iterator[SourceHandle]`` — lazily yield one
+      handle per project, in ``project_ids()`` order, without building
+      the full id list (:func:`iter_source_handles` bridges).
+    * ``count() -> int`` — the project total, cheaper than enumerating
+      (:func:`source_count` bridges via ``__len__``/``project_ids``).
+    * ``stratum(pid) -> str | None`` — a sampling stratum for the
+      project (its pattern for corpora), used by stratified study
+      sampling; ``None``/absent groups by pid prefix instead.
     """
 
     mode: str
@@ -153,5 +172,61 @@ class InMemorySource:
                 f"unknown project id {pid!r} (in-memory source holds "
                 f"{len(self._items)} projects)") from None
 
+    def count(self) -> int:
+        return len(self._items)
+
     def __len__(self) -> int:
         return len(self._items)
+
+
+def iter_source_handles(source: Any) -> Iterator[SourceHandle]:
+    """Lazily yield one :class:`SourceHandle` per project of ``source``.
+
+    Uses the source's native ``iter_handles()`` when it has one;
+    otherwise bridges over ``project_ids()`` + ``fingerprint(pid)``,
+    which keeps every pre-streaming three-method source working. The
+    bridge still materializes the id list (ids are tiny); only native
+    implementations avoid that too.
+    """
+    native = getattr(source, "iter_handles", None)
+    if native is not None:
+        yield from native()
+        return
+    for pid in source.project_ids():
+        yield SourceHandle(pid=pid, fingerprint=source.fingerprint(pid))
+
+
+def source_count(source: Any) -> int:
+    """The number of projects in ``source``, as cheaply as possible.
+
+    Prefers a native ``count()``, then ``len(source)``, then the length
+    of ``project_ids()`` — the same order of increasing cost the
+    streaming executor uses to size work chunks.
+    """
+    native = getattr(source, "count", None)
+    if native is not None:
+        return native()
+    try:
+        return len(source)
+    except TypeError:
+        return len(source.project_ids())
+
+
+def source_stratum(source: Any, pid: str) -> str:
+    """The sampling stratum of one project (stratified study modes).
+
+    Sources that know their projects' strata (the intended pattern of
+    a corpus) expose ``stratum(pid)``; anything else falls back to the
+    pid with its trailing ``-N`` ordinal stripped, which groups the
+    synthetic naming scheme's ``<pattern>-<n>`` ids correctly and
+    degrades to per-pid strata elsewhere.
+    """
+    native = getattr(source, "stratum", None)
+    if native is not None:
+        stratum = native(pid)
+        if stratum is not None:
+            return stratum
+    head, sep, tail = pid.rpartition("-")
+    if sep and tail.isdigit():
+        return head
+    return pid

@@ -139,6 +139,23 @@ class GitDirSource:
         return fingerprint("git-history", GIT_SOURCE_VERSION, pid,
                            self.dialect.traits.name, shas)
 
+    def iter_handles(self):
+        """One handle per DDL file, fingerprinting lazily.
+
+        Discovery (one ``ls-files`` + per-file DDL sniff) still runs
+        up front and is memoized; the per-file ``git log`` sha-chain
+        fingerprints — the expensive part at scale — run one at a time
+        as the engine's bounded window pulls handles.
+        """
+        from repro.sources.base import SourceHandle
+        for pid in self.project_ids():
+            yield SourceHandle(pid=pid,
+                               fingerprint=self.fingerprint(pid))
+
+    def count(self) -> int:
+        """Discovered DDL-file total (memoized discovery, no logs)."""
+        return len(self.project_ids())
+
     def load(self, pid: str) -> SchemaHistory:
         log = self._git("log", "--reverse", "--format=%H%x09%cI",
                         "--", pid)

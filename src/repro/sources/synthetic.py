@@ -103,6 +103,26 @@ class SyntheticSource:
     def load(self, pid: str) -> GeneratedProject:
         return realize_spec(self._spec(pid))
 
+    def iter_handles(self):
+        """One handle per planned project, without an id list.
+
+        Routes through :meth:`fingerprint` so subclasses that override
+        it (fault-injecting test sources) keep their behavior on the
+        streaming path too.
+        """
+        from repro.sources.base import SourceHandle
+        for pid in self._plan():
+            yield SourceHandle(pid=pid,
+                               fingerprint=self.fingerprint(pid))
+
+    def count(self) -> int:
+        """Planned project total (plans; realizes nothing)."""
+        return len(self._plan())
+
+    def stratum(self, pid: str) -> str:
+        """The intended pattern — the stratified-sampling stratum."""
+        return self._spec(pid).pattern.value
+
     def __len__(self) -> int:
         return len(self._plan())
 

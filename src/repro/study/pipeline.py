@@ -193,11 +193,14 @@ def run_full_study_from_source(source,
     """Any history source in, complete study out.
 
     Lightweight sources (synthetic specs, corpus directories, git
-    repositories) fan out to workers as handles and load lazily there;
-    in-memory sources take the legacy eager path. Either way the
-    returned pair matches :func:`run_full_study`, including the
-    survivors-only semantics of skip/retry error policies and the
-    optional warm ``session``.
+    repositories) stream to workers as handles and load lazily there —
+    the executor keeps only a bounded window of work in flight, so
+    handle-side memory stays flat no matter how many projects the
+    source enumerates; in-memory sources take the legacy eager path.
+    ``config.sample``/``config.stratified`` restrict the run to a
+    deterministic seeded subset. Either way the returned pair matches
+    :func:`run_full_study`, including the survivors-only semantics of
+    skip/retry error policies and the optional warm ``session``.
 
     Raises:
         AnalysisError: for a source with zero projects.

@@ -124,3 +124,32 @@ class TestEmptySource:
                                  tmp_path / "empty")
         with pytest.raises(AnalysisError):
             execute_study_from_source(CorpusDirSource(root))
+
+
+class TestShardedGoldenEquivalence:
+    """The v2 sharded layout, cold and session-warm, must render the
+    same bytes as the legacy in-memory path."""
+
+    def test_cold_and_warm_are_byte_identical(self, small_corpus,
+                                              legacy_report, tmp_path):
+        from repro.engine import EngineSession
+        root = export_corpus_dir(small_corpus, tmp_path / "v2",
+                                 shard_size=4)
+        config = StudyConfig(cache_dir=tmp_path / "cache")
+        with EngineSession(config) as session:
+            cold, cold_report = execute_study_from_source(
+                CorpusDirSource(root), config, session=session)
+            warm, warm_report = execute_study_from_source(
+                CorpusDirSource(root), config, session=session)
+        assert markdown_report(cold) == legacy_report
+        assert markdown_report(warm) == legacy_report
+        assert cold_report.cache_misses == len(small_corpus)
+        assert warm_report.cache_hits == len(small_corpus)
+
+    def test_parallel_sharded_matches(self, small_corpus,
+                                      legacy_report, tmp_path):
+        root = export_corpus_dir(small_corpus, tmp_path / "v2p",
+                                 shard_size=4)
+        results, _ = execute_study_from_source(CorpusDirSource(root),
+                                               StudyConfig(jobs=2))
+        assert markdown_report(results) == legacy_report

@@ -128,3 +128,57 @@ class TestProcessSession:
         ledger = read_ledger(cache)
         assert len(ledger) == 2
         assert ledger[1]["cache_hit_rate"] == 1.0
+
+
+class TestShardedExportCli:
+    def test_shard_size_export_runs_identical_study(self, tmp_path,
+                                                    corpus_json,
+                                                    capsys):
+        assert main(["study", "--corpus", str(corpus_json)]) == 0
+        reference = capsys.readouterr().out
+        cdir = tmp_path / "sharded"
+        assert main(["corpus", "export", str(cdir),
+                     "--shard-size", "4",
+                     "--corpus", str(corpus_json)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 16 projects" in out
+        assert "4 shards" in out
+        manifest = json.loads((cdir / "manifest.json").read_text())
+        assert manifest["version"] == 2
+        assert main(["study", "--source", f"dir:{cdir}"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_limited_sharded_export(self, tmp_path, corpus_json,
+                                    capsys):
+        cdir = tmp_path / "limited"
+        assert main(["corpus", "export", str(cdir), "--limit", "5",
+                     "--shard-size", "2",
+                     "--corpus", str(corpus_json)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 5 projects" in out
+        assert "3 shards" in out
+
+
+class TestSampledStudyCli:
+    def test_stratified_sample_completes(self, tmp_path, corpus_json,
+                                         capsys):
+        cdir = tmp_path / "cdir"
+        main(["corpus", "export", str(cdir),
+              "--corpus", str(corpus_json)])
+        capsys.readouterr()
+        assert main(["study", "--source", f"dir:{cdir}",
+                     "--sample", "8", "--stratified"]) == 0
+        assert "Sec. 6.3" in capsys.readouterr().out
+
+    def test_sample_is_deterministic(self, tmp_path, corpus_json,
+                                     capsys):
+        cdir = tmp_path / "cdir"
+        main(["corpus", "export", str(cdir),
+              "--corpus", str(corpus_json)])
+        capsys.readouterr()
+        assert main(["study", "--source", f"dir:{cdir}",
+                     "--sample", "6"]) == 0
+        first = capsys.readouterr().out
+        assert main(["study", "--source", f"dir:{cdir}",
+                     "--sample", "6"]) == 0
+        assert capsys.readouterr().out == first
