@@ -345,6 +345,96 @@ def test_perf_incremental_smoke():
     assert hits / (hits + misses) > 0.2
 
 
+def test_perf_analyses_scaling():
+    """Columnar analysis backend vs. per-record oracles at 100x scale.
+
+    Replicates a 30-project base record set 100x (3000 records — the
+    scale where the per-record passes' attribute-chain walks dominate)
+    and times every corpus-level analysis both ways, in the shape the
+    full study runs them: the fused kernels consume the RecordTable the
+    map stage packed at harvest time (so the pack is timed separately —
+    in production it overlaps the map), the per-record oracles consume
+    the raw record list. Acceptance bar of the columnar refactor:
+    >= 2x faster with a byte-identical rendered study report. The
+    numbers land in BENCH_perf_pipeline.json as ``analyses_scaling``.
+    """
+    import dataclasses
+
+    from repro import report as paper_report
+    from repro.analysis.table import RecordTable
+    from repro.engine import StudyPlan, execute_plan
+    from repro.engine.study_plan import _analysis_stages
+
+    population = {Pattern.FLATLINER: 4, Pattern.RADICAL_SIGN: 4,
+                  Pattern.SIGMOID: 4, Pattern.LATE_RISER: 4,
+                  Pattern.QUANTUM_STEPS: 4, Pattern.REGULARLY_CURATED: 4,
+                  Pattern.SMOKING_FUNNEL: 3, Pattern.SIESTA: 3}
+    base_corpus = generate_corpus(seed=8, population=population,
+                                  with_exceptions=False)
+    base = records_from_corpus(base_corpus, config=STUDY_CONFIG)
+    records = tuple(dataclasses.replace(r, name=f"{r.name}~x{i:03d}")
+                    for i in range(100) for r in base)
+    assert len(records) == 3000
+
+    pack_started = time.perf_counter()
+    table = RecordTable.from_records(records)
+    pack_s = time.perf_counter() - pack_started
+
+    def timed(columnar):
+        plan = StudyPlan(_analysis_stages(columnar))
+        inputs = {"records": records}
+        if columnar:
+            inputs["table"] = table
+        best, results = None, None
+        for _ in range(3):
+            started = time.perf_counter()
+            results, _ = execute_plan(plan, inputs, STUDY_CONFIG)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return best, results["results"]
+
+    oracle_s, oracle_res = timed(False)
+    fused_s, fused_res = timed(True)
+
+    sections = (
+        paper_report.render_table1, paper_report.render_table2,
+        paper_report.render_correlations, paper_report.render_fig4_overview,
+        paper_report.render_tree, paper_report.render_coverage,
+        paper_report.render_prediction, paper_report.render_section34,
+        paper_report.render_section52, paper_report.render_section61,
+        paper_report.render_section63)
+    golden_equivalent = all(render(fused_res) == render(oracle_res)
+                            for render in sections)
+    assert golden_equivalent  # byte-identical rendered study output
+    speedup = oracle_s / fused_s
+    assert speedup >= 2.0  # the tentpole's acceptance bar
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    json_path = results_dir / "BENCH_perf_pipeline.json"
+    payload = json.loads(json_path.read_text()) if json_path.exists() else {}
+    payload["analyses_scaling"] = {
+        "records": len(records),
+        "per_record_ms": round(oracle_s * 1000, 1),
+        "columnar_ms": round(fused_s * 1000, 1),
+        "pack_ms": round(pack_s * 1000, 1),
+        "speedup_columnar_vs_per_record": round(speedup, 2),
+        "golden_equivalent": golden_equivalent,
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record("perf_analyses_scaling", "\n".join([
+        f"corpus-level analyses over {len(records)} records "
+        f"(host: {os.cpu_count()} cpus)",
+        f"  per-record oracles:       {oracle_s * 1000:9.1f} ms",
+        f"  columnar fused kernels:   {fused_s * 1000:9.1f} ms   "
+        f"{speedup:5.2f}x vs per-record",
+        f"  (table pack:              {pack_s * 1000:9.1f} ms — "
+        f"overlaps the map harvest in the full study)",
+        "  rendered study report: byte-identical in both backends",
+    ]))
+
+
 def test_perf_warm_session(corpus, tmp_path_factory):
     """Warm engine session vs. cold run vs. fresh-session disk-warm run.
 

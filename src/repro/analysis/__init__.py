@@ -10,9 +10,12 @@ bundle the report/benchmark layer renders.
 * :mod:`repro.analysis.activity_relation` — §6.1 activity medians.
 * :mod:`repro.analysis.change_mix` — §6.3 expansion/maintenance mixture.
 * :mod:`repro.analysis.normality` — §3.4.1 Shapiro–Wilk tests.
+* :mod:`repro.analysis.table` — the columnar :class:`RecordTable` pack
+  feeding the fused single-pass analysis kernels.
 """
 
 from repro.analysis.records import StudyRecord, measures_of
+from repro.analysis.table import PackedRecord, RecordTable, pack_record
 from repro.analysis.stats_tables import (
     Table1Result,
     Section34Stats,
@@ -45,10 +48,13 @@ __all__ = [
     "ChangeMixResult",
     "CoverageResult",
     "NormalityResult",
+    "PackedRecord",
     "PredictionResult",
+    "RecordTable",
     "Section34Stats",
     "StudyRecord",
     "Table1Result",
+    "pack_record",
     "compute_activity_relation",
     "compute_change_mix",
     "compute_coverage",

@@ -67,7 +67,11 @@ class ChangeMixResult:
 _TABLE_GRANULE = (ChangeKind.BORN_WITH_TABLE,
                   ChangeKind.DELETED_WITH_TABLE)
 
-_TABLE_GRANULE_INDEXES = tuple(KIND_INDEX[k] for k in _TABLE_GRANULE)
+#: Flat-breakdown indexes of the whole-table change kinds — shared with
+#: the fused columnar §6.3 kernel.
+TABLE_GRANULE_INDEXES = tuple(KIND_INDEX[k] for k in _TABLE_GRANULE)
+
+_TABLE_GRANULE_INDEXES = TABLE_GRANULE_INDEXES
 
 
 def _is_monothematic(record: StudyRecord) -> bool:

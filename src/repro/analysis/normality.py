@@ -9,7 +9,7 @@ build the 10-bucket histograms the paper quantized with.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from scipy import stats as _scipy_stats
 
@@ -80,9 +80,19 @@ def compute_normality(records: Sequence[StudyRecord]) -> NormalityResult:
         AnalysisError: when fewer than 3 projects are given (the test's
             minimum sample size).
     """
-    if len(records) < 3:
+    return normality_of(measures_of(records), len(records))
+
+
+def normality_of(measures: Mapping[str, Sequence[float]],
+                 total: int) -> NormalityResult:
+    """Shapiro–Wilk over already-extracted measure vectors.
+
+    The measure-vector form of :func:`compute_normality`, shared with
+    the columnar analysis backend (which holds the vectors as table
+    columns and never rebuilds the per-record view).
+    """
+    if total < 3:
         raise AnalysisError("Shapiro-Wilk needs at least 3 observations")
-    measures = measures_of(records)
     rows: list[NormalityRow] = []
     for name in MEASURE_NAMES:
         values = measures[name]

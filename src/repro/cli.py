@@ -11,6 +11,8 @@ Subcommands:
 * ``profile`` — measure, label and classify one schema history
   (directory of .sql files or a JSONL commit log).
 * ``chart`` — render a history's heartbeat as ASCII or SVG.
+* ``ledger`` — print the run ledger recorded under a ``--cache-dir``
+  (one row per past run: timings, cache totals, result digest).
 
 Every failure funnels through the :class:`~repro.errors.ReproError`
 hierarchy, so :func:`main` has exactly one error exit path. Exit
@@ -33,6 +35,7 @@ from repro.engine import (
     FaultPlan,
     StudyConfig,
     policy_from_name,
+    read_ledger,
 )
 from repro.errors import CliError, ReproError
 
@@ -92,6 +95,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
     return StudyConfig(
         seed=getattr(args, "seed", DEFAULT_SEED),
         jobs=getattr(args, "jobs", 1),
+        chunk_size=getattr(args, "chunk_size", None),
         cache_dir=Path(args.cache_dir)
         if getattr(args, "cache_dir", None) else None,
         source=getattr(args, "source", "synthetic:"),
@@ -390,6 +394,41 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    """Print the run ledger of a cache directory as a table."""
+    from repro.viz.tables import format_table
+    runs = read_ledger(Path(args.cache_dir))
+    if not runs:
+        print(f"no ledger entries under {args.cache_dir}")
+        return 0
+    if getattr(args, "json", False):
+        import json as _json
+        for run in runs:
+            print(_json.dumps(run, sort_keys=True))
+        return 0
+    headers = ("run", "started", "seconds", "items", "hits", "misses",
+               "packed", "retries", "fail", "degraded", "digest")
+    rows = []
+    for run in runs:
+        digest = str(run.get("result_digest", ""))[:12]
+        rows.append((
+            run.get("run_id", "-"),
+            str(run.get("started", ""))[:19],
+            f"{run.get('seconds', 0.0):.3f}",
+            run.get("items", 0),
+            run.get("cache_hits", 0),
+            run.get("cache_misses", 0),
+            run.get("pack_rows", 0),
+            run.get("retries", 0),
+            len(run.get("failures", ())),
+            "yes" if run.get("degraded") else "no",
+            digest or "-",
+        ))
+    print(format_table(headers, rows,
+                       title=f"run ledger — {args.cache_dir}"))
+    return 0
+
+
 def _cmd_chart(args: argparse.Namespace) -> int:
     history = _load_history(args.history)
     series = schema_heartbeat(history)
@@ -416,6 +455,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for per-project work "
                             "(default: 1, serial)")
+        p.add_argument("--chunk-size", type=int, metavar="N",
+                       help="items per pickled work chunk sent to a "
+                            "worker; overrides both the automatic "
+                            "sizing and any per-stage default (the "
+                            "chosen size shows in the --timings "
+                            "'chunk' column)")
         p.add_argument("--no-incremental", action="store_true",
                        help="disable incremental statement-level "
                             "parsing; re-parse every snapshot in full "
@@ -557,6 +602,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write a migration script "
                              "transforming OLD into NEW")
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_ledger = sub.add_parser(
+        "ledger", help="print the run ledger of a cache directory")
+    p_ledger.add_argument("cache_dir",
+                          help="cache directory holding ledger.jsonl "
+                               "(the --cache-dir of past runs)")
+    p_ledger.add_argument("--json", action="store_true",
+                          help="print raw JSONL entries instead of "
+                               "the table")
+    p_ledger.set_defaults(func=_cmd_ledger)
 
     p_chart = sub.add_parser("chart", help="chart one schema history")
     p_chart.add_argument("history",

@@ -48,7 +48,13 @@ from repro.engine.session import (
     read_ledger,
     source_session_key,
 )
-from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
+from repro.engine.stage import (
+    MapStage,
+    PlanSchedule,
+    Stage,
+    StageEvent,
+    StudyPlan,
+)
 from repro.engine.stream import (
     HandleStream,
     sample_handles,
@@ -89,6 +95,7 @@ __all__ = [
     "FaultSpec",
     "HandleStream",
     "MapStage",
+    "PlanSchedule",
     "ProjectFailure",
     "ProgressHook",
     "RECORDS_STAGE_VERSION",

@@ -57,6 +57,7 @@ from repro.engine.session import (
     RunRecord,
     source_session_key,
 )
+from repro.analysis.table import pack_counters
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
 from repro.errors import EngineError
 from repro.history.kernel import kernel_counters
@@ -85,6 +86,10 @@ class StageTiming:
         retries: extra attempts spent on transient per-item failures.
         chunk_size: items per pickled work chunk the executor chose
             (0 for serial execution and non-map stages).
+        pack_rows: columnar table rows packed during the stage (summed
+            over worker processes and the parent).
+        pack_merges: partial packs merged FIFO as worker chunks came
+            home (0 for serial and non-packing stages).
     """
 
     stage: str
@@ -99,6 +104,8 @@ class StageTiming:
     failures: int = 0
     retries: int = 0
     chunk_size: int = 0
+    pack_rows: int = 0
+    pack_merges: int = 0
 
 
 @dataclass
@@ -161,6 +168,16 @@ class ExecutionReport:
         """Extra per-item attempts spent, over all stages."""
         return sum(t.retries for t in self.timings)
 
+    @property
+    def pack_rows(self) -> int:
+        """Columnar table rows packed, over all stages."""
+        return sum(t.pack_rows for t in self.timings)
+
+    @property
+    def pack_merges(self) -> int:
+        """Partial packs merged at harvest time, over all stages."""
+        return sum(t.pack_merges for t in self.timings)
+
     def timing(self, stage: str) -> StageTiming:
         """The timing entry of one stage.
 
@@ -191,6 +208,11 @@ class ExecutionReport:
                 return f"{failures} fail / {retries} retry"
             return "-"
 
+        def pack_cell(packed: int, merges: int) -> str:
+            if packed or merges:
+                return f"{packed} row / {merges} merge"
+            return "-"
+
         rows = []
         for entry in self.timings:
             rows.append([
@@ -201,6 +223,7 @@ class ExecutionReport:
                 hit_miss(entry.cache_hits, entry.cache_misses),
                 hit_miss(entry.parse_hits, entry.parse_misses),
                 built_reuse(entry.kernel_series, entry.kernel_reuse),
+                pack_cell(entry.pack_rows, entry.pack_merges),
                 fault_cell(entry.failures, entry.retries),
             ])
         rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms",
@@ -208,20 +231,22 @@ class ExecutionReport:
                      hit_miss(self.cache_hits, self.cache_misses),
                      hit_miss(self.parse_hits, self.parse_misses),
                      built_reuse(self.kernel_series, self.kernel_reuse),
+                     pack_cell(self.pack_rows, self.pack_merges),
                      fault_cell(len(self.failures), self.retries)])
         title = "Execution report"
         if self.degraded:
             title += " (degraded: pool lost, partial serial fallback)"
         return format_table(
             ["stage", "time", "items", "chunk", "cache", "parse memo",
-             "heartbeat kernel", "faults"], rows,
+             "heartbeat kernel", "pack", "faults"], rows,
             title=title)
 
 
 def _invoke_map(fn: Callable, transport: Callable | None,
+                pack: Callable | None,
                 extras: tuple, stage_name: str, policy: ErrorPolicy,
                 faults: FaultPlan | None, attempt_base: int, item: Any
-                ) -> tuple[Any, tuple[int, int, int, int], int]:
+                ) -> tuple[Any, tuple[int, int, int, int, int], int, Any]:
     """Apply a map stage to one item (module-level: must pickle).
 
     Runs the item under the error policy: a capturing policy (skip /
@@ -232,13 +257,17 @@ def _invoke_map(fn: Callable, transport: Callable | None,
     fault plan sees, so a pool-crash serial re-run counts as a later
     attempt and injected one-shot faults do not re-fire.
 
+    With a ``pack`` function the surviving result is also flattened
+    into its columnar row right here — in the worker, overlapping the
+    map itself — so the parent only merges finished rows.
+
     Returns the (transported) result or failure record, the
-    statement-memo and heartbeat-kernel deltas the call produced (so
-    worker processes can ship their counters back to the parent), and
-    the number of retries spent.
+    statement-memo / heartbeat-kernel / pack deltas the call produced
+    (so worker processes can ship their counters back to the parent),
+    the number of retries spent, and the packed row (``None`` for
+    failures or non-packing stages).
     """
-    before_hits, before_misses = parse_counters()
-    before_series, before_reuse = kernel_counters()
+    before = parse_counters() + kernel_counters() + pack_counters()
     retries = 0
     attempt = 0
     while True:
@@ -263,12 +292,13 @@ def _invoke_map(fn: Callable, transport: Callable | None,
             payload = ProjectFailure.from_exception(
                 item_id(item), stage_name, exc, attempts=attempt)
             break
-    after_hits, after_misses = parse_counters()
-    after_series, after_reuse = kernel_counters()
+    row = None
+    if pack is not None and not isinstance(payload, ProjectFailure):
+        row = pack(payload)
+    after = parse_counters() + kernel_counters() + pack_counters()
     return (payload,
-            (after_hits - before_hits, after_misses - before_misses,
-             after_series - before_series, after_reuse - before_reuse),
-            retries)
+            tuple(after[slot] - before[slot] for slot in range(5)),
+            retries, row)
 
 
 def _invoke_chunk(invoke: Callable, items: list) -> list:
@@ -318,11 +348,13 @@ class _MapOutcome:
     count: int
     hits: int
     misses: int
-    worker_delta: tuple[int, int, int, int]
+    worker_delta: tuple[int, int, int, int, int]
     failures: list[ProjectFailure]
     retries: int
     degraded: bool
     chunk_size: int = 0
+    pack: Any = None
+    pack_merges: int = 0
 
 
 def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
@@ -343,9 +375,16 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
 
     ``values`` holds only the surviving results, in item order —
     quarantined items are dropped so downstream stages compute over
-    the survivors. ``worker_delta`` sums the statement-memo and
-    heartbeat-kernel counters that ticked in worker processes
-    (invisible to this process's own counters).
+    the survivors. ``worker_delta`` sums the statement-memo,
+    heartbeat-kernel and pack counters that ticked in worker
+    processes (invisible to this process's own counters).
+
+    A packing stage additionally flattens each surviving result into
+    a columnar row — in the worker for computed items, at probe time
+    for cache hits — and the partial packs come home with their
+    chunks, merged FIFO as harvested; ``pack_finish_fn`` assembles
+    the final table once, so the pack overlaps the map instead of
+    costing a second pass over materialized records.
 
     The worker pool comes from (and stays with) ``session``, spawned
     lazily on the first submitted chunk — a fully warm run never
@@ -363,12 +402,14 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
     probe_cache = cache is not None and stage.cache_key_fn is not None
     results: dict[int, Any] = {}
     keys: dict[int, str] = {}
+    rows: dict[int, Any] = {}
     failures: list[ProjectFailure] = []
     retries = 0
     degraded = False
-    worker_deltas = [0, 0, 0, 0]
+    worker_deltas = [0, 0, 0, 0, 0]
     total = 0
     hits = 0
+    merges = 0
 
     def probe(index: int, item: Any) -> bool:
         """Serve ``item`` from cache; True when it still needs work."""
@@ -384,18 +425,24 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
             keys[index] = key
             return True
         results[index] = value
+        if stage.pack_fn is not None:
+            # Cache hits never reach a worker: pack them here so the
+            # table covers hot, cold and mixed runs alike.
+            rows[index] = stage.pack_fn(value)
         hits += 1
         return False
 
-    def absorb(index: int, triple: tuple, count_delta: bool,
+    def absorb(index: int, outcome: tuple, count_delta: bool,
                transported: bool) -> None:
         nonlocal retries
-        payload, delta, item_retries = triple
+        payload, delta, item_retries, row = outcome
         retries += item_retries
         if count_delta:
-            for slot in range(4):
+            for slot in range(5):
                 worker_deltas[slot] += delta[slot]
         results[index] = payload
+        if row is not None:
+            rows[index] = row
         if isinstance(payload, ProjectFailure):
             failures.append(payload)
         else:
@@ -410,12 +457,13 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
 
     chosen_chunk = 0
     if config.jobs > 1:
-        chunk = config.chunk_size \
+        chunk = config.chunk_size or stage.chunk_size \
             or _auto_chunk(_count_hint(items), config.jobs)
         chosen_chunk = chunk
         window = WINDOW_PER_JOB * config.jobs
         worker = partial(_invoke_map, stage.fn, stage.transport_fn,
-                         extras, stage.name, policy, faults, 0)
+                         stage.pack_fn, extras, stage.name, policy,
+                         faults, 0)
         pool = None
         inflight: deque[tuple[list[int], list, Any]] = deque()
         backlog: list[tuple[int, Any]] = []
@@ -452,7 +500,7 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
 
         def harvest_oldest() -> None:
             """Absorb the oldest in-flight chunk (FIFO, as submitted)."""
-            nonlocal broken, abandoned, degraded
+            nonlocal broken, abandoned, degraded, merges
             positions, outbound, future = inflight.popleft()
             if broken:
                 # The pool is dead; harvest chunks that finished
@@ -462,6 +510,8 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                     for index, triple in zip(positions,
                                              future.result()):
                         absorb(index, triple, True, True)
+                    if stage.pack_fn is not None:
+                        merges += 1
                 else:
                     backlog.extend(zip(positions, outbound))
                 return
@@ -493,6 +543,9 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                 return
             for index, triple in zip(positions, triples):
                 absorb(index, triple, True, True)
+            if stage.pack_fn is not None:
+                # One partial pack merged FIFO into the growing table.
+                merges += 1
 
         try:
             for item in items:
@@ -531,13 +584,15 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
             # attempt later than the pool pass so one-shot injected
             # crashes do not re-fire.
             recover = partial(_invoke_map, stage.fn,
-                              stage.transport_fn, extras,
-                              stage.name, policy, faults, 1)
+                              stage.transport_fn, stage.pack_fn,
+                              extras, stage.name, policy, faults, 1)
             for index, item in backlog:
                 absorb(index, recover(item), False, True)
+            if stage.pack_fn is not None:
+                merges += 1
     else:
-        invoke = partial(_invoke_map, stage.fn, None, extras,
-                         stage.name, policy, faults, 0)
+        invoke = partial(_invoke_map, stage.fn, None, stage.pack_fn,
+                         extras, stage.name, policy, faults, 0)
         for item in items:
             index = total
             total += 1
@@ -551,11 +606,17 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
             f"({summary}{', ...' if len(failures) > 3 else ''})")
     values = [results[index] for index in range(total)
               if not isinstance(results[index], ProjectFailure)]
+    pack = None
+    if stage.pack_finish_fn is not None:
+        # Survivors only, item order — rows parallel `values` exactly.
+        pack = stage.pack_finish_fn(
+            [rows[index] for index in sorted(rows)])
     return _MapOutcome(values=values, count=total, hits=hits,
                        misses=total - hits,
                        worker_delta=tuple(worker_deltas),
                        failures=failures, retries=retries,
-                       degraded=degraded, chunk_size=chosen_chunk)
+                       degraded=degraded, chunk_size=chosen_chunk,
+                       pack=pack, pack_merges=merges)
 
 
 def _source_fingerprint(inputs: Mapping[str, Any]) -> str:
@@ -658,14 +719,27 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
     run_started = time.perf_counter()
     results: dict[str, Any] = dict(inputs)
     report = ExecutionReport()
-    for stage in plan.execution_order(tuple(inputs)):
+    # Stages are pulled from the DAG's live ready-set: a stage runs as
+    # soon as every value it consumes — stage results and secondary
+    # pack outputs alike — has been published into ``results``, so a
+    # shared value like the record table is produced once and handed
+    # to each ready consumer by reference.
+    schedule = plan.schedule(tuple(inputs))
+
+    def ready_stages():
+        while not schedule.done:
+            yield from schedule.take_ready()
+
+    for stage in ready_stages():
         config.emit(StageEvent(stage=stage.name, phase="start"))
         started = time.perf_counter()
-        local_before = parse_counters() + kernel_counters()
+        local_before = (parse_counters() + kernel_counters()
+                        + pack_counters())
         hits = misses = stage_failures = stage_retries = 0
-        worker_delta = (0, 0, 0, 0)
+        worker_delta = (0, 0, 0, 0, 0)
         items: int | None = None
         chunk_size = 0
+        pack_merges = 0
         if isinstance(stage, MapStage):
             # The first input may be a lazily enumerated stream — it
             # is handed to the map stage as-is and consumed exactly
@@ -683,30 +757,39 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             report.degraded = report.degraded or outcome.degraded
             items = outcome.count
             chunk_size = outcome.chunk_size
+            pack_merges = outcome.pack_merges
+            if stage.pack_output is not None:
+                results[stage.pack_output] = outcome.pack
         else:
             value = stage.fn(*(results[name] for name in stage.inputs))
         elapsed = time.perf_counter() - started
-        local_after = parse_counters() + kernel_counters()
+        local_after = (parse_counters() + kernel_counters()
+                       + pack_counters())
         # Counter activity of this stage: in-process delta (serial maps,
         # ordinary stages) plus whatever the workers shipped back.
-        parse_hits, parse_misses, kernel_series, kernel_reuse = (
-            local_after[slot] - local_before[slot] + worker_delta[slot]
-            for slot in range(4))
+        parse_hits, parse_misses, kernel_series, kernel_reuse, \
+            pack_rows = (
+                local_after[slot] - local_before[slot]
+                + worker_delta[slot]
+                for slot in range(5))
         results[stage.name] = value
+        schedule.complete(stage.name)
         report.timings.append(StageTiming(
             stage=stage.name, seconds=elapsed, items=items,
             cache_hits=hits, cache_misses=misses,
             parse_hits=parse_hits, parse_misses=parse_misses,
             kernel_series=kernel_series, kernel_reuse=kernel_reuse,
             failures=stage_failures, retries=stage_retries,
-            chunk_size=chunk_size))
+            chunk_size=chunk_size, pack_rows=pack_rows,
+            pack_merges=pack_merges))
         config.emit(StageEvent(
             stage=stage.name, phase="finish", seconds=elapsed,
             items=items or 0, cache_hits=hits, cache_misses=misses,
             parse_hits=parse_hits, parse_misses=parse_misses,
             kernel_series=kernel_series, kernel_reuse=kernel_reuse,
             failures=stage_failures, retries=stage_retries,
-            chunk_size=chunk_size))
+            chunk_size=chunk_size, pack_rows=pack_rows,
+            pack_merges=pack_merges))
     if cache is not None:
         report.quarantined = cache.quarantined - quarantined_before
     session.record_run(RunRecord(
@@ -729,6 +812,7 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         degraded=report.degraded,
         quarantined=report.quarantined,
         retries=report.retries,
+        pack_rows=report.pack_rows,
         pool_spawns=session.pool_spawns - spawns_before,
         result_digest=_result_digest(results),
     ), config.cache_dir)
@@ -746,7 +830,8 @@ def _timing_dict(timing: StageTiming) -> dict:
         entry["cache_hits"] = timing.cache_hits
         entry["cache_misses"] = timing.cache_misses
     for name in ("parse_hits", "parse_misses", "kernel_series",
-                 "kernel_reuse", "failures", "retries", "chunk_size"):
+                 "kernel_reuse", "failures", "retries", "chunk_size",
+                 "pack_rows", "pack_merges"):
         value = getattr(timing, name)
         if value:
             entry[name] = value

@@ -189,6 +189,7 @@ class RunRecord:
         degraded: the run lost its pool or timed out a chunk.
         quarantined: corrupt cache entries healed during the run.
         retries: extra per-item attempts spent.
+        pack_rows: columnar table rows packed during the run.
         pool_spawns: worker pools spawned *during this run* (0 on a
             fully warm run — the headline service-shape number).
         result_digest: stable digest of the run's study records, for
@@ -215,6 +216,7 @@ class RunRecord:
     retries: int
     pool_spawns: int
     result_digest: str
+    pack_rows: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -244,6 +246,7 @@ class RunRecord:
             "degraded": self.degraded,
             "quarantined": self.quarantined,
             "retries": self.retries,
+            "pack_rows": self.pack_rows,
             "pool_spawns": self.pool_spawns,
             "result_digest": self.result_digest,
         }

@@ -12,6 +12,17 @@ Two plans are built here:
   change mix, §3.4.1 normality, strict agreement) assembled into one
   :class:`~repro.study.pipeline.StudyResults` bundle.
 
+The analyses run in two interchangeable backends. The default
+**columnar** backend computes every stage as a fused kernel over the
+:class:`~repro.analysis.table.RecordTable` — the flat column pack the
+map stage assembles incrementally at harvest time — with Table 1, the
+§3.4 statistics and strict agreement fused into one pass over the
+label columns. The **per-record** backend (``columnar=False``) is the
+original object-walking implementation, kept verbatim as the
+differential oracle: both produce byte-identical
+:class:`StudyResults`, and the golden/differential tests hold them to
+it.
+
 All stage bodies are module-level functions so the process backend can
 pickle them by reference.
 """
@@ -20,19 +31,51 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import statistics
 import time
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, NamedTuple, Sequence
 
-from repro.analysis.activity_relation import compute_activity_relation
-from repro.analysis.change_mix import compute_change_mix
-from repro.analysis.coverage import agm_bucket, compute_coverage
-from repro.analysis.normality import compute_normality
-from repro.analysis.prediction import compute_prediction
+from repro.analysis.activity_relation import (
+    ActivityRelationResult,
+    ActivityRow,
+    compute_activity_relation,
+)
+from repro.analysis.change_mix import (
+    TABLE_GRANULE_INDEXES,
+    ChangeMixResult,
+    ChangeMixRow,
+    compute_change_mix,
+)
+from repro.analysis.coverage import (
+    CoverageResult,
+    agm_bucket,
+    compute_coverage,
+)
+from repro.analysis.normality import compute_normality, normality_of
+from repro.analysis.prediction import (
+    PredictionResult,
+    birth_bucket,
+    compute_prediction,
+)
 from repro.analysis.records import StudyRecord, measures_of
 from repro.analysis.stats_tables import (
+    TABLE1_ROWS,
+    Section34Stats,
+    Table1Result,
     compute_section34_stats,
     compute_table1,
 )
+from repro.analysis.table import (
+    LABEL_INDEX,
+    LABEL_VALUES,
+    PATTERN_ORDER,
+    PATTERN_VALUES,
+    REAL_POSITION,
+    UNCLASSIFIED_INDEX,
+    RecordTable,
+    pack_record,
+)
+from repro.diff.changes import KIND_ORDER, N_KINDS
 from repro.engine.cache import fingerprint
 from repro.engine.config import StudyConfig
 from repro.engine.executor import ExecutionReport, execute_plan
@@ -40,18 +83,19 @@ from repro.engine.faults import ProjectFailure
 from repro.engine.stage import MapStage, Stage, StudyPlan
 from repro.errors import AnalysisError
 from repro.history.repository import SchemaHistory
+from repro.labels.classes import BirthVolumeClass
 from repro.labels.quantization import LabelScheme, label_profile
 from repro.metrics.profile import ProjectProfile
 from repro.mining.centroids import centroid_report
-from repro.mining.correlation import spearman_matrix
+from repro.mining.correlation import spearman_matrix, spearman_matrix_ranked
 from repro.mining.decision_tree import DecisionTree
 from repro.patterns.classifier import (
     ClassificationResult,
     classify,
     classify_with_tolerance,
 )
-from repro.patterns.exceptions import exception_report
-from repro.patterns.taxonomy import Pattern
+from repro.patterns.exceptions import ExceptionReport, exception_report
+from repro.patterns.taxonomy import Pattern, REAL_PATTERNS
 
 #: Bump when the history → record computation changes observably; this
 #: invalidates every cached StudyRecord (the cache key mixes it in).
@@ -190,7 +234,9 @@ def source_record_key(handle, extras: tuple, version: str) -> str:
 
 
 # ----------------------------------------------------------------------
-# corpus-level analysis stages
+# corpus-level analysis stages — per-record backend (the differential
+# oracles; the fused columnar kernels below must match them byte for
+# byte)
 
 
 def _stage_table1(records):
@@ -273,7 +319,271 @@ def _stage_normality(records):
 
 
 def _stage_strict_agreement(records):
+    # Oracle form: re-classifies every record from scratch. The fused
+    # kernel reads the carried is_exception flag instead (agreement and
+    # the exception flag are complementary by construction).
     return sum(1 for r in records if classify(r.labeled) is r.pattern)
+
+
+# ----------------------------------------------------------------------
+# corpus-level analysis stages — fused columnar kernels over the
+# RecordTable (the default backend)
+
+
+#: Dense birth-volume label indexes the §3.4 kernel compares against.
+_BV_HIGH = LABEL_INDEX[0][BirthVolumeClass.HIGH]
+_BV_FULL = LABEL_INDEX[0][BirthVolumeClass.FULL]
+
+
+def _stage_pack_table(records) -> RecordTable:
+    """Pack precomputed records (analysis-only plans; the full study
+    plans get the table from the map stage's harvest-time pack)."""
+    return RecordTable.from_records(records)
+
+
+class _CoreStats(NamedTuple):
+    """The fused Table-1 + §3.4 + strict-agreement bundle."""
+
+    table1: Table1Result
+    stats34: Section34Stats
+    strict_agreement: int
+
+
+def _stage_core_stats(table: RecordTable) -> _CoreStats:
+    """One pass over the label/measure columns for three stages.
+
+    Table 1 tallies the seven dense label-index columns;
+    the §3.4 statistics read the measure, landmark and label columns;
+    strict agreement falls out of the is_exception column, because the
+    record builders set the flag exactly when the strict classification
+    disagrees with the assigned pattern — no re-classification pass.
+    """
+    total = len(table)
+    if not total:
+        raise AnalysisError("empty corpus")
+    rows: dict[str, dict[str, int]] = {}
+    for (key, _, _), values, column in zip(TABLE1_ROWS, LABEL_VALUES,
+                                           table.labels):
+        counts = [0] * len(values)
+        for index in column:
+            counts[index] += 1
+        rows[key] = dict(zip(values, counts))
+    birth_pct = table.measures[1]
+    top_pct = table.measures[2]
+    interval_pct = table.measures[3]
+    agm = table.measures[5]
+    birth_volume = table.labels[0]
+    stats34 = Section34Stats(
+        total=total,
+        born_at_v0=sum(1 for m in table.birth_month if m == 0),
+        born_first_10pct=sum(1 for v in birth_pct if v <= 0.10),
+        born_first_25pct=sum(1 for v in birth_pct if v <= 0.25),
+        top_attained_first_25pct=sum(1 for v in top_pct if v <= 0.25),
+        high_activity_at_birth=sum(
+            1 for i in birth_volume if i >= _BV_HIGH),
+        full_activity_at_birth=sum(
+            1 for i in birth_volume if i == _BV_FULL),
+        vault_share=sum(table.has_vault) / total,
+        zero_active_growth=sum(1 for v in agm if v == 0),
+        at_most_one_active_growth=sum(1 for v in agm if v <= 1),
+        interval_birth_top_under_10pct=sum(
+            1 for v in interval_pct if v < 0.10),
+        interval_birth_top_zero=sum(
+            1 for m in table.interval_birth_to_top_months if m == 0),
+    )
+    agreement = total - sum(table.is_exception)
+    return _CoreStats(table1=Table1Result(rows=rows, total=total),
+                      stats34=stats34, strict_agreement=agreement)
+
+
+def _stage_core_table1(core: _CoreStats) -> Table1Result:
+    return core.table1
+
+
+def _stage_core_stats34(core: _CoreStats) -> Section34Stats:
+    return core.stats34
+
+
+def _stage_core_agreement(core: _CoreStats) -> int:
+    return core.strict_agreement
+
+
+def _stage_table2_table(table: RecordTable) -> ExceptionReport:
+    # Overlaps stay 0 by construction: the definitions are disjoint
+    # (the oracle's count_strict_matches > 1 branch never fires).
+    population = [0] * len(REAL_PATTERNS)
+    exceptions = [0] * len(REAL_PATTERNS)
+    unclassified = 0
+    for pattern, is_exception in zip(table.pattern, table.is_exception):
+        position = REAL_POSITION.get(pattern)
+        if position is None:
+            unclassified += 1
+            continue
+        population[position] += 1
+        if is_exception:
+            exceptions[position] += 1
+    rows = tuple((pattern, population[k], exceptions[k], 0)
+                 for k, pattern in enumerate(REAL_PATTERNS))
+    return ExceptionReport(rows=rows, unclassified=unclassified)
+
+
+def _stage_correlations_table(table: RecordTable):
+    return spearman_matrix_ranked(table.measure_map())
+
+
+def _stage_tree_features_table(table: RecordTable):
+    birth_values = LABEL_VALUES[1]
+    top_values = LABEL_VALUES[2]
+    interval_values = LABEL_VALUES[3]
+    samples = [
+        {
+            "birth_timing": birth_values[table.labels[1][i]],
+            "top_band_timing": top_values[table.labels[2][i]],
+            "interval_birth_to_top": interval_values[table.labels[3][i]],
+            "agm_bucket": agm_bucket(table.active_growth_months[i]),
+        }
+        for i in range(len(table))
+    ]
+    labels = [PATTERN_VALUES[p] for p in table.pattern]
+    return samples, labels
+
+
+def _stage_tree_misclassified_table(tree, features, table: RecordTable):
+    samples, labels = features
+    return tuple(table.names[i]
+                 for i in tree.training_errors(samples, labels))
+
+
+def _stage_centroids_table(table: RecordTable):
+    vector_groups: dict[str, list] = {}
+    for index, pattern in enumerate(table.pattern):
+        if pattern == UNCLASSIFIED_INDEX:
+            continue
+        vector_groups.setdefault(PATTERN_VALUES[pattern], []).append(
+            table.vectors[index])
+    return centroid_report(vector_groups)
+
+
+def _stage_coverage_table(table: RecordTable) -> CoverageResult:
+    if not len(table):
+        raise AnalysisError("empty corpus")
+    birth_values = LABEL_VALUES[1]
+    top_values = LABEL_VALUES[2]
+    interval_values = LABEL_VALUES[3]
+    cells: dict[tuple, dict[Pattern, int]] = {}
+    for i in range(len(table)):
+        cell = (
+            birth_values[table.labels[1][i]],
+            top_values[table.labels[2][i]],
+            interval_values[table.labels[3][i]],
+            agm_bucket(table.active_growth_months[i]),
+        )
+        bucket = cells.setdefault(cell, {})
+        pattern = PATTERN_ORDER[table.pattern[i]]
+        bucket[pattern] = bucket.get(pattern, 0) + 1
+    # 4 birth classes x 4 top classes x 5 interval classes x 3 AGM buckets.
+    return CoverageResult(cells=cells, total_cells_possible=4 * 4 * 5 * 3)
+
+
+def _stage_prediction_table(table: RecordTable) -> PredictionResult:
+    if not len(table):
+        raise AnalysisError("empty corpus")
+    counts = [[0, 0, 0, 0] for _ in REAL_PATTERNS]
+    bucket_totals = [0, 0, 0, 0]
+    for pattern, month in zip(table.pattern, table.birth_month):
+        bucket = birth_bucket(month)
+        bucket_totals[bucket] += 1
+        position = REAL_POSITION.get(pattern)
+        if position is not None:
+            counts[position][bucket] += 1
+    return PredictionResult(
+        counts={pattern: tuple(counts[k])
+                for k, pattern in enumerate(REAL_PATTERNS)},
+        bucket_totals=tuple(bucket_totals),
+        total=len(table),
+    )
+
+
+def _pattern_members(table: RecordTable) -> list[list[int]]:
+    """Record indexes per real pattern, in REAL_PATTERNS order."""
+    members: list[list[int]] = [[] for _ in REAL_PATTERNS]
+    for index, pattern in enumerate(table.pattern):
+        position = REAL_POSITION.get(pattern)
+        if position is not None:
+            members[position].append(index)
+    return members
+
+
+def _stage_activity_table(table: RecordTable) -> ActivityRelationResult:
+    if not len(table):
+        raise AnalysisError("empty corpus")
+    rows: list[ActivityRow] = []
+    for position, indexes in enumerate(_pattern_members(table)):
+        if not indexes:
+            continue
+        rows.append(ActivityRow(
+            pattern=REAL_PATTERNS[position],
+            count=len(indexes),
+            median_post_birth=statistics.median(
+                table.post_birth_activity[i] for i in indexes),
+            median_total=statistics.median(
+                table.total_activity[i] for i in indexes),
+            median_expansion=statistics.median(
+                table.expansion[i] for i in indexes),
+            median_maintenance=statistics.median(
+                table.maintenance[i] for i in indexes),
+            median_pup=statistics.median(
+                table.pup_months[i] for i in indexes),
+            median_birth_size=statistics.median(
+                table.schema_size_at_birth[i] for i in indexes),
+        ))
+    return ActivityRelationResult(rows=tuple(rows))
+
+
+def _stage_change_mix_table(table: RecordTable) -> ChangeMixResult:
+    if not len(table):
+        raise AnalysisError("empty corpus")
+    kind_counts = table.kind_counts
+    rows: list[ChangeMixRow] = []
+    grand_flat = [0] * N_KINDS
+    grand_expansion = 0
+    for position, indexes in enumerate(_pattern_members(table)):
+        if not indexes:
+            continue
+        flat_totals = [0] * N_KINDS
+        for i in indexes:
+            offset = i * N_KINDS
+            for k in range(N_KINDS):
+                flat_totals[k] += kind_counts[offset + k]
+            grand_expansion += table.expansion[i]
+        for k in range(N_KINDS):
+            grand_flat[k] += flat_totals[k]
+        total_events = sum(flat_totals)
+        table_events = sum(flat_totals[k] for k in TABLE_GRANULE_INDEXES)
+        rows.append(ChangeMixRow(
+            pattern=REAL_PATTERNS[position],
+            count=len(indexes),
+            kind_totals=dict(zip(KIND_ORDER, flat_totals)),
+            median_expansion_fraction=statistics.median(
+                table.expansion_fraction[i] for i in indexes),
+            table_granule_fraction=(table_events / total_events
+                                    if total_events else 0.0),
+            monothematic_projects=sum(
+                1 for i in indexes if table.post_birth_kinds[i] <= 1),
+        ))
+    grand_total = sum(grand_flat)
+    grand_table = sum(grand_flat[k] for k in TABLE_GRANULE_INDEXES)
+    return ChangeMixResult(
+        rows=tuple(rows),
+        overall_expansion_fraction=(grand_expansion / grand_total
+                                    if grand_total else 0.0),
+        overall_table_granule_fraction=(grand_table / grand_total
+                                        if grand_total else 0.0),
+    )
+
+
+def _stage_normality_table(table: RecordTable):
+    return normality_of(table.measure_map(), len(table))
 
 
 def _stage_results(records, table1, stats34, table2, correlations, tree,
@@ -298,29 +608,75 @@ def _stage_results(records, table1, stats34, table2, correlations, tree,
     )
 
 
-def _analysis_stages() -> list[Stage]:
-    """The corpus-level stages of :func:`run_study`, as a DAG."""
-    on_records = [
-        ("table1", _stage_table1),
-        ("stats34", _stage_stats34),
-        ("table2", _stage_table2),
-        ("correlations", _stage_correlations),
-        ("tree_features", _stage_tree_features),
-        ("centroids", _stage_centroids),
-        ("coverage", _stage_coverage),
-        ("prediction", _stage_prediction),
-        ("activity", _stage_activity),
-        ("change_mix", _stage_change_mix),
-        ("normality", _stage_normality),
-        ("strict_agreement", _stage_strict_agreement),
-    ]
-    stages = [Stage(name=name, fn=fn, inputs=("records",))
-              for name, fn in on_records]
-    stages.append(Stage(name="tree", fn=_stage_tree,
-                        inputs=("tree_features",)))
-    stages.append(Stage(name="tree_misclassified",
-                        fn=_stage_tree_misclassified,
-                        inputs=("tree", "tree_features", "records")))
+def _analysis_stages(columnar: bool = True) -> list[Stage]:
+    """The corpus-level stages of :func:`run_study`, as a DAG.
+
+    Args:
+        columnar: with the default True, every analysis is a fused
+            kernel over the ``table`` value (the map stage's packed
+            secondary output, or an explicit packing stage in
+            analysis-only plans); Table 1, §3.4 and strict agreement
+            share one ``core_stats`` pass, split back into their
+            historical stage names by three unpacking stages so
+            reports and ``timing(...)`` lookups keep working. False
+            selects the per-record oracle implementations.
+    """
+    if columnar:
+        stages = [
+            Stage(name="core_stats", fn=_stage_core_stats,
+                  inputs=("table",)),
+            Stage(name="table1", fn=_stage_core_table1,
+                  inputs=("core_stats",)),
+            Stage(name="stats34", fn=_stage_core_stats34,
+                  inputs=("core_stats",)),
+            Stage(name="strict_agreement", fn=_stage_core_agreement,
+                  inputs=("core_stats",)),
+            Stage(name="table2", fn=_stage_table2_table,
+                  inputs=("table",)),
+            Stage(name="correlations", fn=_stage_correlations_table,
+                  inputs=("table",)),
+            Stage(name="tree_features", fn=_stage_tree_features_table,
+                  inputs=("table",)),
+            Stage(name="centroids", fn=_stage_centroids_table,
+                  inputs=("table",)),
+            Stage(name="coverage", fn=_stage_coverage_table,
+                  inputs=("table",)),
+            Stage(name="prediction", fn=_stage_prediction_table,
+                  inputs=("table",)),
+            Stage(name="activity", fn=_stage_activity_table,
+                  inputs=("table",)),
+            Stage(name="change_mix", fn=_stage_change_mix_table,
+                  inputs=("table",)),
+            Stage(name="normality", fn=_stage_normality_table,
+                  inputs=("table",)),
+            Stage(name="tree", fn=_stage_tree,
+                  inputs=("tree_features",)),
+            Stage(name="tree_misclassified",
+                  fn=_stage_tree_misclassified_table,
+                  inputs=("tree", "tree_features", "table")),
+        ]
+    else:
+        on_records = [
+            ("table1", _stage_table1),
+            ("stats34", _stage_stats34),
+            ("table2", _stage_table2),
+            ("correlations", _stage_correlations),
+            ("tree_features", _stage_tree_features),
+            ("centroids", _stage_centroids),
+            ("coverage", _stage_coverage),
+            ("prediction", _stage_prediction),
+            ("activity", _stage_activity),
+            ("change_mix", _stage_change_mix),
+            ("normality", _stage_normality),
+            ("strict_agreement", _stage_strict_agreement),
+        ]
+        stages = [Stage(name=name, fn=fn, inputs=("records",))
+                  for name, fn in on_records]
+        stages.append(Stage(name="tree", fn=_stage_tree,
+                            inputs=("tree_features",)))
+        stages.append(Stage(name="tree_misclassified",
+                            fn=_stage_tree_misclassified,
+                            inputs=("tree", "tree_features", "records")))
     stages.append(Stage(
         name="results", fn=_stage_results,
         inputs=("records", "table1", "stats34", "table2", "correlations",
@@ -334,28 +690,37 @@ def _analysis_stages() -> list[Stage]:
 # plan builders
 
 
-def records_map_stage(source: str = "corpus") -> MapStage:
+def records_map_stage(source: str = "corpus",
+                      packed: bool = False) -> MapStage:
     """The per-project map stage.
 
     Args:
         source: ``"corpus"`` for generated projects (ground-truth
             pattern), ``"histories"`` for external histories (blind,
             tolerant classification).
+        packed: also assemble the :class:`RecordTable` incrementally at
+            harvest time and publish it as the secondary output
+            ``table`` — the feed of the columnar analysis kernels.
+            Records-only plans leave it off; caching is unaffected
+            either way (packed rows never enter the result cache).
     """
+    pack = dict(pack_fn=pack_record,
+                pack_finish_fn=RecordTable.from_rows,
+                pack_output="table") if packed else {}
     if source == "corpus":
         return MapStage(name="records", fn=corpus_record,
                         inputs=("projects", "scheme"),
                         version=RECORDS_STAGE_VERSION,
                         cache_key_fn=corpus_record_key,
                         transport_fn=strip_record,
-                        item_transport_fn=strip_project)
+                        item_transport_fn=strip_project, **pack)
     if source == "histories":
         return MapStage(name="records", fn=history_record,
                         inputs=("projects", "scheme"),
                         version=RECORDS_STAGE_VERSION,
                         cache_key_fn=history_record_key,
                         transport_fn=strip_record,
-                        item_transport_fn=bare_history)
+                        item_transport_fn=bare_history, **pack)
     raise AnalysisError(f"unknown records source {source!r}")
 
 
@@ -364,30 +729,53 @@ def build_records_plan(source: str = "corpus") -> StudyPlan:
     return StudyPlan([records_map_stage(source)])
 
 
-def build_analysis_plan() -> StudyPlan:
-    """The corpus-level analyses, given precomputed records."""
-    return StudyPlan(_analysis_stages())
+def build_analysis_plan(columnar: bool = True) -> StudyPlan:
+    """The corpus-level analyses, given precomputed records.
+
+    The columnar backend packs the given records into a
+    :class:`RecordTable` in one explicit stage, then runs the fused
+    kernels; ``columnar=False`` runs the per-record oracles directly.
+    """
+    if columnar:
+        return StudyPlan([
+            Stage(name="table", fn=_stage_pack_table,
+                  inputs=("records",)),
+            *_analysis_stages(),
+        ])
+    return StudyPlan(_analysis_stages(columnar=False))
 
 
-def build_study_plan(source: str = "corpus") -> StudyPlan:
-    """The full study DAG: per-project map + every paper analysis."""
-    return StudyPlan([records_map_stage(source), *_analysis_stages()])
+def build_study_plan(source: str = "corpus",
+                     columnar: bool = True) -> StudyPlan:
+    """The full study DAG: per-project map + every paper analysis.
+
+    With the default columnar backend the map stage packs the table
+    incrementally while it maps, so the analyses start from the flat
+    columns without a second pass over the records.
+    """
+    return StudyPlan([records_map_stage(source, packed=columnar),
+                      *_analysis_stages(columnar)])
 
 
-def source_map_stage() -> MapStage:
+def source_map_stage(packed: bool = False) -> MapStage:
     """The per-project map stage over source handles.
 
     Unlike :func:`records_map_stage`, the mapped items are
     :class:`~repro.sources.base.SourceHandle`\\ s — (pid, fingerprint)
     pairs a few dozen bytes each — and the source object travels to
     workers once as a broadcast extra. No ``item_transport_fn`` is
-    needed: there is nothing to strip from a handle.
+    needed: there is nothing to strip from a handle. ``packed`` wires
+    the harvest-time table pack exactly as in
+    :func:`records_map_stage`.
     """
+    pack = dict(pack_fn=pack_record,
+                pack_finish_fn=RecordTable.from_rows,
+                pack_output="table") if packed else {}
     return MapStage(name="records", fn=source_record,
                     inputs=("handles", "source", "scheme"),
                     version=RECORDS_STAGE_VERSION,
                     cache_key_fn=source_record_key,
-                    transport_fn=strip_record)
+                    transport_fn=strip_record, **pack)
 
 
 def build_source_records_plan() -> StudyPlan:
@@ -395,9 +783,10 @@ def build_source_records_plan() -> StudyPlan:
     return StudyPlan([source_map_stage()])
 
 
-def build_source_study_plan() -> StudyPlan:
+def build_source_study_plan(columnar: bool = True) -> StudyPlan:
     """The full study DAG driven by source handles."""
-    return StudyPlan([source_map_stage(), *_analysis_stages()])
+    return StudyPlan([source_map_stage(packed=columnar),
+                      *_analysis_stages(columnar)])
 
 
 # ----------------------------------------------------------------------
@@ -420,15 +809,19 @@ def compute_records(projects: Iterable[Any],
 
 def run_analyses(records: Sequence[StudyRecord],
                  config: StudyConfig | None = None,
-                 session=None):
+                 session=None,
+                 columnar: bool = True):
     """Run every corpus-level analysis over classified records.
+
+    ``columnar=False`` selects the per-record oracle backend — same
+    results, used by the differential tests and the scaling benchmark.
 
     Raises:
         AnalysisError: for an empty record list.
     """
     if not records:
         raise AnalysisError("cannot run the study on zero records")
-    results, _ = execute_plan(build_analysis_plan(),
+    results, _ = execute_plan(build_analysis_plan(columnar),
                               {"records": tuple(records)}, config,
                               session=session)
     return results["results"]

@@ -151,13 +151,19 @@ def records_from_histories(histories: Iterable[SchemaHistory],
 
 def run_study(records: Sequence[StudyRecord],
               config: StudyConfig | None = None,
-              session=None) -> StudyResults:
+              session=None,
+              columnar: bool = True) -> StudyResults:
     """Run every analysis of the paper over classified records.
+
+    ``columnar=False`` runs the per-record oracle backend instead of
+    the fused columnar kernels (identical results, slower — kept for
+    differential testing and benchmarking).
 
     Raises:
         AnalysisError: for an empty record list.
     """
-    return run_analyses(records, config, session=session)
+    return run_analyses(records, config, session=session,
+                        columnar=columnar)
 
 
 def run_full_study(corpus: Corpus,
