@@ -724,3 +724,121 @@ def test_perf_projects_scaling():
         f"  per-project cost 100x vs 10x: "
         f"{per_project_100x / per_project_10x:.2f}x (bar: <= 1.30x)")
     record("perf_projects_scaling", "\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# delta re-study: append-only incremental recompute
+
+
+def test_perf_delta_restudy(corpus, tmp_path_factory):
+    """Refresh after appending K versions vs. a cold full re-study.
+
+    The delta layer's acceptance bar: grow K=8 of the 151 projects by
+    2 commits each and re-derive the study. The refresh must (a) parse
+    only the 16 new versions — pinned by the delta counters — (b)
+    produce records byte-identical to a cold full study of the grown
+    corpus, and (c) beat the cold re-study by >= 5x wall-clock (serial,
+    warm result cache + checkpoints vs. a fresh cache dir). Numbers
+    land in BENCH_perf_pipeline.json as ``delta_restudy``.
+    """
+    import dataclasses
+    import shutil
+    from datetime import timedelta
+
+    from repro.engine import execute_study_from_source
+    from repro.history.commit import Commit
+    from repro.history.repository import SchemaHistory
+    from repro.sources import (
+        CorpusDirSource,
+        export_corpus_dir,
+        import_corpus_dir,
+    )
+
+    root = tmp_path_factory.mktemp("delta-restudy") / "corpus"
+    export_corpus_dir(corpus, root)
+    warm_cache = tmp_path_factory.mktemp("delta-warm-cache")
+    warm_config = STUDY_CONFIG.replace(cache_dir=warm_cache)
+
+    # Prime: one full study writes the result cache + the checkpoints.
+    execute_study_from_source(CorpusDirSource(root), warm_config)
+
+    # Grow K projects by 2 appended snapshot commits each.
+    grown_projects, appended_commits = 8, 2
+    on_disk = import_corpus_dir(root)
+    projects = list(on_disk.projects)
+    for idx in range(grown_projects):
+        history = projects[idx].history
+        commits = list(history.commits)
+        for i in range(appended_commits):
+            ts = commits[-1].timestamp + timedelta(days=30)
+            commits.append(Commit(
+                sha=f"grow-{i}", timestamp=ts,
+                ddl_text=commits[-1].ddl_text
+                + f"\nCREATE TABLE delta_extra_{i} (id INT);\n"))
+        projects[idx] = dataclasses.replace(
+            projects[idx],
+            history=SchemaHistory(
+                history.project_name, commits,
+                project_start=history.project_start,
+                project_end=max(history.project_end,
+                                commits[-1].timestamp),
+                dialect=history.dialect,
+                incremental=history.incremental))
+    shutil.rmtree(root)
+    export_corpus_dir(dataclasses.replace(on_disk, projects=projects),
+                      root)
+
+    # Cold re-study of the grown corpus: fresh cache, everything parsed.
+    cold_cache = tmp_path_factory.mktemp("delta-cold-cache")
+    started = time.perf_counter()
+    cold_res, cold_timing = execute_study_from_source(
+        CorpusDirSource(root), STUDY_CONFIG.replace(cache_dir=cold_cache))
+    cold_s = time.perf_counter() - started
+
+    # Refresh: unchanged projects are cache hits, grown ones ride the
+    # suffix kernel.
+    started = time.perf_counter()
+    refresh_res, refresh_timing = execute_study_from_source(
+        CorpusDirSource(root), warm_config)
+    refresh_s = time.perf_counter() - started
+
+    assert refresh_res.records == cold_res.records
+    assert refresh_timing.delta_appended == grown_projects
+    assert refresh_timing.delta_rewritten == 0
+    assert refresh_timing.delta_parsed \
+        == grown_projects * appended_commits
+    assert refresh_timing.cache_hits \
+        == len(corpus.projects) - grown_projects
+    speedup = cold_s / refresh_s
+    assert speedup >= 5.0  # the delta layer's acceptance bar
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    json_path = results_dir / "BENCH_perf_pipeline.json"
+    payload = json.loads(json_path.read_text()) if json_path.exists() else {}
+    payload["delta_restudy"] = {
+        "projects": len(corpus.projects),
+        "grown_projects": grown_projects,
+        "appended_versions": grown_projects * appended_commits,
+        "cold_ms": round(cold_s * 1000, 1),
+        "refresh_ms": round(refresh_s * 1000, 1),
+        "versions_reused": refresh_timing.delta_reused,
+        "versions_parsed": refresh_timing.delta_parsed,
+        "speedup_refresh_vs_cold": round(speedup, 2),
+        "golden_equivalent": True,
+    }
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record("perf_delta_restudy", "\n".join([
+        f"append-only refresh, {len(corpus.projects)} projects, "
+        f"{grown_projects} grown by {appended_commits} commits "
+        f"(host: {os.cpu_count()} cpus)",
+        f"  cold full re-study:       {cold_s * 1000:9.1f} ms",
+        f"  incremental refresh:      {refresh_s * 1000:9.1f} ms   "
+        f"{speedup:5.2f}x vs cold",
+        f"  versions: {refresh_timing.delta_reused} reused / "
+        f"{refresh_timing.delta_parsed} parsed "
+        f"({refresh_timing.cache_hits} projects untouched, pure "
+        f"cache hits)",
+        "  records: byte-identical to the cold re-study",
+    ]))

@@ -176,13 +176,20 @@ def _post_birth_kinds(profile) -> int:
                if total > born)
 
 
-def pack_record(record: StudyRecord) -> PackedRecord:
-    """Flatten one study record into its table row."""
+def pack_record(record: StudyRecord, *,
+                count: bool = True) -> PackedRecord:
+    """Flatten one study record into its table row.
+
+    ``count=False`` skips the pack counter — for callers packing a
+    side copy (delta checkpoints) rather than a table row, so the
+    ``--timings`` pack column keeps meaning "columnar rows packed".
+    """
     labeled = record.labeled
     profile = labeled.profile
     marks = profile.landmarks
     totals = profile.totals
-    _COUNTERS[0] += 1
+    if count:
+        _COUNTERS[0] += 1
     return PackedRecord(
         name=record.name,
         pattern=PATTERN_INDEX[record.pattern],

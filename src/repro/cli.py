@@ -8,6 +8,11 @@ Subcommands:
   come from (or ``--corpus`` replays a saved JSON corpus).
 * ``corpus export`` / ``corpus import`` — round-trip a corpus through
   the versioned JSONL directory format that ``--source dir:`` reads.
+* ``refresh`` — re-derive the study of a growing source incrementally:
+  unchanged projects come from the result cache, append-only history
+  growth runs through the O(K) delta suffix kernel, and ``--watch``
+  polls the source on an interval. Output is byte-identical to a cold
+  ``study`` of the same source.
 * ``profile`` — measure, label and classify one schema history
   (directory of .sql files or a JSONL commit log).
 * ``chart`` — render a history's heartbeat as ASCII or SVG.
@@ -106,6 +111,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         faults=faults if faults else None,
         sample=getattr(args, "sample", None),
         stratified=getattr(args, "stratified", False),
+        delta=not getattr(args, "no_delta", False),
     )
 
 
@@ -184,8 +190,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_study(args: argparse.Namespace) -> int:
-    results, timing = _run_study_like(args)
+def _print_study_report(results) -> None:
+    """Print every paper table/figure to stdout (study and refresh
+    share this byte for byte — refresh output stays cmp-identical)."""
     sections = [
         report.render_table1(results),
         report.render_table2(results),
@@ -200,7 +207,53 @@ def _cmd_study(args: argparse.Namespace) -> int:
         report.render_section63(results),
     ]
     print(("\n\n" + "=" * 72 + "\n\n").join(sections))
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    results, timing = _run_study_like(args)
+    _print_study_report(results)
     return _fault_exit(timing)
+
+
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    """Incrementally re-derive the study; optionally keep polling.
+
+    Each poll resolves the source afresh (so a grown corpus dir or a
+    new git HEAD is seen), skips cheaply when the source's session key
+    is unchanged since the last processed poll, and otherwise runs the
+    delta-aware refresh through the process session. The report goes
+    to stdout exactly as ``study`` prints it; the delta summary (and
+    ``--timings``) go to stderr.
+    """
+    import time
+
+    from repro.engine import source_session_key
+
+    config = _study_config(args)
+    session = _process_session()
+    watch = getattr(args, "watch", None)
+    max_polls = getattr(args, "max_polls", None)
+    polls = 0
+    last_key: str | None = None
+    status = 0
+    while True:
+        polls += 1
+        source = _resolve_source(args, config)
+        key = source_session_key(source)
+        if watch and key is not None and key == last_key:
+            print(f"refresh: source unchanged, skipping poll {polls}",
+                  file=sys.stderr)
+        else:
+            results, timing = session.refresh(source, config)
+            last_key = key
+            print(timing.format_delta_summary(), file=sys.stderr)
+            if getattr(args, "timings", False):
+                _print_timings(timing)
+            _print_study_report(results)
+            status = _fault_exit(timing)
+        if not watch or (max_polls is not None and polls >= max_polls):
+            return status
+        time.sleep(watch)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -407,10 +460,16 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
             print(_json.dumps(run, sort_keys=True))
         return 0
     headers = ("run", "started", "seconds", "items", "hits", "misses",
-               "packed", "retries", "fail", "degraded", "digest")
+               "hot", "packed", "delta", "retries", "fail", "degraded",
+               "digest")
     rows = []
     for run in runs:
         digest = str(run.get("result_digest", ""))[:12]
+        appended = run.get("delta_appended", 0)
+        rewritten = run.get("delta_rewritten", 0)
+        parsed = run.get("delta_parsed", 0)
+        delta = f"{appended}a/{rewritten}r/{parsed}p" \
+            if appended or rewritten or parsed else "-"
         rows.append((
             run.get("run_id", "-"),
             str(run.get("started", ""))[:19],
@@ -418,7 +477,9 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
             run.get("items", 0),
             run.get("cache_hits", 0),
             run.get("cache_misses", 0),
+            f"{run.get('hot_hits', 0)}/{run.get('hot_misses', 0)}",
             run.get("pack_rows", 0),
+            delta,
             run.get("retries", 0),
             len(run.get("failures", ())),
             "yes" if run.get("degraded") else "no",
@@ -470,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="content-addressed result cache; "
                                 "re-runs recompute only changed "
                                 "projects (default: no cache)")
+            p.add_argument("--no-delta", action="store_true",
+                           help="do not maintain per-project study "
+                                "checkpoints in the cache dir; "
+                                "'refresh' then recomputes grown "
+                                "histories in full (output is "
+                                "identical, just O(N) instead of "
+                                "O(K))")
         if faults:
             p.add_argument("--on-error",
                            choices=["fail", "skip", "retry"],
@@ -531,6 +599,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the per-stage execution report "
                               "to stderr")
     p_study.set_defaults(func=_cmd_study)
+
+    p_refresh = sub.add_parser(
+        "refresh", help="incrementally re-derive the study of a "
+                        "growing source (append-only histories run "
+                        "through the O(K) delta kernel)")
+    p_refresh.add_argument("--corpus", help="saved corpus JSON "
+                                            "(overrides --source)")
+    p_refresh.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_source_flag(p_refresh)
+    add_execution_flags(p_refresh)
+    p_refresh.add_argument("--timings", action="store_true",
+                           help="print the per-stage execution report "
+                                "to stderr")
+    p_refresh.add_argument("--watch", type=float, metavar="SECONDS",
+                           help="keep polling the source every "
+                                "SECONDS, refreshing whenever its "
+                                "content identity changes (default: "
+                                "refresh once and exit)")
+    p_refresh.add_argument("--max-polls", type=int, metavar="N",
+                           help="stop a --watch loop after N polls "
+                                "(default: poll forever)")
+    p_refresh.set_defaults(func=_cmd_refresh)
 
     p_corpus = sub.add_parser(
         "corpus", help="corpus-directory import/export")

@@ -28,6 +28,13 @@ Typical use::
 
 from repro.engine.cache import MISS, ResultCache, canonical, fingerprint
 from repro.engine.config import ProgressHook, StudyConfig
+from repro.engine.delta import (
+    DeltaStore,
+    StudyCheckpoint,
+    delta_counters,
+    delta_store_for,
+    reset_delta_counters,
+)
 from repro.engine.executor import (
     ExecutionReport,
     StageTiming,
@@ -79,6 +86,7 @@ from repro.engine.study_plan import (
     safe_source_handles,
     source_handles,
     source_record,
+    source_record_delta,
     source_record_key,
     strip_project,
     strip_record,
@@ -86,6 +94,7 @@ from repro.engine.study_plan import (
 
 __all__ = [
     "MISS",
+    "DeltaStore",
     "EngineSession",
     "ErrorPolicy",
     "ExecutionReport",
@@ -103,6 +112,7 @@ __all__ = [
     "Stage",
     "StageEvent",
     "StageTiming",
+    "StudyCheckpoint",
     "StudyConfig",
     "StudyPlan",
     "bare_history",
@@ -116,6 +126,8 @@ __all__ = [
     "compute_records_from_source",
     "corpus_record",
     "corpus_record_key",
+    "delta_counters",
+    "delta_store_for",
     "execute_plan",
     "execute_study",
     "execute_study_from_source",
@@ -124,6 +136,7 @@ __all__ = [
     "history_record_key",
     "policy_from_name",
     "read_ledger",
+    "reset_delta_counters",
     "run_analyses",
     "run_stage",
     "sample_handles",
@@ -131,6 +144,7 @@ __all__ = [
     "safe_source_handles",
     "source_handles",
     "source_record",
+    "source_record_delta",
     "source_record_key",
     "strip_project",
     "strip_record",

@@ -61,6 +61,12 @@ class StudyConfig:
             execution cannot be preempted and ignores this).
         faults: optional deterministic fault-injection plan (testing/
             chaos runs); ``None`` injects nothing.
+        delta: maintain per-project study checkpoints in the cache dir
+            and serve append-only history growth through the O(K)
+            suffix kernel instead of a full recompute (needs
+            ``cache_dir`` and a source speaking the version-chain
+            protocol; output is byte-identical either way). False
+            disables both checkpoint writes and reads.
         progress: optional per-stage event callback (timing/progress
             hooks for CLIs and dashboards); excluded from equality.
     """
@@ -76,6 +82,7 @@ class StudyConfig:
     error_policy: ErrorPolicy = ErrorPolicy()
     stage_timeout: float | None = None
     faults: FaultPlan | None = None
+    delta: bool = True
     progress: ProgressHook | None = field(default=None, compare=False)
 
     def __post_init__(self):

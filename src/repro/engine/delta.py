@@ -1,0 +1,570 @@
+"""Append-only delta re-study: per-project checkpoints + suffix kernel.
+
+When a source's history grows from N to N+K versions, re-deriving the
+project's study record from scratch costs O(N) parses even though the
+first N versions are bit-identical to the last run. This module makes
+that re-derivation O(K), with byte-identical output, by persisting one
+**study checkpoint** per project in the cache directory:
+
+* the project's *version-hash chain* at the time the record was
+  computed — the proof object: a new chain that has the old one as a
+  proper prefix means "history appended, nothing rewritten";
+* the frozen version-N tail state of the incremental parse — the final
+  segment-hash tuple, the final :class:`~repro.schema.schema.Schema`
+  snapshot and its reusable ``Table`` pool — exactly what
+  :meth:`SchemaHistory._materialize_memoized` carries from commit to
+  commit, so the suffix kernel resumes mid-stream;
+* the accumulated :class:`~repro.history.heartbeat.ActivitySeries`
+  flat month×kind rows (``None`` for untouched months — provably
+  equivalent to the all-zero row, since every schema change carries at
+  least one kind), plus the project window and birth month;
+* the project's :class:`~repro.analysis.table.PackedRecord` row and
+  the label-scheme fingerprint it was labeled under.
+
+The **suffix recompute kernel** (:func:`extend_checkpoint`) mirrors the
+memoized materialization loop statement for statement — whole-version
+hash shortcut, statement memo, ``snapshot_reusing`` table reuse,
+classic ``parse_script`` fallback — then extends the month counts
+in place exactly as :func:`~repro.history.kernel.accumulate_month_counts`
+would have, and rebuilds landmarks/totals/vector from the extended
+series. Any guard failure (rewritten chain, changed project window,
+out-of-order suffix timestamps, dialect change, migration-style
+history) falls back to a full recompute; falling back is always
+correct, the checkpoint is only ever an accelerator.
+
+Checkpoints are written on *every* computed record when a delta store
+is active — cold studies included — so the very first ``refresh`` after
+an append already runs the suffix path. Files live under
+``<cache_dir>/delta/``, wrapped in the result cache's checksummed
+envelope and written atomically; a corrupt or alien file reads as "no
+checkpoint".
+
+Process-wide counters (:func:`delta_counters`) mirror the statement
+memo's: projects served by the append path, projects whose checkpoint
+had to be discarded (rewritten), versions reused from checkpoints and
+versions parsed by the suffix kernel. The executor ships them home
+from worker processes alongside the parse/kernel/pack counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, replace
+from datetime import datetime
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis.records import StudyRecord
+from repro.analysis.table import pack_record
+from repro.diff.engine import diff_schemas
+from repro.diff.stats import EMPTY_BREAKDOWN, ChangeBreakdown
+from repro.engine.cache import decode_entry, encode_entry, fingerprint
+from repro.errors import EngineError
+from repro.history.heartbeat import ActivitySeries
+from repro.history.repository import (
+    SchemaHistory,
+    incremental_parse_default,
+    month_index,
+)
+from repro.labels.quantization import LabelScheme, label_profile
+from repro.metrics.activity import compute_activity_totals
+from repro.metrics.landmarks import compute_landmarks
+from repro.metrics.profile import ProjectProfile
+from repro.metrics.timeseries import DEFAULT_POINTS, heartbeat_vector
+from repro.patterns.classifier import classify, classify_with_tolerance
+from repro.schema.builder import SchemaBuilder
+from repro.sqlddl.memo import StatementMemo
+from repro.sqlddl.parser import parse_script
+from repro.sqlddl.splitter import split_statements
+
+#: Checkpoint format version; bump when the pickle layout changes so
+#: stale checkpoints read as missing instead of exploding.
+DELTA_FORMAT_VERSION = 1
+
+#: Subdirectory of the cache dir that holds the checkpoint files.
+DELTA_SUBDIR = "delta"
+
+
+# ----------------------------------------------------------------------
+# process-wide delta counters (mirrors repro.sqlddl.memo)
+
+_APPENDED = 0
+_REWRITTEN = 0
+_REUSED = 0
+_PARSED = 0
+
+
+def delta_counters() -> tuple[int, int, int, int]:
+    """``(projects_appended, projects_rewritten, versions_reused,
+    versions_parsed)`` since the last reset.
+
+    Worker processes tick their own copies; the executor ships the
+    per-item deltas back to the parent alongside the parse-memo and
+    kernel counters, so :class:`~repro.engine.executor.StageTiming`
+    totals are correct for serial and parallel runs alike.
+    """
+    return (_APPENDED, _REWRITTEN, _REUSED, _PARSED)
+
+
+def reset_delta_counters() -> None:
+    """Zero the delta counters (benchmarks, tests)."""
+    global _APPENDED, _REWRITTEN, _REUSED, _PARSED
+    _APPENDED = _REWRITTEN = _REUSED = _PARSED = 0
+
+
+def _note_served(reused: int, parsed: int) -> None:
+    global _APPENDED, _REUSED, _PARSED
+    if parsed:
+        _APPENDED += 1
+    _REUSED += reused
+    _PARSED += parsed
+
+
+def _note_rewritten() -> None:
+    global _REWRITTEN
+    _REWRITTEN += 1
+
+
+# ----------------------------------------------------------------------
+# version chains
+
+
+def commit_chain(commits: Sequence) -> tuple[str, ...]:
+    """One content hash per commit: the generic version-hash chain.
+
+    Sources that store whole payloads cheaply (corpus directories)
+    derive their chain from the commits themselves; git uses commit
+    shas instead (computable without reading any blob). Either way the
+    chain only has to be *stable* and *prefix-preserving under
+    append* — checkpoints never compare chains across sources.
+    """
+    return tuple(fingerprint("delta-commit", c.timestamp, c.ddl_text)
+                 for c in commits)
+
+
+def scheme_key(scheme: LabelScheme) -> str:
+    """Fingerprint of the label scheme a checkpointed row was built
+    under (rows are only reusable under the same boundaries)."""
+    return fingerprint("delta-scheme", scheme.to_dict())
+
+
+def _is_prefix(old: tuple, new: tuple) -> bool:
+    return len(old) <= len(new) and tuple(new[:len(old)]) == tuple(old)
+
+
+# ----------------------------------------------------------------------
+# the checkpoint and its store
+
+
+@dataclass(frozen=True)
+class StudyCheckpoint:
+    """Everything needed to extend one project's study by a suffix.
+
+    Attributes:
+        format: :data:`DELTA_FORMAT_VERSION` at write time.
+        pid: the source-side project id.
+        mode: ``"corpus"`` or ``"histories"`` (the record flavor).
+        name: the project/history name the record carries.
+        chain: the version-hash chain of the processed history.
+        dialect: SQL dialect name the versions were parsed under.
+        project_start / project_end: the processed project window.
+        last_commit_ts: timestamp of the last processed commit — the
+            append boundary (suffix commits must not sort before it).
+        birth_month: month index of the first commit (unchanged by
+            appends; the landmark computation's anchor).
+        monthly: the accumulated per-month activity counts.
+        rows: per-month flat kind-count rows; ``None`` for untouched
+            months (equivalent to the all-zero row).
+        prev_hashes: segment-hash tuple of the final version (arms the
+            whole-version shortcut for the first suffix commit).
+        schema: the final version's schema snapshot (diff baseline).
+        pool: the final version's reusable ``Table`` pool (``None``
+            after a classic-fallback final commit).
+        row: the project's packed columnar row.
+        scheme_key: fingerprint of the scheme ``row`` was labeled under.
+    """
+
+    format: int
+    pid: str
+    mode: str
+    name: str
+    chain: tuple
+    dialect: str
+    project_start: datetime
+    project_end: datetime
+    last_commit_ts: datetime
+    birth_month: int
+    monthly: tuple
+    rows: tuple
+    prev_hashes: tuple | None
+    schema: Any
+    pool: dict | None
+    row: Any
+    scheme_key: str
+
+
+class DeltaStore:
+    """Per-project study checkpoints under ``<cache_dir>/delta/``.
+
+    The store is a broadcast extra of the records map stage: it holds
+    only its root path, so it pickles to workers in a few bytes, and
+    each worker reads/writes checkpoint files directly (one project is
+    mapped at most once per run, so writers never race). Reads treat
+    anything unreadable — missing file, torn write, foreign format —
+    as "no checkpoint"; writes are atomic tmp+rename and best-effort,
+    mirroring :class:`~repro.engine.cache.ResultCache`.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path_for(self, pid: str, mode: str) -> Path:
+        digest = hashlib.sha256(
+            f"{mode}\x1f{pid}".encode("utf-8")).hexdigest()
+        return self.root / digest[:2] / f"{digest}.ckpt"
+
+    def load(self, pid: str, mode: str) -> StudyCheckpoint | None:
+        """The project's checkpoint, or ``None`` (absent/corrupt)."""
+        path = self.path_for(pid, mode)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            value = decode_entry(data)
+        except EngineError:
+            return None
+        if not isinstance(value, StudyCheckpoint) \
+                or value.format != DELTA_FORMAT_VERSION \
+                or value.pid != pid or value.mode != mode:
+            return None
+        return value
+
+    def save(self, checkpoint: StudyCheckpoint) -> bool:
+        """Persist ``checkpoint`` atomically (best-effort)."""
+        path = self.path_for(checkpoint.pid, checkpoint.mode)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(encode_entry(checkpoint))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeltaStore({str(self.root)!r})"
+
+
+def delta_store_for(source: Any, config: Any) -> DeltaStore | None:
+    """The delta store a run over ``source`` should use, or ``None``.
+
+    Checkpoints are maintained whenever (a) the config asks for delta
+    maintenance (the default), (b) a cache directory exists to hold
+    them, (c) the source speaks the version-chain protocol, and (d)
+    incremental statement parsing is globally enabled (the suffix
+    kernel rides the memo; ``--no-incremental`` A/B runs stay classic
+    end to end).
+    """
+    if config is None or config.cache_dir is None:
+        return None
+    if not getattr(config, "delta", True):
+        return None
+    if getattr(source, "version_chain", None) is None:
+        return None
+    if not incremental_parse_default():
+        return None
+    return DeltaStore(Path(config.cache_dir) / DELTA_SUBDIR)
+
+
+# ----------------------------------------------------------------------
+# checkpoint capture (after a full compute)
+
+
+def capture_checkpoint(pid: str, mode: str, history: SchemaHistory,
+                       record: StudyRecord, chain: tuple,
+                       scheme: LabelScheme) -> StudyCheckpoint | None:
+    """A checkpoint of a freshly, fully computed record.
+
+    Returns ``None`` when the history did not materialize through the
+    memoized path (migration-style ``incremental`` histories, classic
+    full parses) — there is no tail state to resume from, and the next
+    run simply recomputes in full.
+    """
+    if history.incremental:
+        return None
+    state = getattr(history, "_delta_state", None)
+    versions = history._versions
+    if state is None or not versions:
+        return None
+    series = record.labeled.profile.heartbeat
+    if series.breakdowns is None:
+        return None
+    prev_hashes, pool = state
+    rows = tuple(tuple(b.flat) if any(b.flat) else None
+                 for b in series.breakdowns)
+    return StudyCheckpoint(
+        format=DELTA_FORMAT_VERSION,
+        pid=pid,
+        mode=mode,
+        name=history.project_name,
+        chain=tuple(chain),
+        dialect=history.dialect.traits.name,
+        project_start=history.project_start,
+        project_end=history.project_end,
+        last_commit_ts=history.commits[-1].timestamp,
+        birth_month=history.commit_month(history.commits[0]),
+        monthly=tuple(series.monthly),
+        rows=rows,
+        prev_hashes=prev_hashes,
+        schema=versions[-1].schema,
+        pool=pool,
+        row=pack_record(record, count=False),
+        scheme_key=scheme_key(scheme),
+    )
+
+
+# ----------------------------------------------------------------------
+# the suffix recompute kernel
+
+
+class _Unusable(Exception):
+    """Internal: this checkpoint cannot serve this history. Fall back."""
+
+
+def _check_usable(cp: StudyCheckpoint, chain: tuple, dialect_name: str,
+                  project_start: datetime,
+                  project_end: datetime) -> None:
+    if cp.dialect != dialect_name:
+        raise _Unusable("dialect changed")
+    if not _is_prefix(cp.chain, tuple(chain)):
+        raise _Unusable("old chain is not a prefix of the new one")
+    if cp.project_start != project_start:
+        raise _Unusable("project_start moved (month indexing changed)")
+    if project_end < cp.project_end:
+        raise _Unusable("project window shrank")
+
+
+def extend_checkpoint(cp: StudyCheckpoint, suffix: Sequence,
+                      project_end: datetime, dialect
+                      ) -> tuple[ActivitySeries, StudyCheckpoint]:
+    """Run the suffix kernel: ``K`` new commits onto a checkpoint.
+
+    Mirrors :meth:`SchemaHistory._materialize_memoized` exactly —
+    whole-version shortcut, statement memo, ``snapshot_reusing`` table
+    reuse and the classic ``parse_script`` fallback — but starts from
+    the checkpointed version-N tail state instead of an empty one, and
+    folds each suffix diff's kind counts into the checkpointed month
+    rows precisely as ``accumulate_month_counts`` would have.
+
+    Args:
+        cp: the usable checkpoint (caller verified the prefix proof).
+        suffix: the new commits, timestamp-sorted; may be empty (a
+            window extension or metadata-only change).
+        project_end: the grown history's project end (never earlier
+            than the checkpoint's).
+        dialect: the parse dialect (object, not name).
+
+    Returns:
+        ``(series, new_checkpoint)`` — the extended activity series
+        and the checkpoint advanced to the new tail (its ``chain`` is
+        still the *old* one; the caller replaces it with the new
+        chain, which it alone knows in full).
+
+    Raises:
+        _Unusable: when a suffix commit sorts before the checkpoint's
+            append boundary (a rewrite in disguise) or the window math
+            stops adding up; callers fall back to a full recompute.
+    """
+    monthly = list(cp.monthly)
+    rows: list = [list(r) if r is not None else None for r in cp.rows]
+    new_pup = month_index(cp.project_start, project_end) + 1
+    if new_pup < len(monthly):
+        raise _Unusable("grown history spans fewer months")
+    monthly.extend([0] * (new_pup - len(monthly)))
+    rows.extend([None] * (new_pup - len(rows)))
+
+    memo = StatementMemo(dialect)
+    prev_hashes = cp.prev_hashes
+    prev_pool = cp.pool
+    prev_schema = cp.schema
+    last_ts = cp.last_commit_ts
+    for commit in suffix:
+        if commit.timestamp < last_ts:
+            raise _Unusable("suffix commit predates the append boundary")
+        last_ts = commit.timestamp
+        segments = split_statements(commit.ddl_text, dialect)
+        hashes = tuple(s.content_hash for s in segments)
+        if hashes == prev_hashes:
+            # Whole-version shortcut: same segment bytes, same schema,
+            # empty diff — exactly what the full path elides.
+            continue
+        parsed = [memo.parse(segment) for segment in segments]
+        if any(entry.fallback for entry in parsed):
+            script = parse_script(commit.ddl_text, dialect)
+            builder = SchemaBuilder(strict=False)
+            builder.apply_script(script)
+            schema = builder.snapshot()
+            pool = None
+        else:
+            builder = SchemaBuilder(strict=False)
+            for segment, entry in zip(segments, parsed):
+                if entry.statement is not None:
+                    builder.apply(entry.statement,
+                                  token=segment.content_hash)
+            schema, pool = builder.snapshot_reusing(prev_pool)
+        diff = diff_schemas(prev_schema, schema)
+        if diff.changes:
+            month = month_index(cp.project_start, commit.timestamp)
+            flat = diff.kind_counts_flat()
+            monthly[month] += sum(flat)
+            if rows[month] is None:
+                rows[month] = list(flat)
+            else:
+                row = rows[month]
+                for slot, count in enumerate(flat):
+                    row[slot] += count
+        prev_hashes = hashes
+        prev_pool = pool
+        prev_schema = schema
+
+    series = ActivitySeries(
+        monthly=tuple(monthly),
+        breakdowns=tuple(
+            EMPTY_BREAKDOWN if row is None
+            else ChangeBreakdown(flat=tuple(row))
+            for row in rows))
+    advanced = replace(
+        cp,
+        project_end=project_end,
+        last_commit_ts=last_ts,
+        monthly=tuple(series.monthly),
+        rows=tuple(tuple(row) if row is not None else None
+                   for row in rows),
+        prev_hashes=prev_hashes,
+        schema=prev_schema,
+        pool=prev_pool,
+    )
+    return series, advanced
+
+
+def _profile_from_series(name: str, series: ActivitySeries,
+                         birth_month: int,
+                         source: ActivitySeries | None,
+                         history: SchemaHistory | None) -> ProjectProfile:
+    """Rebuild the profile exactly as ``ProjectProfile.from_history``
+    does, from an already-extended series."""
+    landmarks = compute_landmarks(series, birth_month=birth_month)
+    totals = compute_activity_totals(series, landmarks.birth_month)
+    return ProjectProfile(
+        name=name,
+        landmarks=landmarks,
+        totals=totals,
+        vector=heartbeat_vector(series, DEFAULT_POINTS),
+        heartbeat=series,
+        source=source,
+        history=history,
+    )
+
+
+# ----------------------------------------------------------------------
+# serving records from checkpoints (worker side)
+
+
+def serve_corpus_delta(store: DeltaStore, pid: str, project,
+                       chain: tuple, scheme: LabelScheme
+                       ) -> StudyRecord | None:
+    """A corpus-mode record off the checkpointed prefix, or ``None``.
+
+    The project is already loaded (corpus-directory payloads are one
+    cheap JSON read; the cost this path avoids is *parsing* the DDL of
+    the prefix versions). ``None`` means "no usable checkpoint — do
+    the full compute"; a rewritten/unusable checkpoint also ticks the
+    ``rewritten`` counter.
+    """
+    cp = store.load(pid, "corpus")
+    if cp is None:
+        return None
+    history = project.history
+    try:
+        _check_usable(cp, chain, history.dialect.traits.name,
+                      history.project_start, history.project_end)
+        suffix = history.commits[len(cp.chain):]
+        series, advanced = extend_checkpoint(
+            cp, suffix, history.project_end, history.dialect)
+    except _Unusable:
+        _note_rewritten()
+        return None
+    profile = _profile_from_series(history.project_name, series,
+                                   cp.birth_month, project.source,
+                                   history)
+    labeled = label_profile(profile, scheme)
+    strict = classify(labeled)
+    record = StudyRecord(
+        name=project.name,
+        pattern=project.intended_pattern,
+        labeled=labeled,
+        is_exception=strict is not project.intended_pattern,
+    )
+    _note_served(reused=len(cp.chain), parsed=len(suffix))
+    store.save(replace(advanced, chain=tuple(chain),
+                       name=history.project_name,
+                       row=pack_record(record, count=False),
+                       scheme_key=scheme_key(scheme)))
+    return record
+
+
+def serve_history_delta(store: DeltaStore, pid: str, source,
+                        chain: tuple, scheme: LabelScheme
+                        ) -> StudyRecord | None:
+    """A histories-mode record off the checkpointed prefix, or ``None``.
+
+    Unlike the corpus path, old payloads are never read: the chain
+    (git shas) proves the prefix, and only the suffix commits are
+    fetched via the source's ``load_delta``. The rebuilt record
+    carries ``history=None`` — the optional table-level extension
+    skips such records; every study analysis reads only the profile.
+    """
+    load_delta = getattr(source, "load_delta", None)
+    cp = store.load(pid, "histories")
+    if cp is None or load_delta is None:
+        return None
+    dialect = source.dialect
+    try:
+        if cp.dialect != dialect.traits.name:
+            raise _Unusable("dialect changed")
+        if not _is_prefix(cp.chain, tuple(chain)):
+            raise _Unusable("old chain is not a prefix of the new one")
+        suffix = sorted(load_delta(pid, len(cp.chain)),
+                        key=lambda commit: commit.timestamp)
+        project_end = cp.project_end
+        if suffix:
+            if suffix[0].timestamp < cp.last_commit_ts:
+                raise _Unusable(
+                    "suffix commit predates the append boundary")
+            project_end = max(project_end, suffix[-1].timestamp)
+        series, advanced = extend_checkpoint(cp, suffix, project_end,
+                                             dialect)
+    except _Unusable:
+        _note_rewritten()
+        return None
+    profile = _profile_from_series(cp.name, series, cp.birth_month,
+                                   None, None)
+    labeled = label_profile(profile, scheme)
+    result = classify_with_tolerance(labeled)
+    record = StudyRecord(
+        name=cp.name,
+        pattern=result.pattern,
+        labeled=labeled,
+        is_exception=result.is_exception,
+    )
+    _note_served(reused=len(cp.chain), parsed=len(suffix))
+    store.save(replace(advanced, chain=tuple(chain),
+                       row=pack_record(record, count=False),
+                       scheme_key=scheme_key(scheme)))
+    return record

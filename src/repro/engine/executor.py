@@ -58,10 +58,16 @@ from repro.engine.session import (
     source_session_key,
 )
 from repro.analysis.table import pack_counters
+from repro.engine.delta import delta_counters
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
 from repro.errors import EngineError
 from repro.history.kernel import kernel_counters
 from repro.sqlddl.memo import parse_counters
+
+#: Slots of the combined per-item counter vector shipped home from
+#: workers: statement memo (2), heartbeat kernel (2), pack (1), delta
+#: layer (4: projects appended / rewritten, versions reused / parsed).
+N_COUNTER_SLOTS = 9
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,12 @@ class StageTiming:
             over worker processes and the parent).
         pack_merges: partial packs merged FIFO as worker chunks came
             home (0 for serial and non-packing stages).
+        delta_appended: projects served by the append-only delta path
+            (checkpoint extended by a suffix instead of recomputed).
+        delta_rewritten: projects whose checkpoint had to be discarded
+            (history rewritten or otherwise unusable; full recompute).
+        delta_reused: checkpointed versions reused without re-parsing.
+        delta_parsed: suffix versions the delta kernel parsed.
     """
 
     stage: str
@@ -106,6 +118,10 @@ class StageTiming:
     chunk_size: int = 0
     pack_rows: int = 0
     pack_merges: int = 0
+    delta_appended: int = 0
+    delta_rewritten: int = 0
+    delta_reused: int = 0
+    delta_parsed: int = 0
 
 
 @dataclass
@@ -121,12 +137,19 @@ class ExecutionReport:
             run fell back to serial re-execution for part of the work.
         quarantined: corrupt cache entries detected, moved aside and
             recomputed during the run (cache self-healing).
+        hot_hits: result-cache probes served by the session's in-memory
+            hot layer this run (0 without a cache).
+        hot_misses: probes that fell through to disk (or missed).
+        evictions: hot-layer LRU evictions during the run.
     """
 
     timings: list[StageTiming] = field(default_factory=list)
     failures: list[ProjectFailure] = field(default_factory=list)
     degraded: bool = False
     quarantined: int = 0
+    hot_hits: int = 0
+    hot_misses: int = 0
+    evictions: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -178,6 +201,39 @@ class ExecutionReport:
         """Partial packs merged at harvest time, over all stages."""
         return sum(t.pack_merges for t in self.timings)
 
+    @property
+    def delta_appended(self) -> int:
+        """Projects served by the append-only delta path."""
+        return sum(t.delta_appended for t in self.timings)
+
+    @property
+    def delta_rewritten(self) -> int:
+        """Projects whose study checkpoint was rejected (rewritten)."""
+        return sum(t.delta_rewritten for t in self.timings)
+
+    @property
+    def delta_reused(self) -> int:
+        """Checkpointed versions reused without re-parsing."""
+        return sum(t.delta_reused for t in self.timings)
+
+    @property
+    def delta_parsed(self) -> int:
+        """Suffix versions parsed by the delta kernel."""
+        return sum(t.delta_parsed for t in self.timings)
+
+    def format_delta_summary(self) -> str:
+        """One line of delta accounting for a refresh run.
+
+        ``unchanged`` counts the map items the result cache served —
+        projects whose fingerprint (and therefore content) did not
+        move since the last run and that no code path re-examined.
+        """
+        return (f"delta: {self.cache_hits} unchanged / "
+                f"{self.delta_appended} appended / "
+                f"{self.delta_rewritten} rewritten; "
+                f"versions: {self.delta_reused} reused / "
+                f"{self.delta_parsed} parsed")
+
     def timing(self, stage: str) -> StageTiming:
         """The timing entry of one stage.
 
@@ -213,6 +269,17 @@ class ExecutionReport:
                 return f"{packed} row / {merges} merge"
             return "-"
 
+        def delta_cell(appended: int, rewritten: int, reused: int,
+                       parsed: int) -> str:
+            if appended or rewritten or reused or parsed:
+                return (f"{appended} app / {rewritten} rew / "
+                        f"{reused} reuse / {parsed} parse")
+            return "-"
+
+        total_cache = hit_miss(self.cache_hits, self.cache_misses)
+        if self.hot_hits or self.hot_misses or self.evictions:
+            total_cache += (f" [hot {self.hot_hits}/{self.hot_misses}"
+                            f", evict {self.evictions}]")
         rows = []
         for entry in self.timings:
             rows.append([
@@ -224,21 +291,25 @@ class ExecutionReport:
                 hit_miss(entry.parse_hits, entry.parse_misses),
                 built_reuse(entry.kernel_series, entry.kernel_reuse),
                 pack_cell(entry.pack_rows, entry.pack_merges),
+                delta_cell(entry.delta_appended, entry.delta_rewritten,
+                           entry.delta_reused, entry.delta_parsed),
                 fault_cell(entry.failures, entry.retries),
             ])
         rows.append(["TOTAL", f"{self.total_seconds * 1000:.1f} ms",
                      "-", "-",
-                     hit_miss(self.cache_hits, self.cache_misses),
+                     total_cache,
                      hit_miss(self.parse_hits, self.parse_misses),
                      built_reuse(self.kernel_series, self.kernel_reuse),
                      pack_cell(self.pack_rows, self.pack_merges),
+                     delta_cell(self.delta_appended, self.delta_rewritten,
+                                self.delta_reused, self.delta_parsed),
                      fault_cell(len(self.failures), self.retries)])
         title = "Execution report"
         if self.degraded:
             title += " (degraded: pool lost, partial serial fallback)"
         return format_table(
             ["stage", "time", "items", "chunk", "cache", "parse memo",
-             "heartbeat kernel", "pack", "faults"], rows,
+             "heartbeat kernel", "pack", "delta", "faults"], rows,
             title=title)
 
 
@@ -246,7 +317,7 @@ def _invoke_map(fn: Callable, transport: Callable | None,
                 pack: Callable | None,
                 extras: tuple, stage_name: str, policy: ErrorPolicy,
                 faults: FaultPlan | None, attempt_base: int, item: Any
-                ) -> tuple[Any, tuple[int, int, int, int, int], int, Any]:
+                ) -> tuple[Any, tuple[int, ...], int, Any]:
     """Apply a map stage to one item (module-level: must pickle).
 
     Runs the item under the error policy: a capturing policy (skip /
@@ -262,12 +333,13 @@ def _invoke_map(fn: Callable, transport: Callable | None,
     map itself — so the parent only merges finished rows.
 
     Returns the (transported) result or failure record, the
-    statement-memo / heartbeat-kernel / pack deltas the call produced
-    (so worker processes can ship their counters back to the parent),
-    the number of retries spent, and the packed row (``None`` for
-    failures or non-packing stages).
+    statement-memo / heartbeat-kernel / pack / delta-layer counter
+    deltas the call produced (so worker processes can ship their
+    counters back to the parent), the number of retries spent, and the
+    packed row (``None`` for failures or non-packing stages).
     """
-    before = parse_counters() + kernel_counters() + pack_counters()
+    before = (parse_counters() + kernel_counters() + pack_counters()
+              + delta_counters())
     retries = 0
     attempt = 0
     while True:
@@ -295,9 +367,11 @@ def _invoke_map(fn: Callable, transport: Callable | None,
     row = None
     if pack is not None and not isinstance(payload, ProjectFailure):
         row = pack(payload)
-    after = parse_counters() + kernel_counters() + pack_counters()
+    after = (parse_counters() + kernel_counters() + pack_counters()
+             + delta_counters())
     return (payload,
-            tuple(after[slot] - before[slot] for slot in range(5)),
+            tuple(after[slot] - before[slot]
+                  for slot in range(N_COUNTER_SLOTS)),
             retries, row)
 
 
@@ -348,7 +422,7 @@ class _MapOutcome:
     count: int
     hits: int
     misses: int
-    worker_delta: tuple[int, int, int, int, int]
+    worker_delta: tuple[int, ...]
     failures: list[ProjectFailure]
     retries: int
     degraded: bool
@@ -406,7 +480,7 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
     failures: list[ProjectFailure] = []
     retries = 0
     degraded = False
-    worker_deltas = [0, 0, 0, 0, 0]
+    worker_deltas = [0] * N_COUNTER_SLOTS
     total = 0
     hits = 0
     merges = 0
@@ -438,7 +512,7 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
         payload, delta, item_retries, row = outcome
         retries += item_retries
         if count_delta:
-            for slot in range(5):
+            for slot in range(N_COUNTER_SLOTS):
                 worker_deltas[slot] += delta[slot]
         results[index] = payload
         if row is not None:
@@ -680,6 +754,7 @@ def _config_summary(config: StudyConfig) -> dict:
         "stratified": config.stratified,
         "on_error": config.error_policy.mode,
         "stage_timeout": config.stage_timeout,
+        "delta": config.delta,
     }
 
 
@@ -714,6 +789,8 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
     # Session state persists across runs; ledger numbers are deltas.
     quarantined_before = cache.quarantined if cache is not None else 0
     hot_before = cache.hot_hits if cache is not None else 0
+    hot_misses_before = cache.hot_misses if cache is not None else 0
+    evictions_before = cache.evictions if cache is not None else 0
     spawns_before = session.pool_spawns
     started_at = datetime.now(timezone.utc)
     run_started = time.perf_counter()
@@ -734,9 +811,9 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         config.emit(StageEvent(stage=stage.name, phase="start"))
         started = time.perf_counter()
         local_before = (parse_counters() + kernel_counters()
-                        + pack_counters())
+                        + pack_counters() + delta_counters())
         hits = misses = stage_failures = stage_retries = 0
-        worker_delta = (0, 0, 0, 0, 0)
+        worker_delta = (0,) * N_COUNTER_SLOTS
         items: int | None = None
         chunk_size = 0
         pack_merges = 0
@@ -764,14 +841,15 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             value = stage.fn(*(results[name] for name in stage.inputs))
         elapsed = time.perf_counter() - started
         local_after = (parse_counters() + kernel_counters()
-                       + pack_counters())
+                       + pack_counters() + delta_counters())
         # Counter activity of this stage: in-process delta (serial maps,
         # ordinary stages) plus whatever the workers shipped back.
         parse_hits, parse_misses, kernel_series, kernel_reuse, \
-            pack_rows = (
+            pack_rows, delta_appended, delta_rewritten, delta_reused, \
+            delta_parsed = (
                 local_after[slot] - local_before[slot]
                 + worker_delta[slot]
-                for slot in range(5))
+                for slot in range(N_COUNTER_SLOTS))
         results[stage.name] = value
         schedule.complete(stage.name)
         report.timings.append(StageTiming(
@@ -781,7 +859,9 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             kernel_series=kernel_series, kernel_reuse=kernel_reuse,
             failures=stage_failures, retries=stage_retries,
             chunk_size=chunk_size, pack_rows=pack_rows,
-            pack_merges=pack_merges))
+            pack_merges=pack_merges, delta_appended=delta_appended,
+            delta_rewritten=delta_rewritten, delta_reused=delta_reused,
+            delta_parsed=delta_parsed))
         config.emit(StageEvent(
             stage=stage.name, phase="finish", seconds=elapsed,
             items=items or 0, cache_hits=hits, cache_misses=misses,
@@ -789,9 +869,14 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
             kernel_series=kernel_series, kernel_reuse=kernel_reuse,
             failures=stage_failures, retries=stage_retries,
             chunk_size=chunk_size, pack_rows=pack_rows,
-            pack_merges=pack_merges))
+            pack_merges=pack_merges, delta_appended=delta_appended,
+            delta_rewritten=delta_rewritten, delta_reused=delta_reused,
+            delta_parsed=delta_parsed))
     if cache is not None:
         report.quarantined = cache.quarantined - quarantined_before
+        report.hot_hits = cache.hot_hits - hot_before
+        report.hot_misses = cache.hot_misses - hot_misses_before
+        report.evictions = cache.evictions - evictions_before
     session.record_run(RunRecord(
         run_id=session.next_run_id(),
         started=started_at.isoformat(),
@@ -802,8 +887,9 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         items=sum(t.items or 0 for t in report.timings),
         cache_hits=report.cache_hits,
         cache_misses=report.cache_misses,
-        hot_hits=(cache.hot_hits - hot_before)
-        if cache is not None else 0,
+        hot_hits=report.hot_hits,
+        hot_misses=report.hot_misses,
+        evictions=report.evictions,
         parse_hits=report.parse_hits,
         parse_misses=report.parse_misses,
         kernel_series=report.kernel_series,
@@ -813,6 +899,10 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         quarantined=report.quarantined,
         retries=report.retries,
         pack_rows=report.pack_rows,
+        delta_appended=report.delta_appended,
+        delta_rewritten=report.delta_rewritten,
+        delta_reused=report.delta_reused,
+        delta_parsed=report.delta_parsed,
         pool_spawns=session.pool_spawns - spawns_before,
         result_digest=_result_digest(results),
     ), config.cache_dir)
@@ -831,7 +921,8 @@ def _timing_dict(timing: StageTiming) -> dict:
         entry["cache_misses"] = timing.cache_misses
     for name in ("parse_hits", "parse_misses", "kernel_series",
                  "kernel_reuse", "failures", "retries", "chunk_size",
-                 "pack_rows", "pack_merges"):
+                 "pack_rows", "pack_merges", "delta_appended",
+                 "delta_rewritten", "delta_reused", "delta_parsed"):
         value = getattr(timing, name)
         if value:
             entry[name] = value

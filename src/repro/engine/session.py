@@ -183,6 +183,13 @@ class RunRecord:
         cache_hits / cache_misses: result-cache totals of the run.
         hot_hits: cache hits served from the session's in-memory hot
             layer (a subset of ``cache_hits``).
+        hot_misses: cache probes that fell through to the disk store.
+        evictions: hot-layer LRU evictions during the run.
+        delta_appended / delta_rewritten: projects served by the
+            append-only delta path / recomputed after their checkpoint
+            was rejected (rewritten history).
+        delta_reused / delta_parsed: checkpointed versions reused vs
+            suffix versions parsed by the delta kernel.
         parse_hits / parse_misses: statement-memo totals.
         kernel_series / kernel_reuse: heartbeat-kernel totals.
         failures: quarantined-project summaries, in failure order.
@@ -217,6 +224,12 @@ class RunRecord:
     pool_spawns: int
     result_digest: str
     pack_rows: int = 0
+    hot_misses: int = 0
+    evictions: int = 0
+    delta_appended: int = 0
+    delta_rewritten: int = 0
+    delta_reused: int = 0
+    delta_parsed: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -238,6 +251,12 @@ class RunRecord:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "hot_hits": self.hot_hits,
+            "hot_misses": self.hot_misses,
+            "evictions": self.evictions,
+            "delta_appended": self.delta_appended,
+            "delta_rewritten": self.delta_rewritten,
+            "delta_reused": self.delta_reused,
+            "delta_parsed": self.delta_parsed,
             "parse_hits": self.parse_hits,
             "parse_misses": self.parse_misses,
             "kernel_series": self.kernel_series,
@@ -453,6 +472,28 @@ class EngineSession:
     def remember_shard(self, shard_key: str, handles: list) -> None:
         """Memoize one shard's enumerated handles for this session."""
         self._shard_handles[shard_key] = list(handles)
+
+    # -- incremental re-study ------------------------------------------
+
+    def refresh(self, source: Any, config: StudyConfig | None = None):
+        """Re-derive the full study of ``source``, incrementally.
+
+        The delta-aware counterpart of
+        :func:`~repro.study.pipeline.run_full_study_from_source` bound
+        to this session: unchanged projects are served by the result
+        cache, append-only growth runs through the O(K) suffix kernel
+        against the checkpoints in the config's cache dir, and
+        rewritten histories fall back to a full recompute — output is
+        byte-identical to a cold study of the grown source either way.
+        The returned report's ``format_delta_summary()`` says which
+        path served how much.
+
+        Returns:
+            ``(StudyResults, ExecutionReport)``.
+        """
+        from repro.engine.study_plan import execute_study_from_source
+        return execute_study_from_source(source, config or self.config,
+                                         session=self)
 
     # -- run ledger ----------------------------------------------------
 

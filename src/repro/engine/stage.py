@@ -46,6 +46,11 @@ class StageEvent:
             over workers and the parent).
         pack_merges: partial packs merged FIFO as worker chunks were
             harvested (0 for serial or non-packing stages).
+        delta_appended: projects served by the append-only delta path.
+        delta_rewritten: projects whose study checkpoint was rejected
+            (rewritten history; recomputed in full).
+        delta_reused: checkpointed versions reused without re-parsing.
+        delta_parsed: suffix versions parsed by the delta kernel.
     """
 
     stage: str
@@ -63,6 +68,10 @@ class StageEvent:
     chunk_size: int = 0
     pack_rows: int = 0
     pack_merges: int = 0
+    delta_appended: int = 0
+    delta_rewritten: int = 0
+    delta_reused: int = 0
+    delta_parsed: int = 0
 
 
 @dataclass(frozen=True)

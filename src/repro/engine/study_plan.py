@@ -226,11 +226,60 @@ def source_record_key(handle, extras: tuple, version: str) -> str:
 
     The handle's fingerprint stands in for the project content, so the
     key is computable without loading the project — the point of the
-    lazy path: a warm cache never materializes anything.
+    lazy path: a warm cache never materializes anything. The delta
+    plan's extra broadcast input (the checkpoint store) deliberately
+    does not participate: checkpoints accelerate the compute, they
+    never change its result, so delta and non-delta runs share cache
+    entries.
     """
-    (source, scheme) = extras
+    source, scheme = extras[0], extras[1]
     return fingerprint("source-record", version, source.mode,
                        scheme.to_dict(), handle.pid, handle.fingerprint)
+
+
+def source_record_delta(handle, source, scheme: LabelScheme,
+                        store) -> StudyRecord:
+    """Delta-aware :func:`source_record`: serve appends in O(K).
+
+    With a checkpoint store, the project's version chain is compared
+    against its last checkpoint: an unchanged-prefix chain routes the
+    suffix through the delta kernel (parse only the K new versions,
+    extend the checkpointed series and snapshot); anything else — no
+    checkpoint, rewritten history, unusable state — computes in full
+    exactly as :func:`source_record`, then writes a fresh checkpoint
+    so the *next* growth is O(K). Results are byte-identical across
+    every path; projects whose fingerprint did not move at all are
+    result-cache hits and never reach this function.
+    """
+    from repro.engine import delta as delta_mod
+    if store is None:
+        return source_record(handle, source, scheme)
+    if source.mode == "corpus":
+        loaded = source.load(handle.pid)
+        history = loaded.history
+        chain = delta_mod.commit_chain(history.commits)
+        served = delta_mod.serve_corpus_delta(store, handle.pid,
+                                              loaded, chain, scheme)
+        if served is not None:
+            return served
+        record = corpus_record(loaded, scheme)
+        checkpoint = delta_mod.capture_checkpoint(
+            handle.pid, "corpus", history, record, chain, scheme)
+        if checkpoint is not None:
+            store.save(checkpoint)
+        return record
+    chain = source.version_chain(handle.pid)
+    served = delta_mod.serve_history_delta(store, handle.pid, source,
+                                           chain, scheme)
+    if served is not None:
+        return served
+    history = source.load(handle.pid)
+    record = history_record(history, scheme)
+    checkpoint = delta_mod.capture_checkpoint(
+        handle.pid, "histories", history, record, chain, scheme)
+    if checkpoint is not None:
+        store.save(checkpoint)
+    return record
 
 
 # ----------------------------------------------------------------------
@@ -757,7 +806,8 @@ def build_study_plan(source: str = "corpus",
                       *_analysis_stages(columnar)])
 
 
-def source_map_stage(packed: bool = False) -> MapStage:
+def source_map_stage(packed: bool = False,
+                     delta: bool = False) -> MapStage:
     """The per-project map stage over source handles.
 
     Unlike :func:`records_map_stage`, the mapped items are
@@ -766,11 +816,23 @@ def source_map_stage(packed: bool = False) -> MapStage:
     workers once as a broadcast extra. No ``item_transport_fn`` is
     needed: there is nothing to strip from a handle. ``packed`` wires
     the harvest-time table pack exactly as in
-    :func:`records_map_stage`.
+    :func:`records_map_stage`. ``delta`` additionally broadcasts a
+    checkpoint store (the ``delta_store`` initial input — a picklable
+    path holder; workers read and write the checkpoint files
+    themselves) and maps through :func:`source_record_delta`; version
+    and cache keys are untouched, so delta and plain plans share the
+    result cache.
     """
     pack = dict(pack_fn=pack_record,
                 pack_finish_fn=RecordTable.from_rows,
                 pack_output="table") if packed else {}
+    if delta:
+        return MapStage(name="records", fn=source_record_delta,
+                        inputs=("handles", "source", "scheme",
+                                "delta_store"),
+                        version=RECORDS_STAGE_VERSION,
+                        cache_key_fn=source_record_key,
+                        transport_fn=strip_record, **pack)
     return MapStage(name="records", fn=source_record,
                     inputs=("handles", "source", "scheme"),
                     version=RECORDS_STAGE_VERSION,
@@ -778,14 +840,15 @@ def source_map_stage(packed: bool = False) -> MapStage:
                     transport_fn=strip_record, **pack)
 
 
-def build_source_records_plan() -> StudyPlan:
+def build_source_records_plan(delta: bool = False) -> StudyPlan:
     """A plan computing only the records, from source handles."""
-    return StudyPlan([source_map_stage()])
+    return StudyPlan([source_map_stage(delta=delta)])
 
 
-def build_source_study_plan(columnar: bool = True) -> StudyPlan:
+def build_source_study_plan(columnar: bool = True,
+                            delta: bool = False) -> StudyPlan:
     """The full study DAG driven by source handles."""
-    return StudyPlan([source_map_stage(packed=columnar),
+    return StudyPlan([source_map_stage(packed=columnar, delta=delta),
                       *_analysis_stages(columnar)])
 
 
@@ -940,11 +1003,13 @@ def compute_records_from_source(source,
     if not source.lightweight:
         return compute_records(_legacy_inputs(source), config,
                                source.mode, session=session)
+    from repro.engine.delta import delta_store_for
+    store = delta_store_for(source, config)
     feed, stream = _handle_feed(source, config, session)
     results, report = execute_plan(
-        build_source_records_plan(),
+        build_source_records_plan(delta=store is not None),
         {"handles": feed, "source": source,
-         "scheme": config.scheme},
+         "scheme": config.scheme, "delta_store": store},
         config, session=session)
     report.failures[:0] = stream.failures
     return list(results["records"]), report
@@ -968,10 +1033,13 @@ def execute_study_from_source(source,
     from repro.sources.base import source_count
     if source_count(source) == 0:
         raise AnalysisError("cannot run the study on zero records")
+    from repro.engine.delta import delta_store_for
+    store = delta_store_for(source, config)
     feed, stream = _handle_feed(source, config, session)
     results, report = execute_plan(
-        build_source_study_plan(),
-        {"handles": feed, "source": source, "scheme": config.scheme},
+        build_source_study_plan(delta=store is not None),
+        {"handles": feed, "source": source, "scheme": config.scheme,
+         "delta_store": store},
         config, session=session)
     report.failures[:0] = stream.failures
     return results["results"], report

@@ -98,6 +98,11 @@ class SchemaHistory:
         #: (memo hits, memo misses) of the last materialization, or None
         #: when the classic full-parse path ran.
         self.parse_stats: tuple[int, int] | None = None
+        #: (final segment-hash tuple, final Table pool) of the last
+        #: memoized materialization — the tail state the delta layer
+        #: checkpoints so a grown history can resume mid-stream; None
+        #: when the classic or incremental path ran.
+        self._delta_state: tuple | None = None
         self._versions: list[SchemaVersion] | None = None
         if self.project_start > self.commits[0].timestamp:
             raise HistoryError(
@@ -198,6 +203,7 @@ class SchemaHistory:
                 parse_issues=skipped + len(builder.issues)))
             prev_hashes = hashes
             prev_pool = pool
+        self._delta_state = (prev_hashes, prev_pool)
         self.parse_stats = (memo.hits, memo.misses)
         return versions
 

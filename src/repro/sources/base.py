@@ -99,6 +99,22 @@ class HistorySource(Protocol):
     * ``stratum(pid) -> str | None`` — a sampling stratum for the
       project (its pattern for corpora), used by stratified study
       sampling; ``None``/absent groups by pid prefix instead.
+
+    Optional **delta surface** (enables append-only incremental
+    re-study; sources without it always recompute in full):
+
+    * ``version_chain(pid) -> tuple[str, ...]`` — one stable hash per
+      version of the project, oldest first, such that append-only
+      growth *extends* the chain and any rewrite of an existing
+      version changes a prefix element (git: the file's commit shas;
+      corpora: per-commit content hashes). This is the delta layer's
+      prefix proof: "old chain is a prefix of new chain" means the
+      checkpointed study state can be extended by parsing only the
+      suffix (:func:`source_version_chain` bridges to ``None``).
+    * ``load_delta(pid, start) -> list[Commit]`` — the project's
+      commits from chain position ``start`` onward, without reading
+      earlier payloads (``"histories"`` sources only; ``"corpus"``
+      sources slice the loaded commits instead).
     """
 
     mode: str
@@ -210,6 +226,20 @@ def source_count(source: Any) -> int:
         return len(source)
     except TypeError:
         return len(source.project_ids())
+
+
+def source_version_chain(source: Any,
+                         pid: str) -> "tuple[str, ...] | None":
+    """The project's version-hash chain, or ``None``.
+
+    ``None`` — the source does not speak the delta protocol — simply
+    means "no prefix proof available": callers fall back to a full
+    recompute, which is always correct.
+    """
+    native = getattr(source, "version_chain", None)
+    if native is None:
+        return None
+    return tuple(native(pid))
 
 
 def source_stratum(source: Any, pid: str) -> str:

@@ -438,6 +438,19 @@ class CorpusDirSource:
         yield (_shard_key(where, MANIFEST_NAME, digest),
                [self._handle(entry) for entry in self._index().values()])
 
+    def version_chain(self, pid: str) -> tuple[str, ...]:
+        """The project's version-hash chain (one hash per commit).
+
+        Corpus payloads are one cheap JSON read, so the chain is
+        derived from the loaded commits; what the delta layer's prefix
+        proof then avoids is *parsing* the prefix versions' DDL — the
+        dominant cost. Appending commits to a project extends its
+        chain; editing any existing commit changes a prefix hash and
+        fails the proof.
+        """
+        from repro.engine.delta import commit_chain
+        return commit_chain(self.load(pid).history.commits)
+
     def load(self, pid: str) -> GeneratedProject:
         entry = self._entry(pid)
         if self._manifest["version"] == CORPUS_DIR_VERSION_SHARDED:

@@ -88,6 +88,8 @@ class GitDirSource:
         self.glob = glob
         self.drop_noise = drop_noise
         self._ids: tuple[str, ...] | None = None
+        self._memo_tip: str | None = None
+        self._fingerprints: dict[str, str] = {}
 
     def _git(self, *args: str) -> str:
         try:
@@ -106,6 +108,25 @@ class GitDirSource:
                 f"{detail or exc}") from exc
         return done.stdout.decode("utf-8", "replace")
 
+    def tip(self) -> str:
+        """The current HEAD sha — one cheap ``rev-parse``.
+
+        Everything this source serves derives from the commit graph at
+        HEAD, so comparing tips is a complete freshness check: a watch
+        loop polling an unchanged repository pays one ``rev-parse``
+        instead of a full per-file history walk.
+        """
+        return self._git("rev-parse", "HEAD").strip()
+
+    def _sync_tip(self) -> str:
+        """Check HEAD and drop the per-tip memos when it moved."""
+        tip = self.tip()
+        if tip != self._memo_tip:
+            self._memo_tip = tip
+            self._ids = None
+            self._fingerprints.clear()
+        return tip
+
     def identity(self) -> list:
         """Content identity for engine-session registries.
 
@@ -113,11 +134,12 @@ class GitDirSource:
         the commit graph at HEAD, so an unchanged sha means a session
         may replay its previous enumeration without re-walking git.
         """
-        head = self._git("rev-parse", "HEAD").strip()
+        head = self._sync_tip()
         return ["git", GIT_SOURCE_VERSION, self.root, head,
                 self.dialect.traits.name, self.glob, self.drop_noise]
 
     def project_ids(self) -> tuple[str, ...]:
+        self._sync_tip()
         if self._ids is None:
             listing = self._git("ls-files", "-z", "--", self.glob)
             kept = []
@@ -134,10 +156,51 @@ class GitDirSource:
         return self._ids
 
     def fingerprint(self, pid: str) -> str:
+        self._sync_tip()
+        cached = self._fingerprints.get(pid)
+        if cached is not None:
+            return cached
         shas = self._git("log", "--format=%H", "--", pid).split()
         from repro.engine.cache import fingerprint
-        return fingerprint("git-history", GIT_SOURCE_VERSION, pid,
-                           self.dialect.traits.name, shas)
+        value = fingerprint("git-history", GIT_SOURCE_VERSION, pid,
+                            self.dialect.traits.name, shas)
+        self._fingerprints[pid] = value
+        return value
+
+    def version_chain(self, pid: str) -> tuple[str, ...]:
+        """The file's version-hash chain: its commit shas, oldest first.
+
+        The delta layer's prefix proof — computable without reading a
+        single blob. Append-only growth extends the chain; any rewrite
+        (rebase, amend, force-push) changes old shas and fails the
+        prefix check, forcing a full recompute.
+        """
+        return tuple(self._git("log", "--reverse", "--format=%H",
+                               "--", pid).split())
+
+    def load_delta(self, pid: str, start: int) -> list[Commit]:
+        """The file's commits from chain position ``start`` onward.
+
+        The suffix counterpart of :meth:`load`: only the new blobs are
+        read. Commits that deleted the file are skipped exactly as in
+        :meth:`load` (they occupy chain slots but carry no version).
+        """
+        log = self._git("log", "--reverse", "--format=%H%x09%cI",
+                        "--", pid)
+        commits: list[Commit] = []
+        lines = [line for line in log.splitlines() if line.strip()]
+        for line in lines[start:]:
+            sha, _, stamp = line.partition("\t")
+            if not sha or not stamp:
+                continue
+            try:
+                ddl_text = self._git("show", f"{sha}:{pid}")
+            except SourceError:
+                continue  # commit deleted the file: no version to parse
+            commits.append(Commit(sha=sha,
+                                  timestamp=_naive_utc(stamp),
+                                  ddl_text=ddl_text))
+        return commits
 
     def iter_handles(self):
         """One handle per DDL file, fingerprinting lazily.

@@ -108,3 +108,41 @@ class TestStudyIntegration:
         from repro.engine import compute_records_from_source
         records, _ = compute_records_from_source(GitDirSource(repo))
         assert [r.name for r in records] == ["audit", "schema"]
+
+
+class TestTipMemo:
+    """HEAD changes invalidate the cached discovery/fingerprint memos
+    of one live source instance — the cheap ``rev-parse HEAD`` probe
+    replaces a full history walk when nothing moved."""
+
+    def test_same_instance_sees_new_commits(self, repo):
+        source = GitDirSource(repo)
+        assert "extra.sql" not in source.project_ids()
+        before = source.fingerprint("schema.sql")
+        (repo / "extra.sql").write_text(
+            "CREATE TABLE extra (id INT);\n")
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-qm", "extra",
+             env_date="2021-06-01T00:00:00Z")
+        assert "extra.sql" in source.project_ids()
+        # Untouched project's fingerprint survives the tip change.
+        assert source.fingerprint("schema.sql") == before
+
+    def test_fingerprint_memoized_until_tip_moves(self, repo):
+        source = GitDirSource(repo)
+        tip = source.tip()
+        assert source.fingerprint("schema.sql") \
+            == source.fingerprint("schema.sql")
+        (repo / "schema.sql").write_text("CREATE TABLE users (x INT);\n")
+        _git(repo, "commit", "-qam", "more",
+             env_date="2021-07-01T00:00:00Z")
+        assert source.tip() != tip
+        assert "x INT" in source.load("schema.sql").commits[-1].ddl_text
+
+    def test_identity_tracks_head(self, repo):
+        source = GitDirSource(repo)
+        before = source.identity()
+        (repo / "schema.sql").write_text("CREATE TABLE users (y INT);\n")
+        _git(repo, "commit", "-qam", "again",
+             env_date="2021-08-01T00:00:00Z")
+        assert source.identity() != before
