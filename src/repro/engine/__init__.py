@@ -48,11 +48,23 @@ from repro.engine.faults import (
     ProjectFailure,
     policy_from_name,
 )
+from repro.engine.interrupt import InterruptGuard, interrupt_guard
+from repro.engine.journal import (
+    JournalInfo,
+    JournalReplay,
+    RunJournal,
+    list_journals,
+    load_replay,
+    read_journal,
+    resumable_runs,
+)
+from repro.engine.lock import CacheLock, append_line
 from repro.engine.session import (
     EngineSession,
     HotResultCache,
     RunRecord,
     read_ledger,
+    read_ledger_report,
     source_session_key,
 )
 from repro.engine.stage import (
@@ -94,11 +106,16 @@ from repro.engine.study_plan import (
 
 __all__ = [
     "MISS",
+    "CacheLock",
     "DeltaStore",
     "EngineSession",
     "ErrorPolicy",
     "ExecutionReport",
     "HotResultCache",
+    "InterruptGuard",
+    "JournalInfo",
+    "JournalReplay",
+    "RunJournal",
     "RunRecord",
     "FaultPlan",
     "FaultSpec",
@@ -115,6 +132,7 @@ __all__ = [
     "StudyCheckpoint",
     "StudyConfig",
     "StudyPlan",
+    "append_line",
     "bare_history",
     "build_analysis_plan",
     "build_records_plan",
@@ -134,9 +152,15 @@ __all__ = [
     "fingerprint",
     "history_record",
     "history_record_key",
+    "interrupt_guard",
+    "list_journals",
+    "load_replay",
     "policy_from_name",
+    "read_journal",
     "read_ledger",
+    "read_ledger_report",
     "reset_delta_counters",
+    "resumable_runs",
     "run_analyses",
     "run_stage",
     "sample_handles",

@@ -47,6 +47,35 @@ ENVELOPE_MAGIC = b"%repro-cache%"
 #: Envelope layout version; a mismatch quarantines the entry.
 ENVELOPE_VERSION = 1
 
+#: Default cap on ``<cache_dir>/corrupt/`` entries (oldest pruned first),
+#: so a flaky disk cannot grow the quarantine without bound.
+QUARANTINE_LIMIT = 256
+
+
+def prune_oldest(directory: Path, limit: int) -> int:
+    """Delete the oldest files in ``directory`` beyond ``limit``.
+
+    Best-effort (a file already gone, or undeletable, is skipped) and
+    tolerant of concurrent pruners. Returns the number removed.
+    """
+    try:
+        entries = [(path.stat().st_mtime, path.name, path)
+                   for path in directory.iterdir() if path.is_file()]
+    except OSError:
+        return 0
+    excess = len(entries) - limit
+    if excess <= 0:
+        return 0
+    entries.sort()
+    removed = 0
+    for _, _, path in entries[:excess]:
+        try:
+            path.unlink(missing_ok=True)
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
 
 def canonical(value: Any) -> Any:
     """Reduce ``value`` to a JSON-serializable canonical form.
@@ -84,13 +113,16 @@ def fingerprint(*parts: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def encode_entry(value: Any) -> bytes:
-    """Serialize ``value`` into the checksummed envelope format."""
-    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-    digest = hashlib.sha256(payload).hexdigest()
+def _envelope(payload: bytes, digest: str) -> bytes:
     header = b"%s %d %s\n" % (ENVELOPE_MAGIC, ENVELOPE_VERSION,
                               digest.encode("ascii"))
     return header + payload
+
+
+def encode_entry(value: Any) -> bytes:
+    """Serialize ``value`` into the checksummed envelope format."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return _envelope(payload, hashlib.sha256(payload).hexdigest())
 
 
 def decode_entry(data: bytes) -> Any:
@@ -133,15 +165,26 @@ class ResultCache:
 
     Args:
         root: cache directory; created lazily on first write.
+        quarantine_limit: cap on files kept in ``<root>/corrupt/``;
+            oldest entries beyond it are pruned at quarantine time.
+            ``None`` disables pruning.
 
     Attributes:
         quarantined: corrupt entries moved to ``<root>/corrupt/`` by
             this instance (each one was served as a miss).
+        pruned: quarantine files removed by the cap, oldest first.
+        write_failures: stores refused by the filesystem (ENOSPC,
+            read-only cache) — the run continues memory-only.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path,
+                 quarantine_limit: int | None = QUARANTINE_LIMIT):
         self.root = Path(root)
+        self.quarantine_limit = quarantine_limit
         self.quarantined = 0
+        self.pruned = 0
+        self.write_failures = 0
+        self._deny_writes = False
 
     def _path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.pkl"
@@ -162,6 +205,9 @@ class ResultCache:
             except OSError:
                 return  # read-only filesystem: nothing else to do
         self.quarantined += 1
+        if self.quarantine_limit is not None:
+            self.pruned += prune_oldest(self.corrupt_dir,
+                                        self.quarantine_limit)
 
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`MISS`.
@@ -183,26 +229,44 @@ class ResultCache:
             self._quarantine(path)
             return MISS
 
-    def put(self, key: str, value: Any) -> bool:
+    def deny_writes(self) -> None:
+        """Fault hook: refuse all further stores, as a full disk would."""
+        self._deny_writes = True
+
+    @property
+    def degraded_writes(self) -> bool:
+        """True once any store has been refused (ENOSPC / read-only)."""
+        return self.write_failures > 0
+
+    def put(self, key: str, value: Any) -> str | None:
         """Store ``value`` under ``key``; best-effort, atomic.
 
         Returns:
-            True when the entry was written; False when the filesystem
-            refused (read-only cache dirs degrade to pass-through).
+            The SHA-256 digest of the stored payload (truthy) when the
+            entry was written; ``None`` when the filesystem refused —
+            read-only or full cache dirs degrade to pass-through and
+            ``write_failures`` counts the refusals.
         """
+        if self._deny_writes:
+            self.write_failures += 1
+            return None
         path = self._path(key)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
+            payload = pickle.dumps(value,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(payload).hexdigest()
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_bytes(encode_entry(value))
+            tmp.write_bytes(_envelope(payload, digest))
             os.replace(tmp, path)
-            return True
+            return digest
         except OSError:
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
-            return False
+            self.write_failures += 1
+            return None
 
     def corrupt_entry(self, key: str) -> bool:
         """Scribble over ``key``'s stored entry (fault injection).

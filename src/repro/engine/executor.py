@@ -34,6 +34,7 @@ around the call, reproducing the historical one-shot behavior exactly.
 from __future__ import annotations
 
 import math
+import os
 import time
 from collections import deque
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -46,11 +47,15 @@ from typing import Any, Callable, Mapping
 from repro.engine.cache import MISS, fingerprint
 from repro.engine.config import StudyConfig
 from repro.engine.faults import (
+    KILL_EXIT_STATUS,
     ErrorPolicy,
     FaultPlan,
     ProjectFailure,
     item_id,
 )
+from repro.engine.interrupt import InterruptGuard, interrupt_guard
+from repro.engine.journal import JournalReplay, RunJournal, load_replay, \
+    new_run_id
 from repro.engine.session import (
     EngineSession,
     HotResultCache,
@@ -60,7 +65,7 @@ from repro.engine.session import (
 from repro.analysis.table import pack_counters
 from repro.engine.delta import delta_counters
 from repro.engine.stage import MapStage, Stage, StageEvent, StudyPlan
-from repro.errors import EngineError
+from repro.errors import EngineError, RunInterrupted
 from repro.history.kernel import kernel_counters
 from repro.sqlddl.memo import parse_counters
 
@@ -141,6 +146,18 @@ class ExecutionReport:
             hot layer this run (0 without a cache).
         hot_misses: probes that fell through to disk (or missed).
         evictions: hot-layer LRU evictions during the run.
+        run_uid: journal id of this execution (``""`` without a cache
+            dir — no journal is kept then).
+        resumed_from: journal id the run resumed, or ``None``.
+        journal_chunks: chunks journaled as durable during the run.
+        journal_replayed: prior-run chunks served entirely from the
+            cache on a resume (the "no recompute" acceptance counter).
+        journal_replayed_items: individual journaled items so served.
+        write_failures: cache stores the filesystem refused (ENOSPC /
+            read-only) — the run continued memory-only.
+        journal_degraded: the journal itself could not be written and
+            fell back to memory-only.
+        pruned: quarantine entries removed by the cap during the run.
     """
 
     timings: list[StageTiming] = field(default_factory=list)
@@ -150,6 +167,14 @@ class ExecutionReport:
     hot_hits: int = 0
     hot_misses: int = 0
     evictions: int = 0
+    run_uid: str = ""
+    resumed_from: str | None = None
+    journal_chunks: int = 0
+    journal_replayed: int = 0
+    journal_replayed_items: int = 0
+    write_failures: int = 0
+    journal_degraded: bool = False
+    pruned: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -434,7 +459,10 @@ class _MapOutcome:
 def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                    config: StudyConfig,
                    cache: HotResultCache | None,
-                   session: EngineSession) -> _MapOutcome:
+                   session: EngineSession,
+                   journal: RunJournal | None = None,
+                   replay: JournalReplay | None = None,
+                   guard: InterruptGuard | None = None) -> _MapOutcome:
     """Execute one map stage under the config's error policy.
 
     ``items`` is any iterable — a list or a lazily enumerated
@@ -470,6 +498,15 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
     ``BrokenProcessPool`` harvests finished chunks and re-runs all
     unfinished work serially at the next attempt number, and the
     fail-fast policy propagates.
+
+    Durability: every harvested chunk of *computed* work is appended
+    to ``journal`` (cache hits are already durable and never
+    journaled), and ``replay`` marks journaled keys the cache served
+    back on a ``--resume`` run. ``guard`` is the graceful-shutdown
+    flag: it is checked before each new item is dispatched, so an
+    interrupt stops new work, drains the chunks that already finished
+    (caching + journaling their results) and cancels the rest before
+    :class:`~repro.errors.RunInterrupted` propagates.
     """
     policy = config.error_policy
     faults = config.faults
@@ -477,6 +514,8 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
     results: dict[int, Any] = {}
     keys: dict[int, str] = {}
     rows: dict[int, Any] = {}
+    digests: dict[int, str | None] = {}
+    jkeys: dict[int, str | None] = {}
     failures: list[ProjectFailure] = []
     retries = 0
     degraded = False
@@ -485,9 +524,29 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
     hits = 0
     merges = 0
 
+    def parent_fault(item: Any) -> None:
+        """Fire run-level injected faults at this item's dispatch."""
+        kind = faults.parent_kind(item_id(item), stage.name)
+        if kind is None:
+            return
+        if kind == "kill":
+            # A deterministic in-process `kill -9`: no drain, no
+            # journal end record, no ledger row — exactly what the
+            # resume path must recover from.
+            os._exit(KILL_EXIT_STATUS)
+        elif kind == "interrupt" and guard is not None:
+            guard.trigger(f"injected interrupt at {item_id(item)}")
+        elif kind == "enospc":
+            if cache is not None:
+                cache.deny_writes()
+            if journal is not None:
+                journal.deny_writes()
+
     def probe(index: int, item: Any) -> bool:
         """Serve ``item`` from cache; True when it still needs work."""
         nonlocal hits
+        if faults is not None:
+            parent_fault(item)
         if not probe_cache:
             return True
         key = stage.cache_key_fn(item, extras, stage.version)
@@ -504,6 +563,8 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
             # table covers hot, cold and mixed runs alike.
             rows[index] = stage.pack_fn(value)
         hits += 1
+        if replay is not None and replay.contains(key):
+            replay.mark(key)
         return False
 
     def absorb(index: int, outcome: tuple, count_delta: bool,
@@ -527,7 +588,20 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                     # Serial path: results stay untransported; shed
                     # the derived caches only for the on-disk copy.
                     stripped = stage.transport_fn(payload)
-                cache.put(key, stripped)
+                jkeys[index] = key
+                digests[index] = cache.put(key, stripped)
+
+    def journal_chunk(positions: list[int], outbound: list) -> None:
+        """Journal one harvested chunk's computed survivors."""
+        if journal is None:
+            return
+        entries = []
+        for index, item in zip(positions, outbound):
+            if isinstance(results.get(index), ProjectFailure):
+                continue
+            entries.append((item_id(item), jkeys.get(index),
+                            digests.get(index)))
+        journal.chunk(stage.name, entries)
 
     chosen_chunk = 0
     if config.jobs > 1:
@@ -586,6 +660,7 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                         absorb(index, triple, True, True)
                     if stage.pack_fn is not None:
                         merges += 1
+                    journal_chunk(positions, outbound)
                 else:
                     backlog.extend(zip(positions, outbound))
                 return
@@ -620,9 +695,12 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
             if stage.pack_fn is not None:
                 # One partial pack merged FIFO into the growing table.
                 merges += 1
+            journal_chunk(positions, outbound)
 
         try:
             for item in items:
+                if guard is not None:
+                    guard.check()
                 index = total
                 total += 1
                 if not probe(index, item):
@@ -636,10 +714,29 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                     # until the oldest chunk comes home.
                     while len(inflight) >= window:
                         harvest_oldest()
+            if guard is not None:
+                guard.check()
             submit_buffer()
             while inflight:
                 harvest_oldest()
             harvested = True
+        except RunInterrupted:
+            # Graceful shutdown: stop dispatching, drain the chunks
+            # that already finished — their results are real work, so
+            # cache and journal them — and cancel everything else.
+            while inflight:
+                positions, outbound, future = inflight.popleft()
+                if future.done() and not future.cancelled() \
+                        and future.exception() is None:
+                    for index, triple in zip(positions,
+                                             future.result()):
+                        absorb(index, triple, True, True)
+                    if stage.pack_fn is not None:
+                        merges += 1
+                    journal_chunk(positions, outbound)
+                else:
+                    future.cancel()
+            raise
         finally:
             if broken or abandoned:
                 # Dead or stuck pools cannot be reused: discard so
@@ -661,17 +758,26 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                               stage.transport_fn, stage.pack_fn,
                               extras, stage.name, policy, faults, 1)
             for index, item in backlog:
+                if guard is not None:
+                    guard.check()
                 absorb(index, recover(item), False, True)
             if stage.pack_fn is not None:
                 merges += 1
+            journal_chunk([index for index, _ in backlog],
+                          [item for _, item in backlog])
     else:
         invoke = partial(_invoke_map, stage.fn, None, stage.pack_fn,
                          extras, stage.name, policy, faults, 0)
         for item in items:
+            if guard is not None:
+                guard.check()
             index = total
             total += 1
             if probe(index, item):
                 absorb(index, invoke(item), False, False)
+                # Serial chunks are single items: each computed item
+                # becomes durable (and resumable) as soon as it lands.
+                journal_chunk([index], [item])
 
     if failures and len(failures) == total:
         summary = "; ".join(f.summary() for f in failures[:3])
@@ -691,6 +797,21 @@ def _run_map_stage(stage: MapStage, items: Any, extras: tuple,
                        failures=failures, retries=retries,
                        degraded=degraded, chunk_size=chosen_chunk,
                        pack=pack, pack_merges=merges)
+
+
+def _early_fingerprint(inputs: Mapping[str, Any]) -> str | None:
+    """The studied source's identity *before* any work has run.
+
+    The journal's ``begin`` record needs a source identity up front,
+    but :func:`_source_fingerprint`'s stream-digest fallback is only
+    valid after the handles are consumed. The cheap session key covers
+    every source-driven plan; identity-less inputs journal ``None``
+    and skip the resume source check.
+    """
+    source = inputs.get("source")
+    if source is not None:
+        return source_session_key(source)
+    return None
 
 
 def _source_fingerprint(inputs: Mapping[str, Any]) -> str:
@@ -755,6 +876,7 @@ def _config_summary(config: StudyConfig) -> dict:
         "on_error": config.error_policy.mode,
         "stage_timeout": config.stage_timeout,
         "delta": config.delta,
+        "resume_from": config.resume_from,
     }
 
 
@@ -780,6 +902,10 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
     Raises:
         EngineError: for invalid plans (unknown inputs, cycles), or —
             under the fail-fast policy — whatever a stage raised.
+        RunInterrupted: the run was stopped by SIGINT/SIGTERM (or an
+            injected ``interrupt`` fault) — completed chunks were
+            drained, journal and ledger were flushed, and the ledger
+            row is marked ``interrupted`` before this propagates.
     """
     config = config or StudyConfig()
     if session is None:
@@ -791,6 +917,9 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
     hot_before = cache.hot_hits if cache is not None else 0
     hot_misses_before = cache.hot_misses if cache is not None else 0
     evictions_before = cache.evictions if cache is not None else 0
+    write_failures_before = \
+        cache.write_failures if cache is not None else 0
+    pruned_before = cache.pruned if cache is not None else 0
     spawns_before = session.pool_spawns
     started_at = datetime.now(timezone.utc)
     run_started = time.perf_counter()
@@ -807,76 +936,128 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         while not schedule.done:
             yield from schedule.take_ready()
 
-    for stage in ready_stages():
-        config.emit(StageEvent(stage=stage.name, phase="start"))
-        started = time.perf_counter()
-        local_before = (parse_counters() + kernel_counters()
-                        + pack_counters() + delta_counters())
-        hits = misses = stage_failures = stage_retries = 0
-        worker_delta = (0,) * N_COUNTER_SLOTS
-        items: int | None = None
-        chunk_size = 0
-        pack_merges = 0
-        if isinstance(stage, MapStage):
-            # The first input may be a lazily enumerated stream — it
-            # is handed to the map stage as-is and consumed exactly
-            # once, never materialized here.
-            feed = results[stage.inputs[0]]
-            extras = tuple(results[name] for name in stage.inputs[1:])
-            outcome = _run_map_stage(stage, feed, extras, config,
-                                     cache, session)
-            value = outcome.values
-            hits, misses = outcome.hits, outcome.misses
-            worker_delta = outcome.worker_delta
-            stage_failures = len(outcome.failures)
-            stage_retries = outcome.retries
-            report.failures.extend(outcome.failures)
-            report.degraded = report.degraded or outcome.degraded
-            items = outcome.count
-            chunk_size = outcome.chunk_size
-            pack_merges = outcome.pack_merges
-            if stage.pack_output is not None:
-                results[stage.pack_output] = outcome.pack
-        else:
-            value = stage.fn(*(results[name] for name in stage.inputs))
-        elapsed = time.perf_counter() - started
-        local_after = (parse_counters() + kernel_counters()
-                       + pack_counters() + delta_counters())
-        # Counter activity of this stage: in-process delta (serial maps,
-        # ordinary stages) plus whatever the workers shipped back.
-        parse_hits, parse_misses, kernel_series, kernel_reuse, \
-            pack_rows, delta_appended, delta_rewritten, delta_reused, \
-            delta_parsed = (
-                local_after[slot] - local_before[slot]
-                + worker_delta[slot]
-                for slot in range(N_COUNTER_SLOTS))
-        results[stage.name] = value
-        schedule.complete(stage.name)
-        report.timings.append(StageTiming(
-            stage=stage.name, seconds=elapsed, items=items,
-            cache_hits=hits, cache_misses=misses,
-            parse_hits=parse_hits, parse_misses=parse_misses,
-            kernel_series=kernel_series, kernel_reuse=kernel_reuse,
-            failures=stage_failures, retries=stage_retries,
-            chunk_size=chunk_size, pack_rows=pack_rows,
-            pack_merges=pack_merges, delta_appended=delta_appended,
-            delta_rewritten=delta_rewritten, delta_reused=delta_reused,
-            delta_parsed=delta_parsed))
-        config.emit(StageEvent(
-            stage=stage.name, phase="finish", seconds=elapsed,
-            items=items or 0, cache_hits=hits, cache_misses=misses,
-            parse_hits=parse_hits, parse_misses=parse_misses,
-            kernel_series=kernel_series, kernel_reuse=kernel_reuse,
-            failures=stage_failures, retries=stage_retries,
-            chunk_size=chunk_size, pack_rows=pack_rows,
-            pack_merges=pack_merges, delta_appended=delta_appended,
-            delta_rewritten=delta_rewritten, delta_reused=delta_reused,
-            delta_parsed=delta_parsed))
+    # Durability: runs with a cache dir journal every completed chunk
+    # (so a killed run resumes instead of recomputing) and resumes
+    # load the interrupted run's journal as a replay set. The run id
+    # is operational metadata only — it never feeds cache keys or
+    # study output, so randomness here cannot perturb reproducibility.
+    run_uid = new_run_id()
+    journal: RunJournal | None = None
+    replay: JournalReplay | None = None
+    if config.cache_dir is not None:
+        source_key = _early_fingerprint(inputs)
+        if config.resume_from:
+            replay = load_replay(config.cache_dir, config.resume_from)
+            replay.verify_source(source_key)
+        journal = RunJournal.begin(
+            config.cache_dir, run_uid, source=source_key,
+            config=_config_summary(config),
+            resumed_from=config.resume_from)
+    interrupted = False
+    with interrupt_guard(run_uid if journal is not None
+                         else None) as guard:
+        try:
+            for stage in ready_stages():
+                guard.check()
+                config.emit(StageEvent(stage=stage.name, phase="start"))
+                started = time.perf_counter()
+                local_before = (parse_counters() + kernel_counters()
+                                + pack_counters() + delta_counters())
+                hits = misses = stage_failures = stage_retries = 0
+                worker_delta = (0,) * N_COUNTER_SLOTS
+                items: int | None = None
+                chunk_size = 0
+                pack_merges = 0
+                if isinstance(stage, MapStage):
+                    # The first input may be a lazily enumerated
+                    # stream — it is handed to the map stage as-is and
+                    # consumed exactly once, never materialized here.
+                    feed = results[stage.inputs[0]]
+                    extras = tuple(results[name]
+                                   for name in stage.inputs[1:])
+                    outcome = _run_map_stage(stage, feed, extras,
+                                             config, cache, session,
+                                             journal=journal,
+                                             replay=replay,
+                                             guard=guard)
+                    value = outcome.values
+                    hits, misses = outcome.hits, outcome.misses
+                    worker_delta = outcome.worker_delta
+                    stage_failures = len(outcome.failures)
+                    stage_retries = outcome.retries
+                    report.failures.extend(outcome.failures)
+                    report.degraded = report.degraded \
+                        or outcome.degraded
+                    items = outcome.count
+                    chunk_size = outcome.chunk_size
+                    pack_merges = outcome.pack_merges
+                    if stage.pack_output is not None:
+                        results[stage.pack_output] = outcome.pack
+                else:
+                    value = stage.fn(*(results[name]
+                                       for name in stage.inputs))
+                elapsed = time.perf_counter() - started
+                local_after = (parse_counters() + kernel_counters()
+                               + pack_counters() + delta_counters())
+                # Counter activity of this stage: in-process delta
+                # (serial maps, ordinary stages) plus whatever the
+                # workers shipped back.
+                parse_hits, parse_misses, kernel_series, kernel_reuse, \
+                    pack_rows, delta_appended, delta_rewritten, \
+                    delta_reused, delta_parsed = (
+                        local_after[slot] - local_before[slot]
+                        + worker_delta[slot]
+                        for slot in range(N_COUNTER_SLOTS))
+                results[stage.name] = value
+                schedule.complete(stage.name)
+                report.timings.append(StageTiming(
+                    stage=stage.name, seconds=elapsed, items=items,
+                    cache_hits=hits, cache_misses=misses,
+                    parse_hits=parse_hits, parse_misses=parse_misses,
+                    kernel_series=kernel_series,
+                    kernel_reuse=kernel_reuse,
+                    failures=stage_failures, retries=stage_retries,
+                    chunk_size=chunk_size, pack_rows=pack_rows,
+                    pack_merges=pack_merges,
+                    delta_appended=delta_appended,
+                    delta_rewritten=delta_rewritten,
+                    delta_reused=delta_reused,
+                    delta_parsed=delta_parsed))
+                config.emit(StageEvent(
+                    stage=stage.name, phase="finish", seconds=elapsed,
+                    items=items or 0, cache_hits=hits,
+                    cache_misses=misses,
+                    parse_hits=parse_hits, parse_misses=parse_misses,
+                    kernel_series=kernel_series,
+                    kernel_reuse=kernel_reuse,
+                    failures=stage_failures, retries=stage_retries,
+                    chunk_size=chunk_size, pack_rows=pack_rows,
+                    pack_merges=pack_merges,
+                    delta_appended=delta_appended,
+                    delta_rewritten=delta_rewritten,
+                    delta_reused=delta_reused,
+                    delta_parsed=delta_parsed))
+        except RunInterrupted:
+            interrupted = True
     if cache is not None:
         report.quarantined = cache.quarantined - quarantined_before
         report.hot_hits = cache.hot_hits - hot_before
         report.hot_misses = cache.hot_misses - hot_misses_before
         report.evictions = cache.evictions - evictions_before
+        report.write_failures = \
+            cache.write_failures - write_failures_before
+        report.pruned = cache.pruned - pruned_before
+    report.run_uid = run_uid if journal is not None else ""
+    report.resumed_from = config.resume_from
+    if replay is not None:
+        report.journal_replayed = replay.chunks_replayed
+        report.journal_replayed_items = replay.items_replayed
+    if journal is not None:
+        report.journal_chunks = journal.chunks
+        report.journal_degraded = journal.memory_only
+        # Flush the run's fate before the ledger row: a crash between
+        # the two leaves the journal resumable, never the other way.
+        journal.mark("interrupted" if interrupted else "complete")
     session.record_run(RunRecord(
         run_id=session.next_run_id(),
         started=started_at.isoformat(),
@@ -905,7 +1086,16 @@ def execute_plan(plan: StudyPlan, inputs: Mapping[str, Any],
         delta_parsed=report.delta_parsed,
         pool_spawns=session.pool_spawns - spawns_before,
         result_digest=_result_digest(results),
+        run_uid=report.run_uid,
+        interrupted=interrupted,
+        resumed_from=config.resume_from,
+        journal_chunks=report.journal_chunks,
+        journal_replayed=report.journal_replayed,
+        write_failures=report.write_failures,
+        pruned=report.pruned,
     ), config.cache_dir)
+    if interrupted:
+        raise RunInterrupted(report.run_uid or None)
     return results, report
 
 

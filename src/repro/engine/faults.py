@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import traceback
 from dataclasses import dataclass, field
 
@@ -43,7 +44,12 @@ from repro.errors import (
 POLICY_MODES = ("fail", "skip", "retry")
 
 #: The fault kinds a :class:`FaultSpec` can inject.
-FAULT_KINDS = ("parse", "source", "cache", "crash")
+FAULT_KINDS = ("parse", "source", "cache", "crash",
+               "kill", "enospc", "interrupt")
+
+#: Kinds that fire in the *parent* at dispatch time (see
+#: :meth:`FaultPlan.parent_kind`) rather than inside the mapped call.
+PARENT_FAULT_KINDS = ("kill", "enospc", "interrupt")
 
 #: Environment variable holding a fault-plan spec string.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -51,6 +57,10 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #: Exit status an injected worker crash dies with (recognizable in
 #: CI logs; any abnormal exit breaks the pool identically).
 CRASH_EXIT_STATUS = 97
+
+#: Exit status an injected ``kill`` fault dies with — 128 + SIGKILL,
+#: what a real ``kill -9`` of the run would report.
+KILL_EXIT_STATUS = 137
 
 # Set by the pool-worker initializer so an injected "crash" knows it
 # may genuinely kill the process; in the parent (serial execution,
@@ -62,6 +72,13 @@ def mark_pool_worker() -> None:
     """Flag this process as a pool worker (executor initializer)."""
     global _POOL_WORKER
     _POOL_WORKER = True
+    # A terminal Ctrl-C goes to the whole foreground process group;
+    # workers ignore SIGINT so the parent keeps a live pool while it
+    # drains finished chunks during graceful shutdown.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
 
 
 def in_pool_worker() -> bool:
@@ -232,10 +249,16 @@ class FaultSpec:
             permanent), ``"source"`` (raise
             :class:`~repro.errors.TransientSourceError` — retryable),
             ``"cache"`` (scribble over the project's on-disk cache
-            entry before it is read, exercising envelope self-healing)
-            or ``"crash"`` (kill the worker process; in-parent
-            execution raises :class:`~repro.errors.EngineError`
-            instead).
+            entry before it is read, exercising envelope self-healing),
+            ``"crash"`` (kill the worker process; in-parent execution
+            raises :class:`~repro.errors.EngineError` instead),
+            ``"kill"`` (hard-exit the whole run with status 137 when
+            the target is reached — a deterministic in-process
+            ``kill -9``, for crash-recovery tests), ``"enospc"``
+            (cache + journal writes start failing, as a full disk
+            would) or ``"interrupt"`` (a deterministic Ctrl-C: the
+            executor's graceful-shutdown path runs as if SIGINT had
+            arrived at that item).
         target: which projects the fault hits — an exact project id, a
             ``prefix*`` glob, or ``~N`` selecting a deterministic
             pseudo-random 1-in-N sample keyed on the plan seed.
@@ -336,7 +359,8 @@ class FaultPlan:
                 later attempt) heal injected transient faults.
         """
         spec = self.spec_for(pid, stage)
-        if spec is None or spec.kind == "cache" or attempt > spec.times:
+        if spec is None or spec.kind not in ("parse", "source", "crash") \
+                or attempt > spec.times:
             return
         if spec.kind == "parse":
             raise ParseError(
@@ -357,6 +381,20 @@ class FaultPlan:
         """True when this project's cache entry should be scribbled."""
         spec = self.spec_for(pid, stage)
         return spec is not None and spec.kind == "cache"
+
+    def parent_kind(self, pid: str, stage: str) -> str | None:
+        """The parent-side fault to fire when ``pid`` is dispatched.
+
+        ``kill``/``enospc``/``interrupt`` faults act on the *run*, not
+        on one mapped call, so the executor checks for them at probe
+        time in the parent process (``times`` does not apply — a run
+        only reaches each dispatch point once). Returns the kind, or
+        ``None``.
+        """
+        spec = self.spec_for(pid, stage)
+        if spec is not None and spec.kind in PARENT_FAULT_KINDS:
+            return spec.kind
+        return None
 
     def to_spec(self) -> str:
         """The plan as a spec-string (``REPRO_FAULT_PLAN`` format)."""

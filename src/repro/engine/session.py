@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import atexit
 import json
+import warnings
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -48,6 +49,7 @@ from typing import Any
 from repro.engine.cache import MISS, ResultCache, fingerprint
 from repro.engine.config import StudyConfig
 from repro.engine.faults import mark_pool_worker
+from repro.engine.lock import CacheLock, append_line
 from repro.errors import EngineError
 
 #: Default bound of a session cache's in-memory hot layer (entries).
@@ -114,6 +116,29 @@ class HotResultCache:
         """Corrupt disk entries quarantined (delegated)."""
         return self.disk.quarantined
 
+    @property
+    def pruned(self) -> int:
+        """Quarantine entries removed by the cap (delegated)."""
+        return self.disk.pruned
+
+    @property
+    def write_failures(self) -> int:
+        """Disk stores the filesystem refused (delegated)."""
+        return self.disk.write_failures
+
+    @property
+    def degraded_writes(self) -> bool:
+        """True once the disk layer started refusing stores."""
+        return self.disk.degraded_writes
+
+    def deny_writes(self) -> None:
+        """Fault hook: the disk layer refuses all further stores.
+
+        The hot layer keeps remembering, so an ENOSPC run completes
+        memory-only with identical output.
+        """
+        self.disk.deny_writes()
+
     def _remember(self, key: str, value: Any) -> None:
         if self.hot_entries <= 0:
             return
@@ -140,8 +165,12 @@ class HotResultCache:
             self._remember(key, value)
         return value
 
-    def put(self, key: str, value: Any) -> bool:
-        """Store ``value`` in both layers (disk write is best-effort)."""
+    def put(self, key: str, value: Any) -> str | None:
+        """Store ``value`` in both layers (disk write is best-effort).
+
+        Returns the disk payload digest, or ``None`` when the disk
+        refused — the hot copy still serves this session.
+        """
         self._remember(key, value)
         return self.disk.put(key, value)
 
@@ -201,6 +230,18 @@ class RunRecord:
             fully warm run — the headline service-shape number).
         result_digest: stable digest of the run's study records, for
             byte-identical-across-runs assertions and lineage.
+        run_uid: the run's journal id (``""`` when no cache dir, hence
+            no journal); ``--resume`` takes this id.
+        interrupted: the run was stopped by SIGINT/SIGTERM after a
+            graceful drain (its journal lists what completed).
+        resumed_from: journal id of the interrupted/killed run this one
+            resumed, or ``None`` for a fresh run.
+        journal_chunks: chunks this run journaled as durable.
+        journal_replayed: prior-run journaled chunks served entirely
+            from the result cache during a ``--resume`` run.
+        write_failures: cache/journal stores the filesystem refused
+            (ENOSPC / read-only degradation).
+        pruned: quarantine entries removed by the cap during the run.
     """
 
     run_id: int
@@ -230,6 +271,13 @@ class RunRecord:
     delta_rewritten: int = 0
     delta_reused: int = 0
     delta_parsed: int = 0
+    run_uid: str = ""
+    interrupted: bool = False
+    resumed_from: str | None = None
+    journal_chunks: int = 0
+    journal_replayed: int = 0
+    write_failures: int = 0
+    pruned: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -268,6 +316,13 @@ class RunRecord:
             "pack_rows": self.pack_rows,
             "pool_spawns": self.pool_spawns,
             "result_digest": self.result_digest,
+            "run_uid": self.run_uid,
+            "interrupted": self.interrupted,
+            "resumed_from": self.resumed_from,
+            "journal_chunks": self.journal_chunks,
+            "journal_replayed": self.journal_replayed,
+            "write_failures": self.write_failures,
+            "pruned": self.pruned,
         }
 
 
@@ -502,19 +557,24 @@ class EngineSession:
         """Append ``record`` to the ledger (and its JSONL, if durable).
 
         The JSONL file lives at ``<cache_dir>/ledger.jsonl`` and is
-        append-only across sessions and processes; writing it is
-        best-effort — the ledger is an ops aid, never a crash.
+        append-only across sessions and processes. The append is one
+        locked, fsynced ``write`` of the whole line (see
+        :mod:`repro.engine.lock`): concurrent sessions sharing a cache
+        dir serialize through the lock, concurrent readers never see a
+        torn record, and a power cut cannot lose an acknowledged run.
+        Still best-effort — the ledger is an ops aid, never a crash.
         """
         self.runs.append(record)
         if cache_dir is None:
             return
-        path = Path(cache_dir) / LEDGER_NAME
+        root = Path(cache_dir)
+        line = (json.dumps(record.to_dict(), sort_keys=True)
+                + "\n").encode("utf-8")
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record.to_dict(),
-                                        sort_keys=True) + "\n")
-        except OSError:
+            root.mkdir(parents=True, exist_ok=True)
+            with CacheLock(root):
+                append_line(root / LEDGER_NAME, line, fsync=True)
+        except (OSError, EngineError):
             pass
 
     def next_run_id(self) -> int:
@@ -527,24 +587,48 @@ class EngineSession:
                 f"pool_spawns={self.pool_spawns})")
 
 
-def read_ledger(cache_dir: str | Path) -> list[dict]:
-    """Every run record persisted under ``cache_dir``, oldest first.
+def read_ledger_report(cache_dir: str | Path
+                       ) -> tuple[list[dict], list[int]]:
+    """Ledger records plus the 1-based line numbers of torn lines.
 
-    Unparseable lines (torn writes) are skipped, mirroring the result
-    cache's never-a-crash stance.
+    A torn line — a partial record left by a crashed or pre-lock
+    writer — is skipped but *reported*, never silently absorbed: the
+    caller can surface it once instead of the ledger under-counting
+    forever. Valid records after a torn line are still returned (the
+    file stays append-only; one bad line does not poison the tail).
     """
     path = Path(cache_dir) / LEDGER_NAME
     try:
         text = path.read_text(encoding="utf-8")
     except OSError:
-        return []
-    records = []
-    for line in text.splitlines():
+        return [], []
+    records: list[dict] = []
+    torn: list[int] = []
+    for number, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError:
-            continue
+            torn.append(number)
+    return records, torn
+
+
+def read_ledger(cache_dir: str | Path) -> list[dict]:
+    """Every run record persisted under ``cache_dir``, oldest first.
+
+    Unparseable lines (torn writes) are skipped — mirroring the result
+    cache's never-a-crash stance — but reported via a warning so a
+    damaged ledger is visible; use :func:`read_ledger_report` to handle
+    the torn lines programmatically.
+    """
+    records, torn = read_ledger_report(cache_dir)
+    if torn:
+        lines = ", ".join(str(number) for number in torn[:5])
+        warnings.warn(
+            f"ledger.jsonl under {cache_dir}: skipped "
+            f"{len(torn)} torn record(s) at line(s) {lines} — likely "
+            f"a writer killed mid-append before this version's locked "
+            f"single-write appends", RuntimeWarning, stacklevel=2)
     return records

@@ -120,6 +120,25 @@ class TransientSourceError(SourceError):
     """
 
 
+class RunInterrupted(ReproError):
+    """Raised when a study run is stopped by SIGINT/SIGTERM mid-flight.
+
+    The executor's graceful-shutdown path raises this after draining
+    finished chunks and flushing the journal + ledger, so by the time a
+    caller sees it every completed unit of work is durable. ``run_id``
+    names the journal of the interrupted run (pass it back via
+    ``repro-schema study --resume RUN_ID``); it is ``None`` when the run
+    had no cache dir and therefore kept no journal.
+    """
+
+    def __init__(self, run_id: str | None = None):
+        message = "run interrupted"
+        if run_id:
+            message = f"run interrupted (resume with --resume {run_id})"
+        super().__init__(message)
+        self.run_id = run_id
+
+
 class CliError(ReproError):
     """Raised for command-line-level failures with no deeper home.
 

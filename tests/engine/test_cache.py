@@ -142,9 +142,11 @@ class TestResultCache:
         blocker = tmp_path / "blocked"
         blocker.write_text("in the way")
         cache = ResultCache(blocker)
-        assert cache.put(fingerprint("x"), 1) is False
+        assert cache.put(fingerprint("x"), 1) is None
         assert cache.get(fingerprint("x")) is MISS
         assert len(cache) == 0
+        assert cache.write_failures == 1
+        assert cache.degraded_writes
 
 
 class TestEnvelope:
@@ -239,3 +241,38 @@ class TestCacheSelfHealing:
         assert cache.corrupt_entry(key) is True
         assert cache.get(key) is MISS
         assert cache.quarantined == 1
+
+
+class TestQuarantineCap:
+    """The corrupt/ directory is bounded: oldest entries are pruned."""
+
+    def test_prune_oldest_caps_directory(self, tmp_path):
+        import os
+        from repro.engine.cache import prune_oldest
+        for index in range(6):
+            path = tmp_path / f"f{index}.bin"
+            path.write_bytes(b"x")
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))
+        assert prune_oldest(tmp_path, 4) == 2
+        assert sorted(p.name for p in tmp_path.iterdir()) \
+            == ["f2.bin", "f3.bin", "f4.bin", "f5.bin"]
+        assert prune_oldest(tmp_path, 4) == 0
+
+    def test_prune_missing_directory_is_zero(self, tmp_path):
+        from repro.engine.cache import prune_oldest
+        assert prune_oldest(tmp_path / "nowhere", 4) == 0
+
+    def test_quarantine_respects_cap(self, tmp_path):
+        import os
+        cache = ResultCache(tmp_path, quarantine_limit=2)
+        for index in range(4):
+            key = fingerprint("capped", index)
+            cache.put(key, index)
+            path = cache._path(key)
+            path.write_bytes(b"scribbled")
+            stamp = 1_000_000 + index
+            os.utime(path, (stamp, stamp))
+            assert cache.get(key) is MISS
+        assert cache.quarantined == 4
+        assert cache.pruned == 2
+        assert len(list(cache.corrupt_dir.iterdir())) == 2

@@ -1,0 +1,187 @@
+"""Unit tests for the per-run completion journal and its replay set."""
+
+import os
+
+import pytest
+
+from repro.engine.journal import (
+    JOURNAL_LIMIT,
+    JournalReplay,
+    RunJournal,
+    journal_dir,
+    journal_path,
+    list_journals,
+    load_replay,
+    new_run_id,
+    read_journal,
+    resumable_runs,
+)
+from repro.errors import EngineError
+
+
+def write_run(cache_dir, run_id, chunks=(), status=None, **begin):
+    journal = RunJournal.begin(cache_dir, run_id, **begin)
+    for stage, entries in chunks:
+        journal.chunk(stage, entries)
+    if status is not None:
+        journal.mark(status)
+    return journal
+
+
+class TestRunIds:
+    def test_shape_and_uniqueness(self):
+        ids = {new_run_id() for _ in range(64)}
+        assert len(ids) == 64
+        for run_id in ids:
+            assert run_id.startswith("r")
+            assert len(run_id) == 13
+            int(run_id[1:], 16)  # hex tail
+
+
+class TestWriteAndRead:
+    def test_roundtrip(self, tmp_path):
+        entries = [("p1", "k" * 64, "d" * 64), ("p2", "j" * 64, "e" * 64)]
+        journal = write_run(tmp_path, "r01", source="src-key",
+                            config={"jobs": 2}, resumed_from="r00",
+                            chunks=[("records", entries)],
+                            status="complete")
+        assert journal.chunks == 1
+        assert journal.items == 2
+        info = read_journal(tmp_path, "r01")
+        assert info.run_id == "r01"
+        assert info.source == "src-key"
+        assert info.config == {"jobs": 2}
+        assert info.resumed_from == "r00"
+        assert info.status == "complete"
+        assert info.items == 2
+        assert info.chunks[0]["items"] == [list(e) for e in entries]
+        assert not info.resumable
+
+    def test_empty_chunk_not_recorded(self, tmp_path):
+        journal = write_run(tmp_path, "r02",
+                            chunks=[("records", [])], status="complete")
+        assert journal.chunks == 0
+        assert read_journal(tmp_path, "r02").chunks == []
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(EngineError, match="no journal"):
+            read_journal(tmp_path, "rnope")
+
+    def test_torn_lines_counted_not_trusted(self, tmp_path):
+        write_run(tmp_path, "r03",
+                  chunks=[("records", [("p1", "k" * 64, "d" * 64)])],
+                  status="complete")
+        path = journal_path(tmp_path, "r03")
+        with path.open("ab") as handle:
+            handle.write(b"j1 deadbeefdeadbeef {\"type\":\"chunk\"}\n")
+            handle.write(b"{raw json, wrong format}\n")
+            handle.write(b"j1 tornmidwri")  # no trailing newline
+        info = read_journal(tmp_path, "r03")
+        assert info.torn == 3
+        assert info.status == "complete"
+        assert info.items == 1
+
+
+class TestStatuses:
+    def test_no_end_record_is_aborted_and_resumable(self, tmp_path):
+        write_run(tmp_path, "r04",
+                  chunks=[("records", [("p", "k" * 64, "d" * 64)])])
+        info = read_journal(tmp_path, "r04")
+        assert info.status == "aborted"
+        assert info.resumable
+
+    def test_interrupted_is_resumable(self, tmp_path):
+        write_run(tmp_path, "r05", status="interrupted")
+        assert read_journal(tmp_path, "r05").resumable
+
+    def test_listing_partitions_by_status(self, tmp_path):
+        write_run(tmp_path, "r06", status="complete")
+        write_run(tmp_path, "r07", status="interrupted")
+        write_run(tmp_path, "r08")
+        assert [i.run_id for i in list_journals(tmp_path)] \
+            == ["r06", "r07", "r08"]
+        assert [i.run_id for i in resumable_runs(tmp_path)] \
+            == ["r07", "r08"]
+
+    def test_listing_empty_cache_dir(self, tmp_path):
+        assert list_journals(tmp_path) == []
+        assert resumable_runs(tmp_path) == []
+
+
+class TestDegradation:
+    def test_unwritable_dir_goes_memory_only(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the cache dir should be")
+        journal = RunJournal.begin(blocker, "r09")
+        assert journal.memory_only
+        # Counters still work; nothing raises.
+        journal.chunk("records", [("p", "k" * 64, "d" * 64)])
+        journal.mark("complete")
+        assert journal.chunks == 1
+
+    def test_deny_writes_stops_persisting(self, tmp_path):
+        journal = RunJournal.begin(tmp_path, "r10")
+        path = journal_path(tmp_path, "r10")
+        size = path.stat().st_size
+        journal.deny_writes()
+        assert journal.memory_only
+        journal.chunk("records", [("p", "k" * 64, "d" * 64)])
+        journal.mark("complete")
+        assert path.stat().st_size == size
+        assert journal.chunks == 1
+
+    def test_begin_prunes_oldest_journals(self, tmp_path):
+        directory = journal_dir(tmp_path)
+        directory.mkdir(parents=True)
+        for index in range(JOURNAL_LIMIT + 5):
+            stamp = 1_000_000 + index
+            path = directory / f"old{index:03d}.jsonl"
+            path.write_bytes(b"")
+            os.utime(path, (stamp, stamp))
+        RunJournal.begin(tmp_path, "rnew")
+        remaining = sorted(p.name for p in directory.glob("*.jsonl"))
+        assert len(remaining) == JOURNAL_LIMIT + 1  # cap + the new one
+        assert "old000.jsonl" not in remaining
+        assert "rnew.jsonl" in remaining
+
+
+class TestReplay:
+    def replay(self, tmp_path):
+        write_run(tmp_path, "r11", source="src-key", chunks=[
+            ("records", [("p1", "a" * 64, "d1"), ("p2", "b" * 64, "d2")]),
+            ("records", [("p3", "c" * 64, "d3")]),
+        ], status="interrupted")
+        return load_replay(tmp_path, "r11")
+
+    def test_contains_journaled_keys_only(self, tmp_path):
+        replay = self.replay(tmp_path)
+        assert replay.contains("a" * 64)
+        assert replay.contains("c" * 64)
+        assert not replay.contains("z" * 64)
+
+    def test_chunk_counts_full_hits_only(self, tmp_path):
+        replay = self.replay(tmp_path)
+        assert replay.chunks_replayed == 0
+        replay.mark("a" * 64)
+        assert replay.items_replayed == 1
+        assert replay.chunks_replayed == 0  # half of chunk one
+        replay.mark("c" * 64)
+        assert replay.chunks_replayed == 1  # chunk two complete
+        replay.mark("b" * 64)
+        assert replay.chunks_replayed == 2
+
+    def test_verify_source_mismatch_refused(self, tmp_path):
+        replay = self.replay(tmp_path)
+        replay.verify_source("src-key")  # same: fine
+        replay.verify_source(None)       # unknown: tolerated
+        with pytest.raises(EngineError, match="cannot resume"):
+            replay.verify_source("other-source")
+
+    def test_keyless_entries_ignored(self, tmp_path):
+        write_run(tmp_path, "r12", chunks=[
+            ("records", [("p1", "", ""), ("p2", "b" * 64, "d2")]),
+        ], status="interrupted")
+        replay = JournalReplay(read_journal(tmp_path, "r12"))
+        assert not replay.contains("")
+        replay.mark("b" * 64)
+        assert replay.chunks_replayed == 1

@@ -185,7 +185,9 @@ class TestRunLedger:
         ledger = tmp_path / LEDGER_NAME
         ledger.write_text(ledger.read_text(encoding="utf-8")
                           + "{not json\n", encoding="utf-8")
-        assert len(read_ledger(tmp_path)) == 1
+        # Torn lines are skipped but *reported*, never silent.
+        with pytest.warns(RuntimeWarning, match="torn"):
+            assert len(read_ledger(tmp_path)) == 1
 
     def test_no_cache_dir_keeps_memory_ledger_only(self, source):
         with EngineSession() as session:
